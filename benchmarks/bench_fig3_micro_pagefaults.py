@@ -1,0 +1,26 @@
+"""Fig. 3 — page-fault reduction on microservices (micronaut/quarkus/spring).
+
+Expected shape (Sec. 7.2): cu clearly beats method (the method profile pulls
+cold bean CUs early through inlined hot helpers); heap path is the most
+robust heap strategy; incremental id is the weakest.
+"""
+
+from conftest import microservice_suite_result, save_figure
+
+from repro.eval.figures import render_fig3
+
+
+def test_fig3_micro_page_fault_reduction(benchmark):
+    suite = benchmark.pedantic(microservice_suite_result, rounds=1, iterations=1)
+    chart = render_fig3(suite)
+    print("\n" + chart)
+    save_figure("fig3_micro_pagefaults.txt", chart)
+
+    cu = suite.geomean_fault_factor("cu")
+    method = suite.geomean_fault_factor("method")
+    incremental = suite.geomean_fault_factor("incremental id")
+    heap_path = suite.geomean_fault_factor("heap path")
+
+    assert cu > method, "cu should clearly beat method on microservices"
+    assert heap_path > incremental, "heap path should beat incremental id"
+    assert cu > 1.3

@@ -1,0 +1,31 @@
+"""Fig. 5 — execution-time speedup on AWFY.
+
+Regenerates the paper's Figure 5 from the same evaluation pass as Fig. 2.
+Expected shape (Sec. 7.3 / artifact B.3.2): no slowdown for code
+strategies; code strategies yield larger speedups than heap strategies;
+cu+heap path yields the largest speedup (paper: 1.59x geomean).
+"""
+
+from conftest import awfy_suite_result, save_figure
+
+from repro.eval.figures import render_fig5
+
+
+def test_fig5_awfy_speedups(benchmark):
+    suite = benchmark.pedantic(awfy_suite_result, rounds=1, iterations=1)
+    chart = render_fig5(suite)
+    print("\n" + chart)
+    save_figure("fig5_awfy_speedups.txt", chart)
+
+    cu = suite.geomean_speedup("cu")
+    method = suite.geomean_speedup("method")
+    combined = suite.geomean_speedup("cu+heap path")
+    heap = max(
+        suite.geomean_speedup("incremental id"),
+        suite.geomean_speedup("structural hash"),
+        suite.geomean_speedup("heap path"),
+    )
+
+    assert cu >= 1.0 and method >= 1.0, "code strategies must not slow down"
+    assert cu > heap, "code ordering should out-speed heap ordering"
+    assert combined >= cu - 0.05, "combined should be at least cu-level"

@@ -1,0 +1,38 @@
+"""Fig. 6 — visual .text page map of AWFY Bounce, regular vs cu-ordered.
+
+Renders the appendix's page-map visualization: '#' pages faulted, 'o' pages
+mapped by fault-around without faulting, '.' unmapped, 'N' the statically
+linked native blob (unreorderable; the trailing executed region in the
+paper's figure).
+
+Expected shape: the regular binary's faults are scattered across .text;
+the cu-ordered binary compacts them at the front.
+"""
+
+from conftest import save_figure
+
+from repro.eval.figures import run_fig6
+from repro.eval.pipeline import STRATEGY_CU, WorkloadPipeline
+from repro.eval.textmap import front_density, text_page_map
+from repro.workloads.awfy.suite import awfy_workload
+
+
+def test_fig6_text_page_map(benchmark):
+    figure = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    print("\n" + figure)
+    save_figure("fig6_pagemap.txt", figure)
+    assert "regular binary" in figure and "optimized" in figure
+
+
+def test_fig6_front_compaction_quantified():
+    pipeline = WorkloadPipeline(awfy_workload("Bounce"))
+    regular = pipeline.build_baseline(seed=1)
+    outcome = pipeline.profile(seed=1)
+    optimized = pipeline.build_optimized(outcome.profiles, STRATEGY_CU, seed=2)
+    regular_density = front_density(text_page_map(regular, pipeline.exec_config))
+    optimized_density = front_density(text_page_map(optimized, pipeline.exec_config))
+    print(
+        f"\nfront-quarter fault density: regular={regular_density:.2f} "
+        f"cu-ordered={optimized_density:.2f}"
+    )
+    assert optimized_density > regular_density

@@ -1,0 +1,41 @@
+"""Sec. 7.4 — profiling overhead.
+
+Regenerates the overhead table: the execution-time factor of the
+instrumented binary over the regular binary, per tracing flavour (cu /
+method / heap-ordering), with buffered dumps on AWFY and memory-mapped
+buffers on the (SIGKILLed) microservices.
+
+Expected shape: overhead is moderate (roughly 1.1x-4x); method tracing is
+the most expensive flavour (it probes every method entry); the heap flavour
+reports a single factor for all three ID strategies (the emitted
+instrumentation is identical).
+"""
+
+from conftest import save_figure
+
+from repro.eval.figures import render_overhead, run_overhead_evaluation
+
+# A representative subset keeps the bench fast; pass None for all 14.
+AWFY_SUBSET = ["Bounce", "Richards", "Towers", "Json", "Havlak"]
+
+
+def test_sec74_profiling_overhead(benchmark):
+    results = benchmark.pedantic(
+        run_overhead_evaluation,
+        kwargs={"awfy_names": AWFY_SUBSET},
+        rounds=1,
+        iterations=1,
+    )
+    table = render_overhead(results)
+    print("\n" + table)
+    save_figure("sec74_overhead.txt", table)
+
+    for result in results:
+        assert 1.0 <= result.cu_overhead < 10.0
+        assert 1.0 <= result.method_overhead < 10.0
+        assert 1.0 <= result.heap_overhead < 10.0
+        assert result.method_overhead >= result.cu_overhead
+
+    modes = {r.workload: r.dump_mode for r in results}
+    assert modes["micronaut"] == "mmap"
+    assert modes["Bounce"] == "dump-on-full"

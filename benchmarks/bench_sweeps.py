@@ -1,0 +1,36 @@
+"""Sensitivity sweeps (beyond the paper's figures).
+
+* page-size sweep — larger pages coarsen fault granularity, shrinking the
+  reordering win (4 KiB, the paper's setting, benefits most);
+* ballast sweep — bigger images (more conservative-reachability code) give
+  the ordering strategies more to win.
+"""
+
+from conftest import save_figure
+
+from repro.eval.sweeps import ballast_sweep, page_size_sweep, render_sweep
+
+
+def test_sweep_page_size(benchmark):
+    points = benchmark.pedantic(page_size_sweep, rounds=1, iterations=1)
+    table = render_sweep("Sweep: page size (Bounce, cu+heap path)", points)
+    print("\n" + table)
+    save_figure("sweep_page_size.txt", table)
+    # absolute faults shrink with page size; the 4 KiB factor is the largest
+    faults = [p.baseline_faults for p in points]
+    assert faults == sorted(faults, reverse=True)
+    assert points[0].fault_factor >= points[-1].fault_factor - 0.3
+
+
+def test_sweep_ballast(benchmark):
+    points = benchmark.pedantic(ballast_sweep, rounds=1, iterations=1)
+    table = render_sweep("Sweep: runtime ballast (Bounce, cu+heap path)", points)
+    print("\n" + table)
+    save_figure("sweep_ballast.txt", table)
+    # More ballast scatters the warm slice across more code, growing the
+    # baseline faults from the smallest to the larger configurations (not
+    # strictly monotone: only the warm slice faults, and its scatter
+    # saturates once the image is big enough).
+    baselines = [p.baseline_faults for p in points]
+    assert max(baselines) > baselines[0] or len(set(baselines)) == 1
+    assert all(p.fault_factor > 1.0 for p in points)

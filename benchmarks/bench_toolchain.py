@@ -1,0 +1,63 @@
+"""Toolchain micro-benchmarks (classic pytest-benchmark timing).
+
+Not paper figures — these time the reproduction's own moving parts so
+regressions in the simulator itself are visible: hashing, front-end
+compilation, a full image build, and one cold execution.
+"""
+
+from repro.eval.pipeline import Workload, WorkloadPipeline
+from repro.minijava import compile_source
+from repro.ordering.ids import StructuralHasher
+from repro.util.murmur3 import murmur3_64
+from repro.workloads.awfy.suite import awfy_workload
+
+_PAYLOAD = b"abcdefghijklmnopqrstuvwxyz0123456789" * 8
+
+_SMALL_PROGRAM = """
+class Pt { int x; int y; Pt(int a, int b) { x = a; y = b; } int sum() { return x + y; } }
+class Main {
+    static int main() {
+        int acc = 0;
+        for (int i = 0; i < 50; i++) { Pt p = new Pt(i, i * 2); acc += p.sum(); }
+        return acc;
+    }
+}
+"""
+
+
+def test_bench_murmur3_64(benchmark):
+    digest = benchmark(murmur3_64, _PAYLOAD)
+    assert 0 <= digest < (1 << 64)
+
+
+def test_bench_structural_hash(benchmark):
+    pipeline = WorkloadPipeline(Workload(name="toolchain", source=_SMALL_PROGRAM))
+    binary = pipeline.build_baseline()
+    hasher = StructuralHasher()
+    values = [obj.value for obj in binary.snapshot]
+
+    def hash_all():
+        return [hasher.hash_value(v) for v in values]
+
+    hashes = benchmark(hash_all)
+    assert len(hashes) == len(values)
+
+
+def test_bench_frontend_compile(benchmark):
+    program = benchmark(compile_source, _SMALL_PROGRAM)
+    assert program.entry_method() is not None
+
+
+def test_bench_full_image_build(benchmark):
+    pipeline = WorkloadPipeline(awfy_workload("Sieve"))
+    binary = benchmark.pedantic(pipeline.build_baseline, rounds=2, iterations=1)
+    assert binary.text_size > 0
+
+
+def test_bench_cold_execution(benchmark):
+    pipeline = WorkloadPipeline(awfy_workload("Sieve"))
+    binary = pipeline.build_baseline()
+    metrics = benchmark.pedantic(
+        lambda: pipeline.measure(binary, 1)[0], rounds=3, iterations=1
+    )
+    assert metrics.result == 168

@@ -1,0 +1,39 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Figures that come from the same evaluation run (Fig. 2 + Fig. 5, and
+Fig. 3 + Fig. 4) share a cached suite result, exactly as in the paper's
+artifact where one measurement pass feeds both plots.
+
+Rendered figures are also written to ``benchmarks/output/`` for inspection.
+"""
+
+from __future__ import annotations
+
+import functools
+from pathlib import Path
+
+from repro.eval.experiments import ExperimentConfig
+from repro.eval.figures import run_awfy_evaluation, run_microservice_evaluation
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: builds x runs used by the benches; the paper uses 10x10, this keeps the
+#: harness laptop-sized while still producing CIs.
+BENCH_CONFIG = ExperimentConfig(n_builds=2, n_runs=2)
+
+
+@functools.lru_cache(maxsize=1)
+def awfy_suite_result():
+    return run_awfy_evaluation(BENCH_CONFIG)
+
+
+@functools.lru_cache(maxsize=1)
+def microservice_suite_result():
+    return run_microservice_evaluation(BENCH_CONFIG)
+
+
+def save_figure(name: str, text: str) -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / name
+    path.write_text(text + "\n")
+    return path

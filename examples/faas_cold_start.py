@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""FaaS cold-start scenario: AWFY functions behind a serverless front door.
+
+Models the paper's motivating setting (Sec. 1): a FaaS platform evicts idle
+functions; every re-invocation is a cold start whose page faults hit the
+(network) file system.  We take three AWFY "functions", measure their cold
+start on the baseline and on cu+heap-path-ordered binaries, and translate
+the saving into how much more aggressively the platform could evict while
+keeping the same latency SLA.
+
+Run:  python examples/faas_cold_start.py
+"""
+
+from dataclasses import replace
+
+from repro.eval.pipeline import STRATEGY_COMBINED, WorkloadPipeline
+from repro.runtime.executor import ExecutionConfig
+from repro.runtime.paging import NFS, SSD
+from repro.workloads.awfy.suite import awfy_workload
+
+FUNCTIONS = ["Bounce", "Json", "Towers"]
+
+
+def cold_start_ms(pipeline, binary) -> float:
+    return pipeline.measure(binary, 1)[0].time_s * 1000.0
+
+
+def main() -> None:
+    print(f"{'function':10s} {'device':5s} {'baseline':>9s} {'optimized':>9s} "
+          f"{'speedup':>8s} {'saved':>8s}")
+    for device in (SSD, NFS):
+        for name in FUNCTIONS:
+            workload = awfy_workload(name)
+            pipeline = WorkloadPipeline(
+                workload, exec_config=replace(ExecutionConfig(), device=device)
+            )
+            baseline = pipeline.build_baseline(seed=1)
+            outcome = pipeline.profile(seed=1)
+            optimized = pipeline.build_optimized(
+                outcome.profiles, STRATEGY_COMBINED, seed=2
+            )
+            base_ms = cold_start_ms(pipeline, baseline)
+            opt_ms = cold_start_ms(pipeline, optimized)
+            print(
+                f"{name:10s} {device.name:5s} {base_ms:8.2f}ms {opt_ms:8.2f}ms "
+                f"{base_ms / opt_ms:7.2f}x {base_ms - opt_ms:6.2f}ms"
+            )
+
+    print(
+        "\nInterpretation: with a p99 cold-start budget, every millisecond"
+        "\nsaved lets the platform keep functions in memory for a shorter"
+        "\nidle window before eviction (Sec. 1: 'Improving the program"
+        "\nstartup time allows the service to remove idle programs more"
+        "\noften')."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Render the paper's Fig. 6 page maps for any AWFY benchmark.
+
+Shows the ``.text`` section as one character per 4 KiB page for the regular
+binary and the cu-ordered binary: '#' = page faulted, 'o' = mapped by
+fault-around without a fault, '.' = never mapped, 'N' = the statically
+linked native blob (not reorderable — the paper leaves it to future work).
+
+Run:  python examples/visualize_text_section.py [BenchmarkName]
+"""
+
+import sys
+
+from repro.eval.pipeline import STRATEGY_CU, WorkloadPipeline
+from repro.eval.textmap import compare_page_maps, front_density, text_page_map
+from repro.workloads.awfy.suite import AWFY_NAMES, awfy_workload
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "Bounce"
+    if name not in AWFY_NAMES:
+        raise SystemExit(f"unknown benchmark {name!r}; choose from {AWFY_NAMES}")
+
+    pipeline = WorkloadPipeline(awfy_workload(name))
+    regular = pipeline.build_baseline(seed=1)
+    outcome = pipeline.profile(seed=1)
+    optimized = pipeline.build_optimized(outcome.profiles, STRATEGY_CU, seed=2)
+
+    regular_map = text_page_map(regular, pipeline.exec_config)
+    optimized_map = text_page_map(optimized, pipeline.exec_config)
+
+    print(f".text page map for AWFY {name} (cu strategy)\n")
+    print(compare_page_maps(regular_map, optimized_map))
+    print(
+        f"\nfront-quarter fault density: regular "
+        f"{front_density(regular_map):.0%} -> cu-ordered "
+        f"{front_density(optimized_map):.0%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

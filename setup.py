@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project is fully described by pyproject.toml; this file only enables
+`pip install -e .` via the legacy setuptools develop path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,157 @@
+"""High-level facade for the reproduction.
+
+Typical use::
+
+    from repro.api import NativeImageToolchain
+
+    toolchain = NativeImageToolchain.from_source(MY_MINIJAVA_SOURCE)
+    baseline = toolchain.build()                      # regular image
+    report = toolchain.optimize_and_compare("cu+heap path")
+    print(report)
+
+or run whole paper experiments via :mod:`repro.eval.figures`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .eval.pipeline import (
+    ALL_STRATEGY_SPECS,
+    StrategySpec,
+    Workload,
+    WorkloadPipeline,
+)
+from .image.binary import NativeImageBinary
+from .image.builder import BuildConfig
+from .image.sections import HEAP_SECTION, TEXT_SECTION
+from .runtime.executor import ExecutionConfig, RunMetrics
+from .util.stats import ratio_factor
+
+STRATEGIES: Dict[str, StrategySpec] = {spec.name: spec for spec in ALL_STRATEGY_SPECS}
+
+
+@dataclass
+class ComparisonReport:
+    """Baseline-vs-optimized outcome of one strategy on one workload."""
+
+    workload: str
+    strategy: str
+    baseline: RunMetrics
+    optimized: RunMetrics
+
+    @property
+    def text_fault_factor(self) -> float:
+        return ratio_factor(self.baseline.text_faults, self.optimized.text_faults)
+
+    @property
+    def heap_fault_factor(self) -> float:
+        return ratio_factor(self.baseline.heap_faults, self.optimized.heap_faults)
+
+    @property
+    def speedup(self) -> float:
+        base = self.baseline.first_response_time_s or self.baseline.time_s
+        opt = self.optimized.first_response_time_s or self.optimized.time_s
+        return base / opt
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.workload} / {self.strategy}] "
+            f".text faults {self.baseline.text_faults} -> "
+            f"{self.optimized.text_faults} ({self.text_fault_factor:.2f}x), "
+            f".svm_heap faults {self.baseline.heap_faults} -> "
+            f"{self.optimized.heap_faults} ({self.heap_fault_factor:.2f}x), "
+            f"speedup {self.speedup:.2f}x"
+        )
+
+
+class NativeImageToolchain:
+    """One workload's end-to-end toolchain: build, profile, optimize, run."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        build_config: Optional[BuildConfig] = None,
+        exec_config: Optional[ExecutionConfig] = None,
+    ) -> None:
+        self.workload = workload
+        self._pipeline = WorkloadPipeline(workload, build_config, exec_config)
+        self._profiles = None
+
+    @classmethod
+    def from_source(
+        cls,
+        source: str,
+        name: str = "app",
+        microservice: bool = False,
+        **kwargs,
+    ) -> "NativeImageToolchain":
+        """Build a toolchain directly from MiniJava source text."""
+        workload = Workload(name=name, source=source, microservice=microservice)
+        return cls(workload, **kwargs)
+
+    @property
+    def pipeline(self) -> WorkloadPipeline:
+        return self._pipeline
+
+    # -- build & run ---------------------------------------------------------
+
+    def build(self, seed: int = 0) -> NativeImageBinary:
+        """Build the regular (baseline) image."""
+        return self._pipeline.build_baseline(seed=seed)
+
+    def run(self, binary: NativeImageBinary, iterations: int = 1) -> List[RunMetrics]:
+        """Cold-cache runs of a built image."""
+        return self._pipeline.measure(binary, iterations)
+
+    # -- PGO workflow -----------------------------------------------------------
+
+    def profile(self, seed: int = 0):
+        """Run the instrumented image and keep the resulting profiles."""
+        outcome = self._pipeline.profile(seed=seed)
+        self._profiles = outcome.profiles
+        return outcome
+
+    def build_optimized(
+        self, strategy: str = "cu+heap path", seed: int = 0
+    ) -> NativeImageBinary:
+        """Build the profile-guided image with the named ordering strategy."""
+        spec = STRATEGIES.get(strategy)
+        if spec is None:
+            raise KeyError(
+                f"unknown strategy {strategy!r}; choose from {sorted(STRATEGIES)}"
+            )
+        if self._profiles is None:
+            self.profile(seed=seed)
+        return self._pipeline.build_optimized(self._profiles, spec, seed=seed)
+
+    def optimize_and_compare(
+        self, strategy: str = "cu+heap path", seed: int = 0
+    ) -> ComparisonReport:
+        """One-shot: profile, optimize, and compare against the baseline."""
+        baseline = self.build(seed=seed)
+        optimized = self.build_optimized(strategy, seed=seed)
+        return ComparisonReport(
+            workload=self.workload.name,
+            strategy=strategy,
+            baseline=self.run(baseline)[0],
+            optimized=self.run(optimized)[0],
+        )
+
+
+def compare_all_strategies(
+    workload: Workload, seed: int = 0
+) -> Dict[str, ComparisonReport]:
+    """Run every paper strategy on one workload."""
+    toolchain = NativeImageToolchain(workload)
+    toolchain.profile(seed=seed)
+    return {
+        name: ComparisonReport(
+            workload=workload.name,
+            strategy=name,
+            baseline=toolchain.run(toolchain.build(seed=seed))[0],
+            optimized=toolchain.run(toolchain.build_optimized(name, seed=seed))[0],
+        )
+        for name in STRATEGIES
+    }

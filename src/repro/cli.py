@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's artifact scripts:
+
+* ``figures``  — regenerate Figures 2-5 (page-fault reductions, speedups);
+* ``overhead`` — the Sec. 7.4 profiling-overhead table;
+* ``pagemap``  — Fig. 6 page maps for ``.text`` (and ``--heap`` for the
+  heap-snapshot visualization the paper lists as future work);
+* ``compare``  — run every strategy on one workload and print factors;
+* ``emit``     — write a built image as a SNIB file and dump its tables;
+* ``list``     — available workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, Optional
+
+from .api import STRATEGIES, NativeImageToolchain
+from .eval.experiments import ExperimentConfig
+from .eval.figures import (
+    render_fig2,
+    render_fig3,
+    render_fig4,
+    render_fig5,
+    render_overhead,
+    run_awfy_evaluation,
+    run_fig6,
+    run_microservice_evaluation,
+    run_overhead_evaluation,
+)
+from .eval.heapmap import compare_heap_maps, heap_page_map
+from .eval.pipeline import STRATEGY_CU, STRATEGY_HEAP_PATH, Workload, WorkloadPipeline
+from .eval.textmap import compare_page_maps, text_page_map
+from .image.fileformat import read_snib, write_snib
+from .workloads.awfy.suite import AWFY_NAMES, awfy_workload
+from .workloads.microservices.suite import MICROSERVICE_NAMES, microservice_workload
+
+
+def _find_workload(name: str) -> Workload:
+    if name in AWFY_NAMES:
+        return awfy_workload(name)
+    if name in MICROSERVICE_NAMES:
+        return microservice_workload(name)
+    raise SystemExit(
+        f"unknown workload {name!r}; run `python -m repro list` for options"
+    )
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("AWFY benchmarks (run-to-completion, end-to-end time):")
+    for name in AWFY_NAMES:
+        print(f"  {name}")
+    print("\nmicroservices (time to first response, then SIGKILL):")
+    for name in MICROSERVICE_NAMES:
+        print(f"  {name}")
+    print("\nstrategies:", ", ".join(sorted(STRATEGIES)))
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(n_builds=args.builds, n_runs=args.runs)
+    if args.suite in ("awfy", "all"):
+        suite = run_awfy_evaluation(config, names=args.only or None)
+        print(render_fig2(suite))
+        print()
+        print(render_fig5(suite))
+    if args.suite in ("micro", "all"):
+        suite = run_microservice_evaluation(config, names=args.only or None)
+        print(render_fig3(suite))
+        print()
+        print(render_fig4(suite))
+    return 0
+
+
+def cmd_overhead(args: argparse.Namespace) -> int:
+    results = run_overhead_evaluation(awfy_names=args.only or None)
+    print(render_overhead(results))
+    return 0
+
+
+def cmd_pagemap(args: argparse.Namespace) -> int:
+    workload = _find_workload(args.workload)
+    pipeline = WorkloadPipeline(workload)
+    regular = pipeline.build_baseline(seed=1)
+    outcome = pipeline.profile(seed=1)
+    if args.heap:
+        optimized = pipeline.build_optimized(outcome.profiles, STRATEGY_HEAP_PATH,
+                                             seed=2)
+        regular_map = heap_page_map(regular, pipeline.exec_config)
+        optimized_map = heap_page_map(optimized, pipeline.exec_config)
+        print(f".svm_heap page map for {workload.name} (heap path strategy)\n")
+        print(compare_heap_maps(regular_map, optimized_map))
+        print()
+        print(optimized_map.hot_page_report())
+    else:
+        optimized = pipeline.build_optimized(outcome.profiles, STRATEGY_CU, seed=2)
+        print(f".text page map for {workload.name} (cu strategy)\n")
+        print(compare_page_maps(
+            text_page_map(regular, pipeline.exec_config),
+            text_page_map(optimized, pipeline.exec_config),
+        ))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    workload = _find_workload(args.workload)
+    toolchain = NativeImageToolchain(workload)
+    toolchain.profile(seed=args.seed)
+    names = [args.strategy] if args.strategy else sorted(STRATEGIES)
+    for name in names:
+        if name not in STRATEGIES:
+            raise SystemExit(f"unknown strategy {name!r}")
+        print(toolchain.optimize_and_compare(name, seed=args.seed))
+    return 0
+
+
+def cmd_emit(args: argparse.Namespace) -> int:
+    workload = _find_workload(args.workload)
+    pipeline = WorkloadPipeline(workload)
+    if args.strategy:
+        spec = STRATEGIES.get(args.strategy)
+        if spec is None:
+            raise SystemExit(f"unknown strategy {args.strategy!r}")
+        outcome = pipeline.profile(seed=args.seed)
+        binary = pipeline.build_optimized(outcome.profiles, spec, seed=args.seed)
+    else:
+        binary = pipeline.build_baseline(seed=args.seed)
+    path = Path(args.output or f"{workload.name}.snib")
+    size = write_snib(binary, path)
+    print(f"wrote {path} ({size} bytes)")
+    print()
+    print(read_snib(path).describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Improving Native-Image Startup "
+        "Performance' (CGO '25)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list workloads and strategies")
+    p_list.set_defaults(func=cmd_list)
+
+    p_figures = sub.add_parser("figures", help="regenerate Figures 2-5")
+    p_figures.add_argument("--suite", choices=("awfy", "micro", "all"),
+                           default="all")
+    p_figures.add_argument("--builds", type=int, default=2)
+    p_figures.add_argument("--runs", type=int, default=2)
+    p_figures.add_argument("--only", nargs="*", help="restrict to workloads")
+    p_figures.set_defaults(func=cmd_figures)
+
+    p_overhead = sub.add_parser("overhead", help="Sec. 7.4 overhead table")
+    p_overhead.add_argument("--only", nargs="*", help="restrict AWFY workloads")
+    p_overhead.set_defaults(func=cmd_overhead)
+
+    p_pagemap = sub.add_parser("pagemap", help="Fig. 6 page maps")
+    p_pagemap.add_argument("workload", nargs="?", default="Bounce")
+    p_pagemap.add_argument("--heap", action="store_true",
+                           help="visualize .svm_heap instead of .text")
+    p_pagemap.set_defaults(func=cmd_pagemap)
+
+    p_compare = sub.add_parser("compare", help="strategy factors on one workload")
+    p_compare.add_argument("workload")
+    p_compare.add_argument("--strategy", help="a single strategy (default: all)")
+    p_compare.add_argument("--seed", type=int, default=1)
+    p_compare.set_defaults(func=cmd_compare)
+
+    p_emit = sub.add_parser("emit", help="write a built image as a SNIB file")
+    p_emit.add_argument("workload")
+    p_emit.add_argument("-o", "--output")
+    p_emit.add_argument("--strategy", help="build optimized with this strategy")
+    p_emit.add_argument("--seed", type=int, default=1)
+    p_emit.set_defaults(func=cmd_emit)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

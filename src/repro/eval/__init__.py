@@ -1,0 +1,29 @@
+"""Evaluation harness: pipelines, experiments, figures, visualizations."""
+
+from .experiments import ExperimentConfig, evaluate_suite, evaluate_workload, profiling_overhead
+from .heapmap import compare_heap_maps, heap_page_map
+from .sweeps import ballast_sweep, page_size_sweep, render_sweep
+from .textmap import compare_page_maps, front_density, text_page_map
+
+from .pipeline import (
+    ALL_STRATEGY_SPECS,
+    STRATEGY_COMBINED,
+    STRATEGY_CU,
+    STRATEGY_HEAP_PATH,
+    STRATEGY_INCREMENTAL,
+    STRATEGY_METHOD,
+    STRATEGY_STRUCTURAL,
+    StrategySpec,
+    Workload,
+    WorkloadPipeline,
+)
+
+__all__ = [
+    "ExperimentConfig", "evaluate_suite", "evaluate_workload", "profiling_overhead",
+    "compare_heap_maps", "heap_page_map",
+    "ballast_sweep", "page_size_sweep", "render_sweep",
+    "compare_page_maps", "front_density", "text_page_map",
+    "ALL_STRATEGY_SPECS", "STRATEGY_COMBINED", "STRATEGY_CU",
+    "STRATEGY_HEAP_PATH", "STRATEGY_INCREMENTAL", "STRATEGY_METHOD",
+    "STRATEGY_STRUCTURAL", "StrategySpec", "Workload", "WorkloadPipeline",
+]

@@ -1,0 +1,216 @@
+"""End-to-end pipeline: profile -> post-process -> optimize -> measure.
+
+Implements the methodology of Fig. 1 for one workload:
+
+1. build the **instrumented** binary and run it once under the tracing
+   profiler (buffered dumps for run-to-completion workloads, memory-mapped
+   buffers for microservices that are SIGKILLed after the first response);
+2. post-process the traces into ordering profiles + call counts;
+3. build the **optimized** binary with the requested code/heap ordering;
+4. run baseline and optimized binaries with cold caches and report
+   page faults per section and the simulated execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..image.binary import (
+    MODE_INSTRUMENTED,
+    MODE_OPTIMIZED,
+    MODE_REGULAR,
+    NativeImageBinary,
+)
+from ..image.builder import BuildConfig, NativeImageBuilder
+from ..minijava.bytecode import Program
+from ..minijava.frontend import compile_source
+from ..ordering.profiles import ProfileBundle
+from ..postproc.framework import build_profiles
+from ..profiling.tracebuf import TraceSession
+from ..profiling.tracefile import MODE_DUMP_ON_FULL, MODE_MMAP
+from ..profiling.tracer import PathTracer
+from ..runtime.executor import ExecutionConfig, RunMetrics, run_binary
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A benchmark program plus how to run/measure it."""
+
+    name: str
+    source: str
+    main_class: str = "Main"
+    #: microservices: measure time-to-first-response, kill after response,
+    #: profile with memory-mapped buffers
+    microservice: bool = False
+    description: str = ""
+
+    def compile(self) -> Program:
+        return compile_source(self.source, main_class=self.main_class)
+
+
+@dataclass(frozen=True)
+class StrategySpec:
+    """One of the paper's ordering strategies (or their combination)."""
+
+    name: str
+    code_ordering: Optional[str] = None  # "cu" | "method"
+    heap_ordering: Optional[str] = None  # an ID-strategy name
+
+    @property
+    def is_code(self) -> bool:
+        return self.code_ordering is not None
+
+    @property
+    def is_heap(self) -> bool:
+        return self.heap_ordering is not None
+
+
+#: The five strategies of the evaluation plus the combined one (Sec. 7.1).
+STRATEGY_CU = StrategySpec("cu", code_ordering="cu")
+STRATEGY_METHOD = StrategySpec("method", code_ordering="method")
+STRATEGY_INCREMENTAL = StrategySpec("incremental id", heap_ordering="incremental_id")
+STRATEGY_STRUCTURAL = StrategySpec("structural hash", heap_ordering="structural_hash")
+STRATEGY_HEAP_PATH = StrategySpec("heap path", heap_ordering="heap_path")
+STRATEGY_COMBINED = StrategySpec(
+    "cu+heap path", code_ordering="cu", heap_ordering="heap_path"
+)
+ALL_STRATEGY_SPECS = (
+    STRATEGY_CU,
+    STRATEGY_METHOD,
+    STRATEGY_INCREMENTAL,
+    STRATEGY_STRUCTURAL,
+    STRATEGY_HEAP_PATH,
+    STRATEGY_COMBINED,
+)
+
+
+@dataclass
+class ProfilingOutcome:
+    """The artifacts of one profiling run."""
+
+    profiles: ProfileBundle
+    instrumented_metrics: RunMetrics
+    trace_bytes: int
+    lost_records: int
+
+
+class WorkloadPipeline:
+    """Builds and measures all binaries of one workload."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        build_config: Optional[BuildConfig] = None,
+        exec_config: Optional[ExecutionConfig] = None,
+    ) -> None:
+        self.workload = workload
+        self.build_config = build_config or BuildConfig()
+        base_exec = exec_config or ExecutionConfig()
+        if workload.microservice and not base_exec.stop_on_first_response:
+            from dataclasses import replace
+
+            base_exec = replace(base_exec, stop_on_first_response=True)
+        self.exec_config = base_exec
+        self._program = workload.compile()
+
+    @property
+    def program(self) -> Program:
+        return self._program
+
+    def builder(self) -> NativeImageBuilder:
+        return NativeImageBuilder(self._program, self.build_config)
+
+    # -- builds ------------------------------------------------------------------
+
+    def build_baseline(self, seed: int = 0) -> NativeImageBinary:
+        return self.builder().build(mode=MODE_REGULAR, seed=seed)
+
+    def build_instrumented(self, seed: int = 0) -> NativeImageBinary:
+        return self.builder().build(mode=MODE_INSTRUMENTED, seed=seed)
+
+    def build_optimized(
+        self,
+        profiles: ProfileBundle,
+        strategy: Optional[StrategySpec] = None,
+        seed: int = 0,
+    ) -> NativeImageBinary:
+        builder = self.builder()
+        return builder.build(
+            mode=MODE_OPTIMIZED,
+            profiles=profiles,
+            code_ordering=strategy.code_ordering if strategy else None,
+            heap_ordering=strategy.heap_ordering if strategy else None,
+            seed=seed,
+        )
+
+    # -- profiling -----------------------------------------------------------------
+
+    def profile(self, seed: int = 0) -> ProfilingOutcome:
+        """Run the instrumented binary once and post-process its traces."""
+        instrumented = self.build_instrumented(seed=seed)
+        mode = MODE_MMAP if self.workload.microservice else MODE_DUMP_ON_FULL
+        session = TraceSession(mode=mode)
+        tracer = PathTracer(instrumented.manifest, session)
+        metrics = run_binary(instrumented, self.exec_config, tracer=tracer)
+        profiles = build_profiles(instrumented.manifest, session.trace_files())
+        stats = session.total_stats()
+        return ProfilingOutcome(
+            profiles=profiles,
+            instrumented_metrics=metrics,
+            trace_bytes=stats.bytes_written,
+            lost_records=stats.lost_records,
+        )
+
+    # -- measurement ------------------------------------------------------------------
+
+    def measure(
+        self, binary: NativeImageBinary, iterations: int = 1, seed: int = 0
+    ) -> List[RunMetrics]:
+        """Cold-cache runs of ``binary`` (each run drops all caches)."""
+        return [
+            run_binary(binary, self.exec_config, run_index=(seed << 8) | index)
+            for index in range(iterations)
+        ]
+
+    # -- one-shot convenience ------------------------------------------------------------
+
+    def run_strategy(
+        self, strategy: StrategySpec, seed: int = 0, iterations: int = 1
+    ) -> Tuple[List[RunMetrics], List[RunMetrics]]:
+        """(baseline runs, optimized runs) for one strategy at one seed."""
+        baseline = self.build_baseline(seed=seed)
+        outcome = self.profile(seed=seed)
+        optimized = self.build_optimized(outcome.profiles, strategy, seed=seed)
+        return (
+            self.measure(baseline, iterations, seed),
+            self.measure(optimized, iterations, seed),
+        )
+
+
+def metric_for_strategy(metrics: RunMetrics, strategy: StrategySpec,
+                        microservice: bool) -> Dict[str, float]:
+    """Extract the paper's per-strategy measurements from one run.
+
+    Code strategies report ``.text`` faults, heap strategies ``.svm_heap``
+    faults, the combined strategy both; time is end-to-end for AWFY and
+    time-to-first-response for microservices (Sec. 7.1).
+    """
+    from ..image.sections import HEAP_SECTION, TEXT_SECTION
+
+    if microservice and metrics.first_response_time_s is not None:
+        time_s = metrics.first_response_time_s
+        faults = metrics.first_response_faults or metrics.faults
+    else:
+        time_s = metrics.time_s
+        faults = metrics.faults
+    text = faults.get(TEXT_SECTION, 0)
+    heap = faults.get(HEAP_SECTION, 0)
+    if strategy.is_code and strategy.is_heap:
+        fault_metric = text + heap
+    elif strategy.is_code:
+        fault_metric = text
+    else:
+        fault_metric = heap
+    return {"faults": float(fault_metric), "time_s": time_s,
+            "text_faults": float(text), "heap_faults": float(heap)}

@@ -1,0 +1,83 @@
+"""ASCII figure rendering.
+
+The harness prints each figure the way the paper lays it out: workloads on
+the x-axis, one bar per strategy with the exact factor above/next to the
+bar and the 95% CI, plus the geometric mean after the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..util.stats import ConfidenceInterval
+
+_BAR_WIDTH = 40
+
+
+def render_factor_chart(
+    title: str,
+    workload_names: Sequence[str],
+    strategy_names: Sequence[str],
+    factors: Dict[str, Dict[str, ConfidenceInterval]],
+    geomeans: Optional[Dict[str, float]] = None,
+    max_factor: Optional[float] = None,
+) -> str:
+    """Render grouped horizontal bars: ``factors[workload][strategy]``."""
+    lines: List[str] = []
+    lines.append(title)
+    lines.append("=" * len(title))
+    limit = max_factor or _max_value(factors) or 1.0
+    label_width = max((len(s) for s in strategy_names), default=8) + 2
+
+    for workload in workload_names:
+        lines.append(f"\n{workload}")
+        per_strategy = factors.get(workload, {})
+        for strategy in strategy_names:
+            ci = per_strategy.get(strategy)
+            if ci is None:
+                continue
+            bar = _bar(ci.mean, limit)
+            lines.append(
+                f"  {strategy:<{label_width}}|{bar:<{_BAR_WIDTH}}| "
+                f"{ci.mean:5.2f}x  (+/-{ci.half_width:.2f})"
+            )
+    if geomeans:
+        lines.append("\ngeomean")
+        for strategy in strategy_names:
+            value = geomeans.get(strategy)
+            if value is None:
+                continue
+            bar = _bar(value, limit)
+            lines.append(f"  {strategy:<{label_width}}|{bar:<{_BAR_WIDTH}}| {value:5.2f}x")
+    return "\n".join(lines)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+) -> str:
+    """Simple aligned text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _bar(value: float, limit: float) -> str:
+    filled = int(round(_BAR_WIDTH * min(value, limit) / limit))
+    return "#" * filled
+
+
+def _max_value(factors: Dict[str, Dict[str, ConfidenceInterval]]) -> float:
+    best = 0.0
+    for per_strategy in factors.values():
+        for ci in per_strategy.values():
+            best = max(best, ci.mean + ci.half_width)
+    return best

@@ -1,0 +1,106 @@
+"""Fig. 6: visual page map of the ``.text`` section.
+
+Renders one character cell per 4 KiB page of ``.text``:
+
+* ``#`` (green in the paper) — the page took a major fault;
+* ``o`` (red) — the page is mapped but caused no fault (paged in by the
+  kernel's fault-around; enable it via ``fault_around_pages``);
+* ``.`` (black) — the page is not mapped at all;
+* ``N`` — pages of the statically linked native blob (not reorderable;
+  the trailing region of Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+from ..image.binary import NativeImageBinary
+from ..image.sections import PAGE_SIZE, TEXT_SECTION
+from ..runtime.executor import ExecutionConfig, run_binary
+
+
+@dataclass
+class PageMap:
+    """The page-level fault picture of one run's ``.text`` section."""
+
+    cells: str  # one character per page
+    faulted: int
+    mapped_not_faulted: int
+    unmapped: int
+    #: first page of the native-library blob (unreorderable region)
+    native_first: int = 0
+
+    def render(self, width: int = 64) -> str:
+        rows = [
+            self.cells[index : index + width]
+            for index in range(0, len(self.cells), width)
+        ]
+        legend = (
+            f"# faulted: {self.faulted}   o mapped-no-fault: "
+            f"{self.mapped_not_faulted}   . unmapped: {self.unmapped}"
+        )
+        return "\n".join(rows + [legend])
+
+
+def text_page_map(
+    binary: NativeImageBinary,
+    exec_config: Optional[ExecutionConfig] = None,
+    fault_around_pages: int = 2,
+) -> PageMap:
+    """Run ``binary`` cold and build its ``.text`` page map."""
+    config = exec_config or ExecutionConfig()
+    config = replace(config, fault_around_pages=fault_around_pages)
+    metrics = run_binary(binary, config)
+
+    total_pages = (binary.text.size + PAGE_SIZE - 1) // PAGE_SIZE
+    native_first = binary.text.native_blob_offset // PAGE_SIZE
+    faulted = metrics.faulted_pages.get(TEXT_SECTION, frozenset())
+    resident = metrics.resident_pages.get(TEXT_SECTION, frozenset())
+
+    cells: List[str] = []
+    counts = {"#": 0, "o": 0, ".": 0}
+    for page in range(total_pages):
+        if page in faulted:
+            cell = "#"
+        elif page in resident:
+            cell = "o"
+        else:
+            cell = "."
+        counts[cell] += 1
+        if page >= native_first and cell == ".":
+            cell = "N"
+        cells.append(cell)
+    return PageMap(
+        cells="".join(cells),
+        faulted=counts["#"],
+        mapped_not_faulted=counts["o"],
+        unmapped=counts["."],
+        native_first=native_first,
+    )
+
+
+def compare_page_maps(regular: PageMap, optimized: PageMap, width: int = 64) -> str:
+    """Fig. 6a/6b side by side (stacked), as in the appendix."""
+    parts = [
+        "(a) regular binary",
+        regular.render(width),
+        "",
+        "(b) binary optimized with the cu strategy",
+        optimized.render(width),
+    ]
+    return "\n".join(parts)
+
+
+def front_density(page_map: PageMap, fraction: float = 0.25) -> float:
+    """Share of faulted *reorderable* pages in the first ``fraction`` of them.
+
+    The paper's qualitative claim for Fig. 6b: the optimized layout compacts
+    executed code into the front of the section.  Native-blob pages are
+    excluded — they are not reorderable (Fig. 6's trailing region).
+    """
+    cells = page_map.cells[: page_map.native_first or len(page_map.cells)]
+    cutoff = max(int(len(cells) * fraction), 1)
+    front = cells[:cutoff].count("#")
+    total = cells.count("#")
+    return front / total if total else 0.0

@@ -1,0 +1,13 @@
+"""Simulated Graal mid-end: reachability, inlining, build transforms."""
+
+from .cunits import CU_PROLOGUE_BYTES, CompilationUnit, CuMember
+from .inliner import Inliner, InlinerConfig, form_compilation_units
+from .reachability import ReachabilityAnalysis, ReachabilityResult, analyze
+from .transform import FoldedConstant, clone_program, fold_final_statics
+
+__all__ = [
+    "CU_PROLOGUE_BYTES", "CompilationUnit", "CuMember",
+    "Inliner", "InlinerConfig", "form_compilation_units",
+    "ReachabilityAnalysis", "ReachabilityResult", "analyze",
+    "FoldedConstant", "clone_program", "fold_final_statics",
+]

@@ -1,0 +1,189 @@
+"""Size- and profile-driven inliner forming compilation units.
+
+The paper's central obstacle is that CUs differ across builds because
+inlining decisions differ (Sec. 2): instrumentation code inflates method
+sizes, and PGO makes hot call sites attractive.  This inliner reproduces
+both effects through two inputs:
+
+* ``size_fn`` — the machine-code size of a method *in this build*; the
+  instrumented build passes a function that includes probe bytes, so fewer
+  callees fit under the thresholds;
+* ``call_counts`` — when present (optimizing build), call sites whose callee
+  is hot get a larger inline budget, so the optimized build inlines *more*
+  than the regular build.
+
+Both shifts change the CU set, the CU sizes, and (downstream) the heap
+snapshot — exactly the divergence the object-matching strategies must cope
+with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
+
+from ..minijava.bytecode import CompiledMethod, Program
+from ..ordering.profiles import CallCountProfile
+from .cunits import CompilationUnit, layout_members
+from .reachability import ReachabilityResult, virtual_targets
+
+
+@dataclass(frozen=True)
+class InlinerConfig:
+    """Inlining thresholds (bytes of simulated machine code)."""
+
+    trivial_size: int = 120  # always inline below this
+    hot_size: int = 420  # inline below this when the callee is hot (PGO)
+    hot_call_threshold: int = 8  # calls needed to count as hot
+    max_depth: int = 4
+    cu_budget: int = 2400  # max CU size before inlining stops
+
+
+class Inliner:
+    """Forms the CU set for one build."""
+
+    def __init__(
+        self,
+        program: Program,
+        reachability: ReachabilityResult,
+        size_fn: Callable[[CompiledMethod], int],
+        config: Optional[InlinerConfig] = None,
+        call_counts: Optional[CallCountProfile] = None,
+    ) -> None:
+        self._program = program
+        self._reach = reachability
+        self._size_fn = size_fn
+        self._config = config or InlinerConfig()
+        self._calls = call_counts
+        self._virtual_names = self._collect_virtual_names()
+
+    def _collect_virtual_names(self) -> Set[str]:
+        """Names used at virtual call sites anywhere in reachable code."""
+        names: Set[str] = set()
+        for method in self._reach.reachable_methods(self._program):
+            for instr in method.code:
+                if instr.op == "CALL_VIRTUAL":
+                    names.add(instr.args[0])
+        return names
+
+    # -- public API ------------------------------------------------------------
+
+    def form_units(self) -> List[CompilationUnit]:
+        """Compute the CU set for all reachable methods."""
+        reachable = self._reach.reachable_methods(self._program)
+        units: List[CompilationUnit] = []
+        inlined_somewhere: Set[str] = set()
+        self._non_inlined_targets: Set[str] = set()
+        plans: Dict[str, List[CompiledMethod]] = {}
+
+        for method in reachable:
+            inline_bodies = self._plan_inlines(method)
+            plans[method.signature] = inline_bodies
+            inlined_somewhere.update(m.signature for m in inline_bodies)
+
+        entry_sig = self._program.entry_method().signature
+        for method in reachable:
+            if self._is_fully_absorbed(method, inlined_somewhere, entry_sig):
+                continue
+            units.append(layout_members(method, plans[method.signature], self._size_fn))
+        return units
+
+    def _is_fully_absorbed(
+        self, method: CompiledMethod, inlined_somewhere: Set[str], entry_sig: str
+    ) -> bool:
+        """True when ``method`` needs no standalone CU.
+
+        A trivial method that was inlined at *all* its call sites, is never
+        the target of a virtual dispatch (which needs an address), and is
+        not the entry point has no code of its own in the binary.
+        """
+        if method.signature == entry_sig:
+            return False
+        if method.name in self._virtual_names and not method.is_static:
+            return False
+        if method.signature in self._non_inlined_targets:
+            # Some call site (e.g. a recursive one) jumps to it directly.
+            return False
+        if method.signature not in inlined_somewhere:
+            return False
+        return self._size_fn(method) <= self._config.trivial_size
+
+    # -- inline planning ---------------------------------------------------------
+
+    def _plan_inlines(self, root: CompiledMethod) -> List[CompiledMethod]:
+        """DFS over call sites, collecting inlined bodies in visit order."""
+        config = self._config
+        bodies: List[CompiledMethod] = []
+        budget_used = self._size_fn(root)
+
+        non_inlined = getattr(self, "_non_inlined_targets", set())
+
+        def visit(method: CompiledMethod, depth: int, path: Set[str]) -> None:
+            nonlocal budget_used
+            for kind, cls_name, name in method.called_signatures():
+                target = self._resolve_unique(kind, cls_name, name)
+                if target is None:
+                    continue
+                if target.name == "<clinit>":
+                    continue
+                if (
+                    depth >= config.max_depth
+                    or target.signature in path
+                    or not self._should_inline(target, self._size_fn(target))
+                    or budget_used + self._size_fn(target) > config.cu_budget
+                ):
+                    non_inlined.add(target.signature)
+                    continue
+                budget_used += self._size_fn(target)
+                bodies.append(target)
+                visit(target, depth + 1, path | {target.signature})
+
+        visit(root, 0, {root.signature})
+        return bodies
+
+    def _should_inline(self, target: CompiledMethod, size: int) -> bool:
+        config = self._config
+        if size <= config.trivial_size:
+            return True
+        if self._calls is not None and self._calls.is_hot(
+            target.signature, config.hot_call_threshold
+        ):
+            return size <= config.hot_size
+        return False
+
+    def _resolve_unique(
+        self, kind: str, cls_name: str, name: str
+    ) -> Optional[CompiledMethod]:
+        """The unique call target, or None when unknown/polymorphic."""
+        if kind in ("static", "super", "ctor"):
+            cls = self._program.classes.get(cls_name)
+            while cls is not None:
+                method = cls.methods.get(name)
+                if method is not None:
+                    if kind == "static" and not method.is_static:
+                        cls = cls.superclass
+                        continue
+                    return method
+                cls = cls.superclass
+            return None
+        # Virtual: inline only when devirtualizable to one target.
+        targets = virtual_targets(self._program, self._reach, name)
+        if len(targets) == 1:
+            return targets[0]
+        return None
+
+
+def default_size_fn(method: CompiledMethod) -> int:
+    """Machine-code size without instrumentation."""
+    return method.code_size()
+
+
+def form_compilation_units(
+    program: Program,
+    reachability: ReachabilityResult,
+    size_fn: Callable[[CompiledMethod], int] = default_size_fn,
+    config: Optional[InlinerConfig] = None,
+    call_counts: Optional[CallCountProfile] = None,
+) -> List[CompilationUnit]:
+    """Convenience wrapper around :class:`Inliner`."""
+    return Inliner(program, reachability, size_fn, config, call_counts).form_units()

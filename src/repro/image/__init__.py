@@ -1,0 +1,15 @@
+"""Simulated Native-Image builder: sections, heap snapshot, binaries."""
+
+from .binary import MODE_INSTRUMENTED, MODE_OPTIMIZED, MODE_REGULAR, NativeImageBinary
+from .builder import BuildConfig, NativeImageBuilder
+from .heap import BuildTimeInitializer, HeapObject, HeapSnapshot, HeapSnapshotter
+from .fileformat import SnibImage, read_snib, write_snib
+from .sections import HEAP_SECTION, PAGE_SIZE, TEXT_SECTION, layout_heap, layout_text
+
+__all__ = [
+    "MODE_INSTRUMENTED", "MODE_OPTIMIZED", "MODE_REGULAR", "NativeImageBinary",
+    "BuildConfig", "NativeImageBuilder",
+    "SnibImage", "read_snib", "write_snib",
+    "BuildTimeInitializer", "HeapObject", "HeapSnapshot", "HeapSnapshotter",
+    "HEAP_SECTION", "PAGE_SIZE", "TEXT_SECTION", "layout_heap", "layout_text",
+]

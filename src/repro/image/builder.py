@@ -1,0 +1,216 @@
+"""The Native-Image build pipeline (paper Fig. 1).
+
+Build modes:
+
+* ``regular`` — the baseline: default inlining, alphabetical CU order,
+  traversal-order heap layout.
+* ``instrumented`` — the profiling build: probe bytes inflate method sizes
+  (diverging the inliner), the profiler's runtime state joins the image
+  heap, and the binary carries the instrumentation manifest with per-object
+  identities.
+* ``optimized`` — the profile-guided build: call counts drive extra
+  inlining, final statics are constant-folded (changing heap roots), and
+  the requested code-/heap-ordering strategies rearrange the sections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from ..graal.inliner import InlinerConfig, default_size_fn, form_compilation_units
+from ..graal.reachability import analyze
+from ..graal.transform import clone_program, fold_final_statics
+from ..minijava.bytecode import Program
+from ..ordering.code_order import default_order, order_compilation_units
+from ..ordering.heap_order import MatchReport, match_and_order
+from ..ordering.ids import (
+    DEFAULT_MAX_DEPTH,
+    assign_heap_path_hashes,
+    assign_incremental_ids,
+    assign_structural_hashes,
+)
+from ..ordering.profiles import ProfileBundle
+from ..profiling.instrument import instrumented_size_fn, plan_instrumentation
+from ..vm.values import ArrayInstance
+from .binary import (
+    MODE_INSTRUMENTED,
+    MODE_OPTIMIZED,
+    MODE_REGULAR,
+    NativeImageBinary,
+)
+from .heap import (
+    REASON_DATA_SECTION,
+    BuildTimeInitializer,
+    HeapSnapshotter,
+    make_extra_root,
+)
+from .sections import layout_heap, layout_text
+
+
+@dataclass(frozen=True)
+class BuildConfig:
+    """Knobs of the simulated toolchain."""
+
+    saturation_threshold: int = 5
+    inliner: InlinerConfig = field(default_factory=InlinerConfig)
+    #: statically linked native code at the end of .text (Appendix A)
+    native_blob_bytes: int = 64 * 1024
+    structural_max_depth: int = DEFAULT_MAX_DEPTH
+    incremental_per_type: bool = True
+    heap_path_intern_special: bool = True
+    #: profiler runtime buffers added to the instrumented image heap
+    instrumented_buffer_objects: int = 3
+    instrumented_buffer_ints: int = 2048
+    #: profiler metadata strings in the instrumented image heap; these shift
+    #: the per-type counters of the (numerous) String objects between the
+    #: instrumented and optimized builds
+    instrumented_metadata_strings: int = 10
+
+    def with_max_depth(self, depth: int) -> "BuildConfig":
+        return replace(self, structural_max_depth=depth)
+
+
+class NativeImageBuilder:
+    """Builds binaries from a compiled MiniJava program."""
+
+    def __init__(self, program: Program, config: Optional[BuildConfig] = None) -> None:
+        self._program = program
+        self.config = config or BuildConfig()
+        self.last_match_report: Optional[MatchReport] = None
+
+    def build(
+        self,
+        mode: str = MODE_REGULAR,
+        profiles: Optional[ProfileBundle] = None,
+        code_ordering: Optional[str] = None,
+        heap_ordering: Optional[str] = None,
+        seed: int = 0,
+    ) -> NativeImageBinary:
+        """Run the full pipeline and return the binary.
+
+        ``code_ordering`` is ``"cu"``/``"method"``; ``heap_ordering`` is an
+        ID-strategy name.  Both require ``mode="optimized"`` and profiles.
+        """
+        if mode not in (MODE_REGULAR, MODE_INSTRUMENTED, MODE_OPTIMIZED):
+            raise ValueError(f"unknown build mode {mode!r}")
+        if mode == MODE_OPTIMIZED and profiles is None:
+            raise ValueError("optimized builds require profiles")
+        if (code_ordering or heap_ordering) and mode != MODE_OPTIMIZED:
+            raise ValueError("ordering strategies apply to optimized builds only")
+        config = self.config
+
+        # 1-2. per-build program copy + points-to (RTA) analysis
+        program = clone_program(self._program)
+        reachability = analyze(program, config.saturation_threshold)
+
+        # 3. build-time class initialization (heap snapshotting, phase 1)
+        initializer = BuildTimeInitializer(program, seed=seed)
+        initializer.run(reachability)
+        statics = {name: holder for name, holder in initializer.statics.items()}
+
+        # 4. PGO constant folding (optimized builds)
+        folded = []
+        call_counts = None
+        if mode == MODE_OPTIMIZED:
+            assert profiles is not None
+            folded = fold_final_statics(
+                program, statics, frozenset(reachability.methods)
+            )
+            call_counts = profiles.calls
+
+        # 5. instrumentation planning (profiling builds)
+        manifest = None
+        size_fn = default_size_fn
+        if mode == MODE_INSTRUMENTED:
+            manifest = plan_instrumentation(
+                program, reachability.reachable_methods(program)
+            )
+            size_fn = instrumented_size_fn(manifest)
+
+        # 6. inlining: form compilation units
+        cus = form_compilation_units(
+            program, reachability, size_fn, config.inliner, call_counts
+        )
+
+        # 7. code ordering
+        code_profile = None
+        if code_ordering is not None:
+            assert profiles is not None
+            code_profile = profiles.code_profile(code_ordering)
+            if code_profile is None:
+                raise ValueError(f"profiles carry no {code_ordering!r} code ordering")
+            ordered_cus = order_compilation_units(cus, code_profile)
+        else:
+            ordered_cus = default_order(cus)
+
+        # 8. .text layout
+        text = layout_text(ordered_cus, config.native_blob_bytes)
+
+        # 9-10. heap snapshot traversal + object identities
+        extra_roots = []
+        if mode == MODE_INSTRUMENTED:
+            for index in range(config.instrumented_buffer_objects):
+                buffer = ArrayInstance("int", config.instrumented_buffer_ints)
+                extra_roots.append(make_extra_root(buffer, REASON_DATA_SECTION))
+            for index in range(config.instrumented_metadata_strings):
+                metadata = f"svm-profiler-metadata-{index:03d}"
+                extra_roots.append(make_extra_root(metadata, REASON_DATA_SECTION))
+        snapshotter = HeapSnapshotter(program, statics, seed=seed,
+                                      extra_roots=extra_roots)
+        snapshot = snapshotter.snapshot(
+            ordered_cus, reachability, folded, initializer.resources
+        )
+        assign_incremental_ids(snapshot, per_type=config.incremental_per_type)
+        assign_structural_hashes(snapshot, config.structural_max_depth)
+        assign_heap_path_hashes(snapshot, config.heap_path_intern_special)
+
+        # 11. heap ordering
+        self.last_match_report = None
+        if heap_ordering is not None:
+            assert profiles is not None
+            heap_profile = profiles.heap_profile(heap_ordering)
+            if heap_profile is None:
+                raise ValueError(f"profiles carry no {heap_ordering!r} heap ordering")
+            ordered_objects, report = match_and_order(snapshot, heap_profile)
+            self.last_match_report = report
+        else:
+            ordered_objects = list(snapshot.objects)
+
+        # 12. .svm_heap layout
+        heap_section = layout_heap(ordered_objects)
+
+        # 13. constant tables
+        literal_objects: Dict[int, object] = {}
+        for sid, literal in enumerate(program.string_literals):
+            entry = snapshot.lookup(literal)
+            if entry is not None:
+                literal_objects[sid] = entry
+        fold_objects = {}
+        for fold in folded:
+            entry = snapshot.lookup(fold.value)
+            if entry is not None:
+                fold_objects[fold.token] = entry
+
+        # 14. instrumentation manifest completion
+        if manifest is not None:
+            manifest.register_cus([cu.name for cu in ordered_cus])
+            manifest.object_ids = {
+                obj.index: dict(obj.ids) for obj in snapshot
+            }
+
+        return NativeImageBinary(
+            program=program,
+            mode=mode,
+            cus=ordered_cus,
+            text=text,
+            snapshot=snapshot,
+            heap=heap_section,
+            statics=statics,
+            literal_objects=literal_objects,
+            fold_objects=fold_objects,
+            manifest=manifest,
+            build_seed=seed,
+            code_ordering=code_ordering,
+            heap_ordering=heap_ordering,
+        )

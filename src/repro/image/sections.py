@@ -1,0 +1,113 @@
+"""Binary sections: ``.text`` and ``.svm_heap`` layout.
+
+Addresses are section-relative byte offsets; the paging simulator charges
+faults per 4 KiB page per section, matching how the paper attributes
+perf-traced faults to section offset ranges (Sec. 7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..graal.cunits import CompilationUnit, CuMember
+from .heap import HeapObject
+
+PAGE_SIZE = 4096
+_CU_ALIGN = 16
+_OBJ_ALIGN = 8
+
+TEXT_SECTION = ".text"
+HEAP_SECTION = ".svm_heap"
+
+
+@dataclass
+class PlacedCu:
+    """A CU at its final offset in ``.text``."""
+
+    cu: CompilationUnit
+    offset: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.cu.size
+
+    def member_range(self, member: CuMember) -> Tuple[int, int]:
+        """Absolute (offset, size) of a member's code."""
+        return self.offset + member.offset, member.size
+
+
+@dataclass
+class TextSection:
+    """The code section: ordered CUs plus a trailing native-library blob."""
+
+    placed: List[PlacedCu] = field(default_factory=list)
+    native_blob_offset: int = 0
+    native_blob_size: int = 0
+    size: int = 0
+    _by_root: Dict[str, PlacedCu] = field(default_factory=dict)
+
+    def cu_for_root(self, signature: str) -> Optional[PlacedCu]:
+        return self._by_root.get(signature)
+
+    def placed_for(self, cu: CompilationUnit) -> PlacedCu:
+        return self._by_root[cu.name]
+
+
+def layout_text(ordered_cus: List[CompilationUnit],
+                native_blob_size: int = 0) -> TextSection:
+    """Assign CU base offsets in the given order, then the native blob.
+
+    The native blob models statically linked libraries at the end of
+    ``.text`` — code we do not profile or reorder (paper Appendix A).
+    """
+    section = TextSection()
+    offset = 0
+    for cu in ordered_cus:
+        placed = PlacedCu(cu=cu, offset=offset)
+        section.placed.append(placed)
+        section._by_root[cu.name] = placed
+        offset += _align(cu.size, _CU_ALIGN)
+    section.native_blob_offset = _align(offset, PAGE_SIZE)
+    section.native_blob_size = native_blob_size
+    section.size = section.native_blob_offset + native_blob_size
+    return section
+
+
+@dataclass
+class HeapSection:
+    """The heap-snapshot section: objects at their final addresses."""
+
+    ordered: List[HeapObject] = field(default_factory=list)
+    size: int = 0
+
+
+def layout_heap(ordered_objects: List[HeapObject]) -> HeapSection:
+    """Assign addresses in the given order and link values back to entries.
+
+    Runtime values gain an ``image_ref`` pointing at their snapshot entry so
+    executors can charge page touches (strings are reached through the
+    literal/constant tables instead, since ``str`` carries no attributes).
+    """
+    section = HeapSection(ordered=ordered_objects)
+    address = 0
+    for obj in ordered_objects:
+        obj.address = address
+        address += _align(obj.size, _OBJ_ALIGN)
+        if not isinstance(obj.value, str):
+            obj.value.image_ref = obj
+    section.size = address
+    return section
+
+
+def _align(value: int, alignment: int) -> int:
+    return (value + alignment - 1) // alignment * alignment
+
+
+def pages_spanned(offset: int, size: int, page_size: int = PAGE_SIZE) -> range:
+    """The page indices touched by a byte range."""
+    if size <= 0:
+        return range(offset // page_size, offset // page_size + 1)
+    first = offset // page_size
+    last = (offset + size - 1) // page_size
+    return range(first, last + 1)

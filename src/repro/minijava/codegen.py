@@ -1,0 +1,766 @@
+"""Bytecode generation for MiniJava.
+
+Lowers resolved ASTs to the stack bytecode of
+:mod:`repro.minijava.bytecode`.  Name resolution (locals vs. fields vs.
+statics vs. class references) happens here, with lexical block scoping.
+
+Calling convention: *every* call pushes a result (void methods push null);
+statement-position calls are followed by ``POP``.  This keeps stack
+discipline decidable without full type inference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from . import ast_nodes as ast
+from .analysis import BUILTINS
+from .bytecode import ClassInfo, CompiledMethod, Instr, Program
+from .errors import CompileError
+
+_COMPOUND_TO_OP = {
+    "+=": "ADD",
+    "-=": "SUB",
+    "*=": "MUL",
+    "/=": "DIV",
+    "%=": "MOD",
+    "&=": "BAND",
+    "|=": "BOR",
+    "^=": "BXOR",
+    "<<=": "SHL",
+    ">>=": "SHR",
+}
+
+_BINARY_TO_OP = {
+    "+": "ADD",
+    "-": "SUB",
+    "*": "MUL",
+    "/": "DIV",
+    "%": "MOD",
+    "&": "BAND",
+    "|": "BOR",
+    "^": "BXOR",
+    "<<": "SHL",
+    ">>": "SHR",
+    "==": "EQ",
+    "!=": "NE",
+    "<": "LT",
+    "<=": "LE",
+    ">": "GT",
+    ">=": "GE",
+}
+
+
+class _Scope:
+    """A stack of lexical scopes mapping local names to slots."""
+
+    def __init__(self) -> None:
+        self._frames: List[Dict[str, int]] = [{}]
+        self.num_slots = 0
+
+    def push(self) -> None:
+        self._frames.append({})
+
+    def pop(self) -> None:
+        self._frames.pop()
+
+    def declare(self, name: str, line: int) -> int:
+        if name in self._frames[-1]:
+            raise CompileError(f"duplicate local {name!r}", line)
+        slot = self.num_slots
+        self.num_slots += 1
+        self._frames[-1][name] = slot
+        return slot
+
+    def lookup(self, name: str) -> Optional[int]:
+        for frame in reversed(self._frames):
+            if name in frame:
+                return frame[name]
+        return None
+
+
+class MethodCompiler:
+    """Compiles one method body to bytecode."""
+
+    def __init__(
+        self,
+        program: Program,
+        cls: ClassInfo,
+        method: CompiledMethod,
+    ) -> None:
+        self._program = program
+        self._cls = cls
+        self._method = method
+        self._code: List[Instr] = []
+        self._scope = _Scope()
+        # (break_patch_indices, continue_patch_indices) per enclosing loop
+        self._loops: List[Tuple[List[int], List[int]]] = []
+        if not method.is_static:
+            self._scope.declare("this", method.line)
+
+    # -- emission helpers ---------------------------------------------------
+
+    def _emit(self, op: str, *args, line: int = 0) -> int:
+        self._code.append(Instr(op, tuple(args), line))
+        return len(self._code) - 1
+
+    def _emit_jump(self, op: str, line: int = 0) -> int:
+        """Emit a jump with a placeholder target; returns index for patching."""
+        return self._emit(op, -1, line=line)
+
+    def _patch(self, index: int, target: Optional[int] = None) -> None:
+        if target is None:
+            target = len(self._code)
+        instr = self._code[index]
+        self._code[index] = Instr(instr.op, (target,), instr.line)
+
+    def _here(self) -> int:
+        return len(self._code)
+
+    # -- name resolution ----------------------------------------------------
+
+    def _is_class_name(self, name: str) -> bool:
+        return name in self._program.classes
+
+    def _resolve_static_field(self, cls_name: str, field: str):
+        cls = self._program.classes.get(cls_name)
+        if cls is None:
+            return None
+        return cls.find_field(field, static=True)
+
+    # -- declarations -------------------------------------------------------
+
+    def declare_params(self, params: List[ast.Param]) -> None:
+        for param in params:
+            self._scope.declare(param.name, param.line)
+
+    def finish(self) -> List[Instr]:
+        self._emit("RET_VOID", line=self._method.line)
+        self._method.num_slots = self._scope.num_slots
+        self._method.code = self._code
+        return self._code
+
+    # -- statements -----------------------------------------------------------
+
+    def compile_block(self, block: ast.Block) -> None:
+        self._scope.push()
+        for stmt in block.stmts:
+            self.compile_stmt(stmt)
+        self._scope.pop()
+
+    def compile_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self.compile_block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            slot = self._scope.declare(stmt.name, stmt.line)
+            stmt.slot = slot
+            if stmt.init is not None:
+                self.compile_expr(stmt.init, want=True)
+            else:
+                self._emit_default(stmt.type, stmt.line)
+            self._emit("STORE", slot, line=stmt.line)
+        elif isinstance(stmt, ast.ExprStmt):
+            assert stmt.expr is not None
+            self.compile_expr(stmt.expr, want=False)
+        elif isinstance(stmt, ast.If):
+            self._compile_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._compile_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._compile_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.compile_expr(stmt.value, want=True)
+                self._emit("RET_VAL", line=stmt.line)
+            else:
+                self._emit("RET_VOID", line=stmt.line)
+        elif isinstance(stmt, ast.Break):
+            if not self._loops:
+                raise CompileError("break outside loop", stmt.line)
+            self._loops[-1][0].append(self._emit_jump("JUMP", line=stmt.line))
+        elif isinstance(stmt, ast.Continue):
+            if not self._loops:
+                raise CompileError("continue outside loop", stmt.line)
+            self._loops[-1][1].append(self._emit_jump("JUMP", line=stmt.line))
+        else:
+            raise CompileError(f"cannot compile statement {type(stmt).__name__}", stmt.line)
+
+    def _emit_default(self, type_ref: ast.TypeRef, line: int) -> None:
+        if type_ref.dims == 0 and type_ref.name == "int":
+            self._emit("CONST_INT", 0, line=line)
+        elif type_ref.dims == 0 and type_ref.name == "double":
+            self._emit("CONST_DOUBLE", 0.0, line=line)
+        elif type_ref.dims == 0 and type_ref.name == "boolean":
+            self._emit("CONST_BOOL", False, line=line)
+        else:
+            self._emit("CONST_NULL", line=line)
+
+    def _compile_if(self, stmt: ast.If) -> None:
+        assert stmt.cond is not None and stmt.then is not None
+        self.compile_expr(stmt.cond, want=True)
+        jmp_else = self._emit_jump("JMP_FALSE", line=stmt.line)
+        self.compile_stmt(stmt.then)
+        if stmt.otherwise is not None:
+            jmp_end = self._emit_jump("JUMP", line=stmt.line)
+            self._patch(jmp_else)
+            self.compile_stmt(stmt.otherwise)
+            self._patch(jmp_end)
+        else:
+            self._patch(jmp_else)
+
+    def _compile_while(self, stmt: ast.While) -> None:
+        assert stmt.cond is not None and stmt.body is not None
+        top = self._here()
+        self.compile_expr(stmt.cond, want=True)
+        jmp_exit = self._emit_jump("JMP_FALSE", line=stmt.line)
+        self._loops.append(([], []))
+        self.compile_stmt(stmt.body)
+        breaks, continues = self._loops.pop()
+        for index in continues:
+            self._patch(index, top)
+        self._emit("JUMP", top, line=stmt.line)
+        self._patch(jmp_exit)
+        for index in breaks:
+            self._patch(index)
+
+    def _compile_for(self, stmt: ast.For) -> None:
+        assert stmt.body is not None
+        self._scope.push()
+        if stmt.init is not None:
+            self.compile_stmt(stmt.init)
+        top = self._here()
+        jmp_exit = None
+        if stmt.cond is not None:
+            self.compile_expr(stmt.cond, want=True)
+            jmp_exit = self._emit_jump("JMP_FALSE", line=stmt.line)
+        self._loops.append(([], []))
+        self.compile_stmt(stmt.body)
+        breaks, continues = self._loops.pop()
+        update_start = self._here()
+        for index in continues:
+            self._patch(index, update_start)
+        for update in stmt.update:
+            self.compile_expr(update, want=False)
+        self._emit("JUMP", top, line=stmt.line)
+        if jmp_exit is not None:
+            self._patch(jmp_exit)
+        for index in breaks:
+            self._patch(index)
+        self._scope.pop()
+
+    # -- expressions ----------------------------------------------------------
+
+    def compile_expr(self, expr: ast.Expr, want: bool) -> None:
+        line = expr.line
+        if isinstance(expr, ast.IntLit):
+            if want:
+                self._emit("CONST_INT", expr.value, line=line)
+        elif isinstance(expr, ast.DoubleLit):
+            if want:
+                self._emit("CONST_DOUBLE", expr.value, line=line)
+        elif isinstance(expr, ast.BoolLit):
+            if want:
+                self._emit("CONST_BOOL", expr.value, line=line)
+        elif isinstance(expr, ast.StringLit):
+            if want:
+                sid = self._program.intern_string(expr.value)
+                self._emit("CONST_STR", sid, line=line)
+        elif isinstance(expr, ast.NullLit):
+            if want:
+                self._emit("CONST_NULL", line=line)
+        elif isinstance(expr, ast.ThisExpr):
+            if self._method.is_static:
+                raise CompileError("'this' in static context", line)
+            if want:
+                self._emit("LOAD", self._scope.lookup("this"), line=line)
+        elif isinstance(expr, ast.Name):
+            if want:
+                self._compile_name_load(expr)
+        elif isinstance(expr, ast.FieldAccess):
+            self._compile_field_load(expr, want)
+        elif isinstance(expr, ast.IndexExpr):
+            assert expr.array is not None and expr.index is not None
+            self.compile_expr(expr.array, want=True)
+            self.compile_expr(expr.index, want=True)
+            self._emit("ALOAD", line=line)
+            if not want:
+                self._emit("POP", line=line)
+        elif isinstance(expr, ast.Call):
+            self._compile_call(expr, want)
+        elif isinstance(expr, ast.SuperCall):
+            self._compile_super_call(expr, want)
+        elif isinstance(expr, ast.NewObject):
+            self._compile_new_object(expr, want)
+        elif isinstance(expr, ast.NewArray):
+            assert expr.length is not None
+            self.compile_expr(expr.length, want=True)
+            self._emit("NEWARRAY", str(expr.elem_type), line=line)
+            if not want:
+                self._emit("POP", line=line)
+        elif isinstance(expr, ast.Unary):
+            self._compile_unary(expr, want)
+        elif isinstance(expr, ast.Binary):
+            self._compile_binary(expr, want)
+        elif isinstance(expr, ast.Conditional):
+            self._compile_conditional(expr, want)
+        elif isinstance(expr, ast.Cast):
+            self._compile_cast(expr, want)
+        elif isinstance(expr, ast.InstanceOf):
+            assert expr.operand is not None
+            self.compile_expr(expr.operand, want=True)
+            self._emit("INSTANCEOF", expr.type_name, line=line)
+            if not want:
+                self._emit("POP", line=line)
+        elif isinstance(expr, ast.Assign):
+            self._compile_assign(expr, want)
+        elif isinstance(expr, ast.IncDec):
+            self._compile_incdec(expr, want)
+        else:
+            raise CompileError(f"cannot compile expression {type(expr).__name__}", line)
+
+    # -- loads ----------------------------------------------------------------
+
+    def _compile_name_load(self, expr: ast.Name) -> None:
+        name, line = expr.ident, expr.line
+        slot = self._scope.lookup(name)
+        if slot is not None:
+            self._emit("LOAD", slot, line=line)
+            return
+        if not self._method.is_static:
+            field = self._cls.find_field(name, static=False)
+            if field is not None:
+                self._emit("LOAD", self._scope.lookup("this"), line=line)
+                self._emit("GETFIELD", name, line=line)
+                return
+        static_field = self._cls.find_field(name, static=True)
+        if static_field is not None:
+            self._emit("GETSTATIC", static_field.declared_in, name, line=line)
+            return
+        raise CompileError(f"unknown name {name!r} in {self._method.signature}", line)
+
+    def _compile_field_load(self, expr: ast.FieldAccess, want: bool) -> None:
+        line = expr.line
+        obj = expr.obj
+        assert obj is not None
+        # "ClassName.field" static access.
+        if isinstance(obj, ast.Name) and self._scope.lookup(obj.ident) is None:
+            if self._is_class_name(obj.ident):
+                field = self._resolve_static_field(obj.ident, expr.name)
+                if field is None:
+                    raise CompileError(
+                        f"unknown static field {obj.ident}.{expr.name}", line
+                    )
+                if want:
+                    self._emit("GETSTATIC", field.declared_in, expr.name, line=line)
+                return
+        self.compile_expr(obj, want=True)
+        if expr.name == "length":
+            # Arrays and strings expose `.length`; both lower to ARRAYLEN.
+            self._emit("ARRAYLEN", line=line)
+        else:
+            self._emit("GETFIELD", expr.name, line=line)
+        if not want:
+            self._emit("POP", line=line)
+
+    # -- calls ------------------------------------------------------------------
+
+    def _compile_call(self, expr: ast.Call, want: bool) -> None:
+        line = expr.line
+        argc = len(expr.args)
+        receiver = expr.receiver
+
+        if receiver is None:
+            self._compile_unqualified_call(expr, want)
+            return
+
+        # "ClassName.method(...)" static call (unless shadowed by a local).
+        if isinstance(receiver, ast.Name) and self._scope.lookup(receiver.ident) is None:
+            if self._is_class_name(receiver.ident):
+                target = self._resolve_static_target(receiver.ident, expr.name, line)
+                for arg in expr.args:
+                    self.compile_expr(arg, want=True)
+                self._emit("CALL_STATIC", target, expr.name, argc, line=line)
+                if not want:
+                    self._emit("POP", line=line)
+                return
+
+        # Virtual call on a value (objects, strings, arrays-with-intrinsics).
+        self.compile_expr(receiver, want=True)
+        for arg in expr.args:
+            self.compile_expr(arg, want=True)
+        self._emit("CALL_VIRTUAL", expr.name, argc, line=line)
+        if not want:
+            self._emit("POP", line=line)
+
+    def _resolve_static_target(self, cls_name: str, method: str, line: int) -> str:
+        cls: Optional[ClassInfo] = self._program.classes.get(cls_name)
+        while cls is not None:
+            candidate = cls.methods.get(method)
+            if candidate is not None and candidate.is_static:
+                return cls.name
+            cls = cls.superclass
+        raise CompileError(f"unknown static method {cls_name}.{method}", line)
+
+    def _compile_unqualified_call(self, expr: ast.Call, want: bool) -> None:
+        line = expr.line
+        argc = len(expr.args)
+        name = expr.name
+        # 1. static method of the enclosing class hierarchy
+        cls: Optional[ClassInfo] = self._cls
+        while cls is not None:
+            candidate = cls.methods.get(name)
+            if candidate is not None:
+                if candidate.is_static:
+                    for arg in expr.args:
+                        self.compile_expr(arg, want=True)
+                    self._emit("CALL_STATIC", cls.name, name, argc, line=line)
+                else:
+                    if self._method.is_static:
+                        raise CompileError(
+                            f"instance method {name} called from static context", line
+                        )
+                    self._emit("LOAD", self._scope.lookup("this"), line=line)
+                    for arg in expr.args:
+                        self.compile_expr(arg, want=True)
+                    self._emit("CALL_VIRTUAL", name, argc, line=line)
+                if not want:
+                    self._emit("POP", line=line)
+                return
+            cls = cls.superclass
+        # 2. builtin
+        if name in BUILTINS:
+            expected = BUILTINS[name]
+            if argc != expected:
+                raise CompileError(
+                    f"builtin {name} expects {expected} args, got {argc}", line
+                )
+            for arg in expr.args:
+                self.compile_expr(arg, want=True)
+            self._emit("BUILTIN", name, argc, line=line)
+            if not want:
+                self._emit("POP", line=line)
+            return
+        raise CompileError(f"unknown function {name!r}", line)
+
+    def _compile_super_call(self, expr: ast.SuperCall, want: bool) -> None:
+        line = expr.line
+        if self._method.is_static:
+            raise CompileError("'super' in static context", line)
+        if self._cls.superclass is None:
+            raise CompileError(f"class {self._cls.name} has no superclass", line)
+        self._emit("LOAD", self._scope.lookup("this"), line=line)
+        for arg in expr.args:
+            self.compile_expr(arg, want=True)
+        self._emit(
+            "CALL_SUPER", self._cls.superclass.name, expr.name, len(expr.args), line=line
+        )
+        if not want:
+            self._emit("POP", line=line)
+
+    def _compile_new_object(self, expr: ast.NewObject, want: bool) -> None:
+        line = expr.line
+        if expr.type_name not in self._program.classes:
+            raise CompileError(f"unknown class {expr.type_name}", line)
+        self._emit("NEW", expr.type_name, line=line)
+        self._emit("DUP", line=line)
+        for arg in expr.args:
+            self.compile_expr(arg, want=True)
+        self._emit("CALL_CTOR", expr.type_name, len(expr.args), line=line)
+        if not want:
+            self._emit("POP", line=line)
+
+    # -- operators ----------------------------------------------------------------
+
+    def _compile_unary(self, expr: ast.Unary, want: bool) -> None:
+        assert expr.operand is not None
+        self.compile_expr(expr.operand, want=True)
+        op = {"-": "NEG", "!": "NOT", "~": "BNOT"}[expr.op]
+        self._emit(op, line=expr.line)
+        if not want:
+            self._emit("POP", line=expr.line)
+
+    def _compile_binary(self, expr: ast.Binary, want: bool) -> None:
+        assert expr.left is not None and expr.right is not None
+        line = expr.line
+        if expr.op == "&&":
+            self.compile_expr(expr.left, want=True)
+            jmp_false = self._emit_jump("JMP_FALSE", line=line)
+            self.compile_expr(expr.right, want=True)
+            jmp_end = self._emit_jump("JUMP", line=line)
+            self._patch(jmp_false)
+            self._emit("CONST_BOOL", False, line=line)
+            self._patch(jmp_end)
+        elif expr.op == "||":
+            self.compile_expr(expr.left, want=True)
+            jmp_true = self._emit_jump("JMP_TRUE", line=line)
+            self.compile_expr(expr.right, want=True)
+            jmp_end = self._emit_jump("JUMP", line=line)
+            self._patch(jmp_true)
+            self._emit("CONST_BOOL", True, line=line)
+            self._patch(jmp_end)
+        else:
+            self.compile_expr(expr.left, want=True)
+            self.compile_expr(expr.right, want=True)
+            self._emit(_BINARY_TO_OP[expr.op], line=line)
+        if not want:
+            self._emit("POP", line=line)
+
+    def _compile_conditional(self, expr: ast.Conditional, want: bool) -> None:
+        assert expr.cond is not None and expr.then is not None and expr.otherwise is not None
+        line = expr.line
+        self.compile_expr(expr.cond, want=True)
+        jmp_else = self._emit_jump("JMP_FALSE", line=line)
+        self.compile_expr(expr.then, want=want)
+        jmp_end = self._emit_jump("JUMP", line=line)
+        self._patch(jmp_else)
+        self.compile_expr(expr.otherwise, want=want)
+        self._patch(jmp_end)
+
+    def _compile_cast(self, expr: ast.Cast, want: bool) -> None:
+        assert expr.operand is not None
+        line = expr.line
+        self.compile_expr(expr.operand, want=True)
+        target = expr.target
+        if target.dims == 0 and target.name == "int":
+            self._emit("D2I", line=line)
+        elif target.dims == 0 and target.name == "double":
+            self._emit("I2D", line=line)
+        elif target.dims == 0 and target.name == "boolean":
+            pass  # no-op cast
+        else:
+            self._emit("CHECKCAST", str(target), line=line)
+        if not want:
+            self._emit("POP", line=line)
+
+    # -- assignment -----------------------------------------------------------------
+
+    def _compile_assign(self, expr: ast.Assign, want: bool) -> None:
+        target = expr.target
+        value = expr.value
+        assert target is not None and value is not None
+        line = expr.line
+        compound = _COMPOUND_TO_OP.get(expr.op)
+
+        if isinstance(target, ast.Name):
+            self._compile_assign_name(target, value, compound, want, line)
+        elif isinstance(target, ast.FieldAccess):
+            self._compile_assign_field(target, value, compound, want, line)
+        elif isinstance(target, ast.IndexExpr):
+            self._compile_assign_index(target, value, compound, want, line)
+        else:
+            raise CompileError("invalid assignment target", line)
+
+    def _compile_assign_name(
+        self,
+        target: ast.Name,
+        value: ast.Expr,
+        compound: Optional[str],
+        want: bool,
+        line: int,
+    ) -> None:
+        name = target.ident
+        slot = self._scope.lookup(name)
+        if slot is not None:
+            if compound:
+                self._emit("LOAD", slot, line=line)
+                self.compile_expr(value, want=True)
+                self._emit(compound, line=line)
+            else:
+                self.compile_expr(value, want=True)
+            if want:
+                self._emit("DUP", line=line)
+            self._emit("STORE", slot, line=line)
+            return
+        if not self._method.is_static and self._cls.find_field(name, static=False):
+            this_slot = self._scope.lookup("this")
+            self._emit("LOAD", this_slot, line=line)
+            if compound:
+                self._emit("DUP", line=line)
+                self._emit("GETFIELD", name, line=line)
+                self.compile_expr(value, want=True)
+                self._emit(compound, line=line)
+            else:
+                self.compile_expr(value, want=True)
+            if want:
+                self._emit("DUP_X1", line=line)
+            self._emit("PUTFIELD", name, line=line)
+            return
+        static_field = self._cls.find_field(name, static=True)
+        if static_field is not None:
+            owner = static_field.declared_in
+            if compound:
+                self._emit("GETSTATIC", owner, name, line=line)
+                self.compile_expr(value, want=True)
+                self._emit(compound, line=line)
+            else:
+                self.compile_expr(value, want=True)
+            if want:
+                self._emit("DUP", line=line)
+            self._emit("PUTSTATIC", owner, name, line=line)
+            return
+        raise CompileError(f"unknown assignment target {name!r}", line)
+
+    def _compile_assign_field(
+        self,
+        target: ast.FieldAccess,
+        value: ast.Expr,
+        compound: Optional[str],
+        want: bool,
+        line: int,
+    ) -> None:
+        obj = target.obj
+        assert obj is not None
+        # Static "ClassName.field = ..." (unless shadowed).
+        if isinstance(obj, ast.Name) and self._scope.lookup(obj.ident) is None:
+            if self._is_class_name(obj.ident):
+                field = self._resolve_static_field(obj.ident, target.name)
+                if field is None:
+                    raise CompileError(
+                        f"unknown static field {obj.ident}.{target.name}", line
+                    )
+                owner = field.declared_in
+                if compound:
+                    self._emit("GETSTATIC", owner, target.name, line=line)
+                    self.compile_expr(value, want=True)
+                    self._emit(compound, line=line)
+                else:
+                    self.compile_expr(value, want=True)
+                if want:
+                    self._emit("DUP", line=line)
+                self._emit("PUTSTATIC", owner, target.name, line=line)
+                return
+        self.compile_expr(obj, want=True)
+        if compound:
+            self._emit("DUP", line=line)
+            self._emit("GETFIELD", target.name, line=line)
+            self.compile_expr(value, want=True)
+            self._emit(compound, line=line)
+        else:
+            self.compile_expr(value, want=True)
+        if want:
+            self._emit("DUP_X1", line=line)
+        self._emit("PUTFIELD", target.name, line=line)
+
+    def _compile_assign_index(
+        self,
+        target: ast.IndexExpr,
+        value: ast.Expr,
+        compound: Optional[str],
+        want: bool,
+        line: int,
+    ) -> None:
+        assert target.array is not None and target.index is not None
+        self.compile_expr(target.array, want=True)
+        self.compile_expr(target.index, want=True)
+        if compound:
+            self._emit("DUP2", line=line)
+            self._emit("ALOAD", line=line)
+            self.compile_expr(value, want=True)
+            self._emit(compound, line=line)
+        else:
+            self.compile_expr(value, want=True)
+        if want:
+            self._emit("DUP_X2", line=line)
+        self._emit("ASTORE", line=line)
+
+    # -- increment/decrement ------------------------------------------------------
+
+    def _compile_incdec(self, expr: ast.IncDec, want: bool) -> None:
+        target = expr.target
+        assert target is not None
+        line = expr.line
+        op = "ADD" if expr.op == "++" else "SUB"
+
+        if not want:
+            # Lower to a compound assignment statement.
+            compound = "+=" if expr.op == "++" else "-="
+            assign = ast.Assign(
+                target=target, op=compound, value=ast.IntLit(value=1, line=line), line=line
+            )
+            self._compile_assign(assign, want=False)
+            return
+
+        if isinstance(target, ast.Name):
+            slot = self._scope.lookup(target.ident)
+            if slot is not None:
+                if expr.prefix:
+                    self._emit("LOAD", slot, line=line)
+                    self._emit("CONST_INT", 1, line=line)
+                    self._emit(op, line=line)
+                    self._emit("DUP", line=line)
+                    self._emit("STORE", slot, line=line)
+                else:
+                    self._emit("LOAD", slot, line=line)
+                    self._emit("DUP", line=line)
+                    self._emit("CONST_INT", 1, line=line)
+                    self._emit(op, line=line)
+                    self._emit("STORE", slot, line=line)
+                return
+        # Fields/arrays/statics: value-producing form via general juggling.
+        self._compile_incdec_lvalue(target, op, expr.prefix, line)
+
+    def _compile_incdec_lvalue(
+        self, target: ast.Expr, op: str, prefix: bool, line: int
+    ) -> None:
+        if isinstance(target, ast.Name):
+            # Field of `this` or a static (locals handled by caller).
+            name = target.ident
+            if not self._method.is_static and self._cls.find_field(name, static=False):
+                target = ast.FieldAccess(obj=ast.ThisExpr(line=line), name=name, line=line)
+            else:
+                static_field = self._cls.find_field(name, static=True)
+                if static_field is None:
+                    raise CompileError(f"unknown ++/-- target {name!r}", line)
+                owner = static_field.declared_in
+                self._emit("GETSTATIC", owner, name, line=line)
+                if not prefix:
+                    self._emit("DUP", line=line)
+                self._emit("CONST_INT", 1, line=line)
+                self._emit(op, line=line)
+                if prefix:
+                    self._emit("DUP", line=line)
+                self._emit("PUTSTATIC", owner, name, line=line)
+                return
+        if isinstance(target, ast.FieldAccess):
+            assert target.obj is not None
+            self.compile_expr(target.obj, want=True)
+            self._emit("DUP", line=line)
+            self._emit("GETFIELD", target.name, line=line)  # obj val
+            if not prefix:
+                self._emit("DUP_X1", line=line)  # val obj val
+            self._emit("CONST_INT", 1, line=line)
+            self._emit(op, line=line)  # [val] obj val'
+            if prefix:
+                self._emit("DUP_X1", line=line)  # val' obj val'
+            self._emit("PUTFIELD", target.name, line=line)
+            return
+        if isinstance(target, ast.IndexExpr):
+            assert target.array is not None and target.index is not None
+            self.compile_expr(target.array, want=True)
+            self.compile_expr(target.index, want=True)
+            self._emit("DUP2", line=line)
+            self._emit("ALOAD", line=line)  # a i v
+            if not prefix:
+                self._emit("DUP_X2", line=line)  # v a i v
+            self._emit("CONST_INT", 1, line=line)
+            self._emit(op, line=line)
+            if prefix:
+                self._emit("DUP_X2", line=line)
+            self._emit("ASTORE", line=line)
+            return
+        raise CompileError("invalid ++/-- target", line)
+
+
+def compile_method_body(
+    program: Program,
+    cls: ClassInfo,
+    method: CompiledMethod,
+    decl_params: List[ast.Param],
+    body_parts: List[ast.Stmt],
+) -> None:
+    """Compile statements into ``method.code`` (shared by methods & clinits)."""
+    compiler = MethodCompiler(program, cls, method)
+    compiler.declare_params(decl_params)
+    for part in body_parts:
+        compiler.compile_stmt(part)
+    compiler.finish()

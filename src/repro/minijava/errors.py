@@ -1,0 +1,30 @@
+"""Error types raised by the MiniJava front-end and toolchain."""
+
+from __future__ import annotations
+
+
+class MiniJavaError(Exception):
+    """Base class for all MiniJava front-end errors."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        self.line = line
+        self.col = col
+        if line:
+            message = f"{line}:{col}: {message}"
+        super().__init__(message)
+
+
+class LexError(MiniJavaError):
+    """Raised when the lexer encounters an invalid character or literal."""
+
+
+class ParseError(MiniJavaError):
+    """Raised when the parser encounters an unexpected token."""
+
+
+class SemanticError(MiniJavaError):
+    """Raised by semantic analysis (unknown names, duplicate members, ...)."""
+
+
+class CompileError(MiniJavaError):
+    """Raised by the bytecode compiler for constructs it cannot lower."""

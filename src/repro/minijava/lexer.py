@@ -1,0 +1,283 @@
+"""Lexer for MiniJava, the Java-like source language of the reproduction.
+
+MiniJava stands in for Java in the simulated Native-Image toolchain: AWFY
+benchmarks and the microservice startup workloads are written in it.  The
+lexer produces a flat token stream consumed by :mod:`repro.minijava.parser`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from .errors import LexError
+
+KEYWORDS = frozenset(
+    {
+        "class",
+        "extends",
+        "static",
+        "final",
+        "void",
+        "int",
+        "double",
+        "boolean",
+        "String",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "break",
+        "continue",
+        "new",
+        "null",
+        "true",
+        "false",
+        "this",
+        "super",
+        "instanceof",
+    }
+)
+
+# Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "<<",
+    ">>",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+    ".",
+    "?",
+    ":",
+]
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\", "0": "\0", "'": "'"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``kind`` is one of ``ident``, ``keyword``, ``int``, ``double``,
+    ``string``, ``char``, ``op``, or ``eof``; ``text`` is the raw spelling
+    (decoded for string/char literals).
+    """
+
+    kind: str
+    text: str
+    line: int
+    col: int
+
+    def is_op(self, text: str) -> bool:
+        return self.kind == "op" and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind == "keyword" and self.text == text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind!r}, {self.text!r}, {self.line}:{self.col})"
+
+
+class Lexer:
+    """Tokenizes MiniJava source text."""
+
+    def __init__(self, source: str) -> None:
+        self._source = source
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+
+    def tokenize(self) -> List[Token]:
+        """Return the full token list, terminated by a single EOF token."""
+        return list(self._tokens())
+
+    def _tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_trivia()
+            if self._pos >= len(self._source):
+                yield Token("eof", "", self._line, self._col)
+                return
+            yield self._next_token()
+
+    def _skip_trivia(self) -> None:
+        src = self._source
+        while self._pos < len(src):
+            ch = src[self._pos]
+            if ch in " \t\r":
+                self._advance(1)
+            elif ch == "\n":
+                self._pos += 1
+                self._line += 1
+                self._col = 1
+            elif ch == "/" and src.startswith("//", self._pos):
+                end = src.find("\n", self._pos)
+                self._advance((end if end != -1 else len(src)) - self._pos)
+            elif ch == "/" and src.startswith("/*", self._pos):
+                end = src.find("*/", self._pos + 2)
+                if end == -1:
+                    raise LexError("unterminated block comment", self._line, self._col)
+                block = src[self._pos : end + 2]
+                newlines = block.count("\n")
+                if newlines:
+                    self._line += newlines
+                    self._col = len(block) - block.rfind("\n")
+                else:
+                    self._col += len(block)
+                self._pos = end + 2
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        src = self._source
+        ch = src[self._pos]
+        line, col = self._line, self._col
+        if ch.isalpha() or ch == "_":
+            return self._lex_word(line, col)
+        if ch.isdigit():
+            return self._lex_number(line, col)
+        if ch == '"':
+            return self._lex_string(line, col)
+        if ch == "'":
+            return self._lex_char(line, col)
+        for op in _OPERATORS:
+            if src.startswith(op, self._pos):
+                self._advance(len(op))
+                return Token("op", op, line, col)
+        raise LexError(f"unexpected character {ch!r}", line, col)
+
+    def _lex_word(self, line: int, col: int) -> Token:
+        src = self._source
+        start = self._pos
+        while self._pos < len(src) and (src[self._pos].isalnum() or src[self._pos] == "_"):
+            self._pos += 1
+        text = src[start : self._pos]
+        self._col += len(text)
+        kind = "keyword" if text in KEYWORDS else "ident"
+        return Token(kind, text, line, col)
+
+    def _lex_number(self, line: int, col: int) -> Token:
+        src = self._source
+        start = self._pos
+        if src.startswith("0x", self._pos) or src.startswith("0X", self._pos):
+            self._pos += 2
+            while self._pos < len(src) and src[self._pos] in "0123456789abcdefABCDEF":
+                self._pos += 1
+            text = src[start : self._pos]
+            self._col += len(text)
+            return Token("int", str(int(text, 16)), line, col)
+        while self._pos < len(src) and src[self._pos].isdigit():
+            self._pos += 1
+        is_double = False
+        if (
+            self._pos + 1 < len(src)
+            and src[self._pos] == "."
+            and src[self._pos + 1].isdigit()
+        ):
+            is_double = True
+            self._pos += 1
+            while self._pos < len(src) and src[self._pos].isdigit():
+                self._pos += 1
+        if self._pos < len(src) and src[self._pos] in "eE":
+            peek = self._pos + 1
+            if peek < len(src) and src[peek] in "+-":
+                peek += 1
+            if peek < len(src) and src[peek].isdigit():
+                is_double = True
+                self._pos = peek
+                while self._pos < len(src) and src[self._pos].isdigit():
+                    self._pos += 1
+        text = src[start : self._pos]
+        self._col += len(text)
+        return Token("double" if is_double else "int", text, line, col)
+
+    def _lex_string(self, line: int, col: int) -> Token:
+        src = self._source
+        pos = self._pos + 1
+        chars: List[str] = []
+        while True:
+            if pos >= len(src) or src[pos] == "\n":
+                raise LexError("unterminated string literal", line, col)
+            ch = src[pos]
+            if ch == '"':
+                pos += 1
+                break
+            if ch == "\\":
+                esc = src[pos + 1 : pos + 2]
+                if esc not in _ESCAPES:
+                    raise LexError(f"bad escape \\{esc}", line, col)
+                chars.append(_ESCAPES[esc])
+                pos += 2
+            else:
+                chars.append(ch)
+                pos += 1
+        self._col += pos - self._pos
+        self._pos = pos
+        return Token("string", "".join(chars), line, col)
+
+    def _lex_char(self, line: int, col: int) -> Token:
+        src = self._source
+        pos = self._pos + 1
+        if pos >= len(src):
+            raise LexError("unterminated char literal", line, col)
+        if src[pos] == "\\":
+            esc = src[pos + 1 : pos + 2]
+            if esc not in _ESCAPES:
+                raise LexError(f"bad escape \\{esc}", line, col)
+            value = _ESCAPES[esc]
+            pos += 2
+        else:
+            value = src[pos]
+            pos += 1
+        if pos >= len(src) or src[pos] != "'":
+            raise LexError("unterminated char literal", line, col)
+        pos += 1
+        self._col += pos - self._pos
+        self._pos = pos
+        # Char literals are integers in MiniJava (their code point).
+        return Token("char", value, line, col)
+
+    def _advance(self, n: int) -> None:
+        self._pos += n
+        self._col += n
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize MiniJava ``source`` text."""
+    return Lexer(source).tokenize()

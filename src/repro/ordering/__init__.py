@@ -1,0 +1,34 @@
+"""Ordering strategies: object identities, code order, heap order."""
+
+from .code_order import default_order, order_compilation_units
+from .heap_order import MatchReport, match_and_order, order_heap_objects
+from .ids import (
+    ALL_STRATEGIES,
+    HEAP_PATH,
+    INCREMENTAL_ID,
+    STRUCTURAL_HASH,
+    StructuralHasher,
+    assign_all_ids,
+    assign_heap_path_hashes,
+    assign_incremental_ids,
+    assign_structural_hashes,
+    heap_path_hash,
+)
+from .profiles import (
+    CallCountProfile,
+    CodeOrderProfile,
+    HeapOrderProfile,
+    ProfileBundle,
+    load_bundle,
+    save_bundle,
+)
+
+__all__ = [
+    "default_order", "order_compilation_units",
+    "MatchReport", "match_and_order", "order_heap_objects",
+    "ALL_STRATEGIES", "HEAP_PATH", "INCREMENTAL_ID", "STRUCTURAL_HASH",
+    "StructuralHasher", "assign_all_ids", "assign_heap_path_hashes",
+    "assign_incremental_ids", "assign_structural_hashes", "heap_path_hash",
+    "CallCountProfile", "CodeOrderProfile", "HeapOrderProfile",
+    "ProfileBundle", "load_bundle", "save_bundle",
+]

@@ -1,0 +1,108 @@
+"""Heap-snapshot ordering: matching profile IDs to objects (paper Sec. 5).
+
+The heap-ordering step "attempts to match the semantically same objects in
+the heap snapshot and in the profiles by exploiting their identifiers and
+hence reorders the former according to the latter" (Sec. 3).  Identities are
+64-bit IDs computed by one of the three strategies in
+:mod:`repro.ordering.ids`; because builds diverge, matching is best-effort:
+
+* each profile ID is matched against the optimized build's objects carrying
+  the same strategy ID;
+* when several objects share an ID (hash collision, or several objects with
+  the same heap path), they are all placed at that profile position in
+  default order — a deliberate tie-break that keeps the layout stable;
+* unmatched objects keep the default (traversal) order, after all matched
+  objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from .profiles import HeapOrderProfile
+
+if TYPE_CHECKING:  # imported for annotations only (avoids an import cycle)
+    from ..image.heap import HeapObject, HeapSnapshot
+
+
+@dataclass
+class MatchReport:
+    """Diagnostics of one profile-to-snapshot matching pass."""
+
+    strategy: str
+    profile_entries: int
+    matched_profile_entries: int
+    matched_objects: int
+    total_objects: int
+    colliding_ids: int  # distinct IDs carried by more than one object
+
+    @property
+    def profile_match_rate(self) -> float:
+        if self.profile_entries == 0:
+            return 0.0
+        return self.matched_profile_entries / self.profile_entries
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"[{self.strategy}] {self.matched_profile_entries}/{self.profile_entries} "
+            f"profile entries matched; {self.matched_objects}/{self.total_objects} "
+            f"objects placed by profile; {self.colliding_ids} colliding IDs"
+        )
+
+
+def order_heap_objects(
+    snapshot: HeapSnapshot,
+    profile: Optional[HeapOrderProfile] = None,
+) -> List[HeapObject]:
+    """Produce the ``.svm_heap`` layout order.
+
+    Without a profile: the default traversal order (which itself follows the
+    CU order of the ``.text`` section, as in Native Image).
+    """
+    default = list(snapshot.objects)
+    if profile is None:
+        return default
+    order, _report = match_and_order(snapshot, profile)
+    return order
+
+
+def match_and_order(
+    snapshot: HeapSnapshot,
+    profile: HeapOrderProfile,
+) -> "tuple[List[HeapObject], MatchReport]":
+    """Match profile IDs against snapshot objects; return layout + report."""
+    strategy = profile.strategy
+    by_id: Dict[int, List[HeapObject]] = {}
+    for obj in snapshot:
+        object_id = obj.ids.get(strategy)
+        if object_id is None:
+            raise ValueError(
+                f"snapshot object #{obj.index} has no {strategy!r} ID; "
+                "run assign_all_ids first"
+            )
+        by_id.setdefault(object_id, []).append(obj)
+
+    placed: List[HeapObject] = []
+    placed_indices: set = set()
+    matched_entries = 0
+    for object_id in profile.ids:
+        bucket = by_id.get(object_id)
+        if not bucket:
+            continue
+        matched_entries += 1
+        for obj in bucket:
+            if obj.index not in placed_indices:
+                placed_indices.add(obj.index)
+                placed.append(obj)
+
+    rest = [obj for obj in snapshot if obj.index not in placed_indices]
+    report = MatchReport(
+        strategy=strategy,
+        profile_entries=len(profile.ids),
+        matched_profile_entries=matched_entries,
+        matched_objects=len(placed),
+        total_objects=len(snapshot),
+        colliding_ids=sum(1 for bucket in by_id.values() if len(bucket) > 1),
+    )
+    return placed + rest, report

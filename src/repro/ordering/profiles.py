@@ -1,0 +1,148 @@
+"""Ordering-profile data model and CSV I/O.
+
+The post-processing framework (paper Sec. 6.2) emits one CSV file per
+ordering analysis; Native Image consumes them in the optimizing build.  We
+mirror that: each profile is an ordered, duplicate-free sequence, written as
+a CSV with a small header.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+
+@dataclass
+class CodeOrderProfile:
+    """First-execution order of CU roots (``cu``) or methods (``method``)."""
+
+    kind: str  # "cu" or "method"
+    signatures: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("cu", "method"):
+            raise ValueError(f"unknown code-order kind {self.kind!r}")
+
+
+@dataclass
+class HeapOrderProfile:
+    """First-access order of image-heap objects, as strategy-specific IDs."""
+
+    strategy: str  # "incremental_id", "structural_hash", or "heap_path"
+    ids: List[int] = field(default_factory=list)
+
+
+@dataclass
+class CallCountProfile:
+    """Method call counts (the paper's standard PGO profile content)."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def count(self, signature: str) -> int:
+        return self.counts.get(signature, 0)
+
+    def is_hot(self, signature: str, threshold: int) -> bool:
+        return self.count(signature) >= threshold
+
+
+@dataclass
+class ProfileBundle:
+    """Everything a profiling run produces for the optimizing build."""
+
+    code: Dict[str, CodeOrderProfile] = field(default_factory=dict)
+    heap: Dict[str, HeapOrderProfile] = field(default_factory=dict)
+    calls: CallCountProfile = field(default_factory=CallCountProfile)
+
+    def code_profile(self, kind: str) -> Optional[CodeOrderProfile]:
+        return self.code.get(kind)
+
+    def heap_profile(self, strategy: str) -> Optional[HeapOrderProfile]:
+        return self.heap.get(strategy)
+
+
+# ---------------------------------------------------------------------------
+# CSV I/O
+# ---------------------------------------------------------------------------
+
+
+def write_code_profile(profile: CodeOrderProfile, path: Path) -> None:
+    """Write a code-ordering profile as ``order,signature`` rows."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["kind", profile.kind])
+        for index, signature in enumerate(profile.signatures):
+            writer.writerow([index, signature])
+
+
+def read_code_profile(path: Path) -> CodeOrderProfile:
+    with open(path, newline="") as handle:
+        rows = list(csv.reader(handle))
+    if not rows or rows[0][0] != "kind":
+        raise ValueError(f"{path}: not a code-ordering profile")
+    kind = rows[0][1]
+    signatures = [row[1] for row in rows[1:]]
+    return CodeOrderProfile(kind=kind, signatures=signatures)
+
+
+def write_heap_profile(profile: HeapOrderProfile, path: Path) -> None:
+    """Write a heap-ordering profile as ``order,id`` rows (IDs in hex)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["strategy", profile.strategy])
+        for index, object_id in enumerate(profile.ids):
+            writer.writerow([index, f"{object_id:016x}"])
+
+
+def read_heap_profile(path: Path) -> HeapOrderProfile:
+    with open(path, newline="") as handle:
+        rows = list(csv.reader(handle))
+    if not rows or rows[0][0] != "strategy":
+        raise ValueError(f"{path}: not a heap-ordering profile")
+    strategy = rows[0][1]
+    ids = [int(row[1], 16) for row in rows[1:]]
+    return HeapOrderProfile(strategy=strategy, ids=ids)
+
+
+def write_call_counts(profile: CallCountProfile, path: Path) -> None:
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["signature", "count"])
+        for signature in sorted(profile.counts):
+            writer.writerow([signature, profile.counts[signature]])
+
+
+def read_call_counts(path: Path) -> CallCountProfile:
+    with open(path, newline="") as handle:
+        rows = list(csv.reader(handle))
+    if not rows or rows[0] != ["signature", "count"]:
+        raise ValueError(f"{path}: not a call-count profile")
+    return CallCountProfile(counts={sig: int(count) for sig, count in rows[1:]})
+
+
+def save_bundle(bundle: ProfileBundle, directory: Path) -> None:
+    """Persist a bundle into ``directory`` (one CSV per profile)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for kind, profile in bundle.code.items():
+        write_code_profile(profile, directory / f"code_{kind}.csv")
+    for strategy, profile in bundle.heap.items():
+        write_heap_profile(profile, directory / f"heap_{strategy}.csv")
+    write_call_counts(bundle.calls, directory / "call_counts.csv")
+
+
+def load_bundle(directory: Path) -> ProfileBundle:
+    """Load a bundle previously written by :func:`save_bundle`."""
+    directory = Path(directory)
+    bundle = ProfileBundle()
+    for path in sorted(directory.glob("code_*.csv")):
+        profile = read_code_profile(path)
+        bundle.code[profile.kind] = profile
+    for path in sorted(directory.glob("heap_*.csv")):
+        profile = read_heap_profile(path)
+        bundle.heap[profile.strategy] = profile
+    counts_path = directory / "call_counts.csv"
+    if counts_path.exists():
+        bundle.calls = read_call_counts(counts_path)
+    return bundle

@@ -1,0 +1,11 @@
+"""Heap-inclusion reasons (paper Sec. 5.3).
+
+The reason is the string Native Image records for why a root object is in
+the heap snapshot: a static-field signature, a method signature (code
+constants), or one of the constants below.  The heap-path strategy hashes
+it as the terminal path element.
+"""
+
+REASON_INTERNED_STRING = "InternedString"
+REASON_DATA_SECTION = "DataSection"
+REASON_RESOURCE = "Resource"

@@ -1,0 +1,18 @@
+"""Trace post-processing: decoding and ordering analyses."""
+
+from .framework import (
+    CallCountAnalysis,
+    CuOrderAnalysis,
+    HeapOrderAnalysis,
+    MethodOrderAnalysis,
+    TraceDecodeError,
+    build_profiles,
+    decode_events,
+    run_analyses,
+)
+
+__all__ = [
+    "CallCountAnalysis", "CuOrderAnalysis", "HeapOrderAnalysis",
+    "MethodOrderAnalysis", "TraceDecodeError", "build_profiles",
+    "decode_events", "run_analyses",
+]

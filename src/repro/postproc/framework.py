@@ -1,0 +1,205 @@
+"""Post-processing framework (paper Sec. 6.2).
+
+Reads per-thread trace files, decodes path IDs back into event sequences
+using the instrumentation manifest, and dispatches events to visitor-style
+ordering analyses.  Each analysis keeps an ordered, duplicate-free set in
+encounter order; after all events are consumed, the sets become the CSV
+ordering profiles used by the optimizing build.
+
+Multi-threaded traces are processed in thread-creation order and
+concatenated, with duplicates removed (Sec. 7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..ordering.ids import ALL_STRATEGIES
+from ..ordering.profiles import (
+    CallCountProfile,
+    CodeOrderProfile,
+    HeapOrderProfile,
+    ProfileBundle,
+)
+from ..profiling.instrument import InstrumentationManifest
+from ..profiling.tracefile import (
+    CuEntryRecord,
+    MethodEntryRecord,
+    PathRecord,
+    parse_trace,
+)
+
+
+# -- events -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MethodEntryEvent:
+    signature: str
+
+
+@dataclass(frozen=True)
+class CuEntryEvent:
+    root_signature: str
+
+
+@dataclass(frozen=True)
+class HeapAccessEvent:
+    object_index: int  # snapshot index in the instrumented build
+
+
+TraceEvent = Union[MethodEntryEvent, CuEntryEvent, HeapAccessEvent]
+
+
+class TraceDecodeError(ValueError):
+    """A trace file contradicts the manifest (path/site count mismatch)."""
+
+
+def decode_events(
+    manifest: InstrumentationManifest, trace_data: bytes
+) -> Iterable[TraceEvent]:
+    """Decode one thread's trace file into its event sequence."""
+    trace = parse_trace(trace_data)
+    for record in trace.records:
+        if isinstance(record, MethodEntryRecord):
+            yield MethodEntryEvent(manifest.method_signatures[record.method_id])
+        elif isinstance(record, CuEntryRecord):
+            yield CuEntryEvent(manifest.cu_signatures[record.cu_id])
+        elif isinstance(record, PathRecord):
+            cfg = manifest.cfg_for_id(record.method_id)
+            sites = cfg.heap_sites_on_path(record.start_block, record.path_value)
+            if len(sites) != len(record.object_ids):
+                raise TraceDecodeError(
+                    f"{cfg.method.signature}: path ({record.start_block}, "
+                    f"{record.path_value}) has {len(sites)} heap-access sites "
+                    f"but the record carries {len(record.object_ids)} IDs"
+                )
+            for object_id in record.object_ids:
+                if object_id != 0:  # 0 = runtime-allocated, not in the image
+                    yield HeapAccessEvent(object_index=object_id - 1)
+
+
+# -- analyses ------------------------------------------------------------------
+
+
+class OrderingAnalysis:
+    """Base visitor: sees every event in execution order."""
+
+    def accept(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+
+class _OrderedSet:
+    """Insertion-ordered set with O(1) membership."""
+
+    def __init__(self) -> None:
+        self._seen: set = set()
+        self.items: List = []
+
+    def add(self, item) -> None:
+        if item not in self._seen:
+            self._seen.add(item)
+            self.items.append(item)
+
+
+class CuOrderAnalysis(OrderingAnalysis):
+    """First-entry order of compilation units (cu ordering, Sec. 4.1)."""
+
+    def __init__(self) -> None:
+        self._order = _OrderedSet()
+
+    def accept(self, event: TraceEvent) -> None:
+        if isinstance(event, CuEntryEvent):
+            self._order.add(event.root_signature)
+
+    def profile(self) -> CodeOrderProfile:
+        return CodeOrderProfile(kind="cu", signatures=list(self._order.items))
+
+
+class MethodOrderAnalysis(OrderingAnalysis):
+    """First-entry order of methods (method ordering, Sec. 4.2)."""
+
+    def __init__(self) -> None:
+        self._order = _OrderedSet()
+
+    def accept(self, event: TraceEvent) -> None:
+        if isinstance(event, MethodEntryEvent):
+            self._order.add(event.signature)
+
+    def profile(self) -> CodeOrderProfile:
+        return CodeOrderProfile(kind="method", signatures=list(self._order.items))
+
+
+class HeapOrderAnalysis(OrderingAnalysis):
+    """First-access order of image-heap objects under one ID strategy."""
+
+    def __init__(self, manifest: InstrumentationManifest, strategy: str) -> None:
+        self._manifest = manifest
+        self.strategy = strategy
+        self._order = _OrderedSet()
+
+    def accept(self, event: TraceEvent) -> None:
+        if isinstance(event, HeapAccessEvent):
+            ids = self._manifest.object_ids.get(event.object_index)
+            if ids is None:
+                return
+            self._order.add(ids[self.strategy])
+
+    def profile(self) -> HeapOrderProfile:
+        return HeapOrderProfile(strategy=self.strategy, ids=list(self._order.items))
+
+
+class CallCountAnalysis(OrderingAnalysis):
+    """Method call counts (standard Native-Image PGO content)."""
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+
+    def accept(self, event: TraceEvent) -> None:
+        if isinstance(event, MethodEntryEvent):
+            self.counts[event.signature] = self.counts.get(event.signature, 0) + 1
+
+    def profile(self) -> CallCountProfile:
+        return CallCountProfile(counts=dict(self.counts))
+
+
+# -- driver ------------------------------------------------------------------------
+
+
+def run_analyses(
+    manifest: InstrumentationManifest,
+    trace_files: List[bytes],
+    analyses: List[OrderingAnalysis],
+) -> None:
+    """Feed all trace files (thread-creation order) through the analyses."""
+    for trace_data in trace_files:
+        for event in decode_events(manifest, trace_data):
+            for analysis in analyses:
+                analysis.accept(event)
+
+
+def build_profiles(
+    manifest: InstrumentationManifest,
+    trace_files: List[bytes],
+    strategies: Optional[List[str]] = None,
+) -> ProfileBundle:
+    """One-stop post-processing: traces -> complete profile bundle."""
+    cu_analysis = CuOrderAnalysis()
+    method_analysis = MethodOrderAnalysis()
+    call_analysis = CallCountAnalysis()
+    heap_analyses = [
+        HeapOrderAnalysis(manifest, strategy)
+        for strategy in (strategies or list(ALL_STRATEGIES))
+    ]
+    analyses: List[OrderingAnalysis] = [cu_analysis, method_analysis, call_analysis]
+    analyses.extend(heap_analyses)
+    run_analyses(manifest, trace_files, analyses)
+
+    bundle = ProfileBundle()
+    bundle.code["cu"] = cu_analysis.profile()
+    bundle.code["method"] = method_analysis.profile()
+    bundle.calls = call_analysis.profile()
+    for analysis in heap_analyses:
+        bundle.heap[analysis.strategy] = analysis.profile()
+    return bundle

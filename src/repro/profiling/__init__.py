@@ -1,0 +1,15 @@
+"""Tracing profiler: CFGs, Ball-Larus paths, trace buffers, runtime tracer."""
+
+from .cfg import MethodCfg, build_cfg
+from .instrument import InstrumentationManifest, instrumented_size_fn, plan_instrumentation
+from .tracebuf import ThreadTraceBuffer, TraceSession
+from .tracefile import MODE_DUMP_ON_FULL, MODE_MMAP, parse_trace
+from .tracer import PathTracer
+
+__all__ = [
+    "MethodCfg", "build_cfg",
+    "InstrumentationManifest", "instrumented_size_fn", "plan_instrumentation",
+    "ThreadTraceBuffer", "TraceSession",
+    "MODE_DUMP_ON_FULL", "MODE_MMAP", "parse_trace",
+    "PathTracer",
+]

@@ -1,0 +1,253 @@
+"""Control-flow graphs and Ball–Larus path numbering with path cutting.
+
+The tracing profiler (paper Sec. 6.1) builds on the IR-level path-profiling
+technique of Basso et al. [7]: every acyclic path gets a unique ID, and the
+runtime stores *executed path IDs* instead of individual events.  The
+path-cutting optimization bounds the number of paths so the technique stays
+practical.
+
+We implement the same machinery over MiniJava bytecode:
+
+* **Blocks** — leaders are the method entry, branch targets, and the
+  instructions following branches and calls; calls terminate blocks so that
+  callee trace records nest cleanly between the caller's path records.
+* **Cut edges** — back edges (loops) and call fall-through edges always cut;
+  additional edges are cut when the path count would exceed
+  ``MAX_PATHS_PER_REGION`` (path cutting).
+* **Numbering** — classic Ball–Larus: over the acyclic non-cut subgraph,
+  ``num_paths(v)`` counts maximal paths from ``v``; each ordered out-edge
+  gets an increment so every maximal path from a region start has a unique
+  accumulated value.  Cut edges count as paths of length 1 (edge to a
+  virtual exit).
+* **Decoding** — ``(start block, value)`` deterministically replays the
+  block sequence, which yields the per-path event list (heap-access sites).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..minijava.bytecode import (
+    BRANCH_OPS,
+    CALL_OPS,
+    HEAP_ACCESS_OPS,
+    RETURN_OPS,
+    CompiledMethod,
+)
+
+#: Path-cutting threshold: max distinct paths per region (paper: keeps the
+#: path table from growing exponentially).
+MAX_PATHS_PER_REGION = 1 << 16
+
+
+@dataclass
+class Edge:
+    """A CFG edge with its Ball–Larus increment."""
+
+    source: int
+    target: int
+    cut: bool = False
+    increment: int = 0
+
+
+@dataclass
+class Block:
+    """A basic block: instruction range [start, end) plus derived data."""
+
+    index: int
+    start: int
+    end: int
+    heap_access_pcs: List[int] = field(default_factory=list)
+
+    @property
+    def num_heap_accesses(self) -> int:
+        return len(self.heap_access_pcs)
+
+
+class MethodCfg:
+    """CFG plus path-numbering tables for one method."""
+
+    def __init__(self, method: CompiledMethod,
+                 max_paths: int = MAX_PATHS_PER_REGION) -> None:
+        self.method = method
+        self.max_paths = max_paths
+        self.blocks: List[Block] = []
+        self.block_of_pc: Dict[int, int] = {}  # leader pc -> block index
+        self.edges: Dict[Tuple[int, int], Edge] = {}
+        self.out_edges: Dict[int, List[Edge]] = {}
+        self.num_paths: Dict[int, int] = {}
+        self.leaders: frozenset = frozenset()
+        self._build()
+        self._number_paths()
+
+    # -- construction ---------------------------------------------------------
+
+    def _build(self) -> None:
+        code = self.method.code
+        leaders = {0}
+        for pc, instr in enumerate(code):
+            if instr.op in BRANCH_OPS:
+                leaders.add(instr.args[0])
+                if pc + 1 < len(code):
+                    leaders.add(pc + 1)
+            elif instr.op in CALL_OPS or instr.op == "BUILTIN" or instr.op in RETURN_OPS:
+                if pc + 1 < len(code):
+                    leaders.add(pc + 1)
+        ordered = sorted(leaders)
+        self.leaders = frozenset(ordered)
+        for index, start in enumerate(ordered):
+            end = ordered[index + 1] if index + 1 < len(ordered) else len(code)
+            block = Block(index=index, start=start, end=end)
+            for pc in range(start, end):
+                if code[pc].op in HEAP_ACCESS_OPS:
+                    block.heap_access_pcs.append(pc)
+            self.blocks.append(block)
+            self.block_of_pc[start] = index
+
+        for block in self.blocks:
+            self._add_block_edges(block)
+
+    def _add_block_edges(self, block: Block) -> None:
+        code = self.method.code
+        if block.end == block.start:
+            return
+        last = code[block.end - 1]
+        targets: List[Tuple[int, bool]] = []  # (target block, forced cut)
+        if last.op == "JUMP":
+            targets.append((self.block_of_pc[last.args[0]], False))
+        elif last.op in ("JMP_FALSE", "JMP_TRUE"):
+            if block.end < len(code):
+                targets.append((self.block_of_pc[block.end], False))
+            targets.append((self.block_of_pc[last.args[0]], False))
+        elif last.op in RETURN_OPS:
+            return  # no out edges
+        elif last.op in CALL_OPS:
+            # Call fall-through: always a cut edge so callee records nest.
+            if block.end < len(code):
+                targets.append((self.block_of_pc[block.end], True))
+        elif last.op == "BUILTIN":
+            # Builtins do not push frames, so no nesting: plain fall-through.
+            if block.end < len(code):
+                targets.append((self.block_of_pc[block.end], False))
+        else:
+            if block.end < len(code):
+                targets.append((self.block_of_pc[block.end], False))
+
+        seen = set()
+        for target, forced_cut in targets:
+            if target in seen:
+                continue  # both branch arms reach the same block
+            seen.add(target)
+            back_edge = self.blocks[target].start <= block.start
+            edge = Edge(
+                source=block.index,
+                target=target,
+                cut=forced_cut or back_edge,
+            )
+            self.edges[(block.index, target)] = edge
+            self.out_edges.setdefault(block.index, []).append(edge)
+
+    # -- Ball–Larus numbering ----------------------------------------------------
+
+    def _number_paths(self) -> None:
+        while True:
+            overflow = self._compute_numbering()
+            if overflow is None:
+                return
+            overflow.cut = True  # path cutting: split the hottest region
+
+    def _compute_numbering(self) -> Optional[Edge]:
+        """Compute num_paths + increments; return an edge to cut on overflow."""
+        num_paths: Dict[int, int] = {}
+        # Process blocks in reverse start order (non-cut edges point forward).
+        for block in reversed(self.blocks):
+            edges = self.out_edges.get(block.index, [])
+            if not edges:
+                num_paths[block.index] = 1
+                continue
+            total = 0
+            for edge in edges:
+                edge.increment = total
+                if edge.cut:
+                    total += 1
+                else:
+                    total += num_paths[edge.target]
+            num_paths[block.index] = max(total, 1)
+            if total > self.max_paths:
+                # Cut the non-cut out-edge feeding the largest subtree.
+                candidates = [e for e in edges if not e.cut]
+                if candidates:
+                    return max(candidates, key=lambda e: num_paths[e.target])
+        self.num_paths = num_paths
+        return None
+
+    # -- runtime/decoding API ------------------------------------------------------
+
+    def edge(self, source_block: int, target_block: int) -> Optional[Edge]:
+        return self.edges.get((source_block, target_block))
+
+    def decode_path(self, start_block: int, value: int) -> List[int]:
+        """Replay a path value into the sequence of executed block indices."""
+        blocks = [start_block]
+        current = start_block
+        remaining = value
+        while True:
+            edges = self.out_edges.get(current, [])
+            if not edges:
+                if remaining != 0:
+                    raise ValueError(
+                        f"{self.method.signature}: leftover path value {remaining} "
+                        f"at terminal block {current}"
+                    )
+                return blocks
+            chosen: Optional[Edge] = None
+            for edge in edges:
+                if edge.increment <= remaining and (
+                    chosen is None or edge.increment > chosen.increment
+                ):
+                    chosen = edge
+            if chosen is None:
+                raise ValueError(
+                    f"{self.method.signature}: cannot decode value {remaining} "
+                    f"at block {current}"
+                )
+            remaining -= chosen.increment
+            if chosen.cut:
+                if remaining != 0:
+                    raise ValueError(
+                        f"{self.method.signature}: leftover path value {remaining} "
+                        f"after cut edge {chosen.source}->{chosen.target}"
+                    )
+                return blocks
+            current = chosen.target
+            blocks.append(current)
+
+    def heap_sites_on_path(self, start_block: int, value: int) -> List[int]:
+        """Heap-access instruction pcs executed by a path, in order."""
+        pcs: List[int] = []
+        for block_index in self.decode_path(start_block, value):
+            pcs.extend(self.blocks[block_index].heap_access_pcs)
+        return pcs
+
+    @property
+    def block_count(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def heap_site_count(self) -> int:
+        return sum(b.num_heap_accesses for b in self.blocks)
+
+    def max_region_paths(self) -> int:
+        """Largest per-region path count (diagnostic for the cutting ablation)."""
+        return max(self.num_paths.values(), default=1)
+
+
+def build_cfg(method: CompiledMethod,
+              max_paths: int = MAX_PATHS_PER_REGION) -> MethodCfg:
+    """Build the CFG + path numbering for ``method``.
+
+    ``max_paths`` is the path-cutting threshold; pass a huge value to study
+    the uncut path-count blowup (ablation in DESIGN.md).
+    """
+    return MethodCfg(method, max_paths=max_paths)

@@ -1,0 +1,133 @@
+"""Per-thread trace buffers with the paper's two dump modes (Sec. 6.1).
+
+* ``MODE_DUMP_ON_FULL`` — records accumulate in a thread-local buffer that
+  is flushed when full and on thread termination.  An *abnormal* termination
+  (SIGKILL; the microservice workloads are killed after the first response)
+  loses whatever is still buffered.
+* ``MODE_MMAP`` — the buffer is memory-mapped into the trace file; the
+  kernel persists every written record, so abnormal termination loses
+  nothing.  We simulate this by writing through on every append.
+
+The buffers also count events and flushed bytes, which feeds the profiling
+overhead model (Sec. 7.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .tracefile import MODE_DUMP_ON_FULL, MODE_MMAP, encode_header
+
+DEFAULT_BUFFER_BYTES = 64 * 1024
+
+
+@dataclass
+class TraceStats:
+    """Accounting used by the overhead model."""
+
+    records: int = 0
+    bytes_written: int = 0
+    dumps: int = 0
+    lost_records: int = 0
+
+
+class ThreadTraceBuffer:
+    """One thread's trace buffer backed by an in-memory 'file'."""
+
+    def __init__(self, thread_id: int, mode: int,
+                 capacity: int = DEFAULT_BUFFER_BYTES) -> None:
+        if mode not in (MODE_DUMP_ON_FULL, MODE_MMAP):
+            raise ValueError(f"unknown dump mode {mode}")
+        self.thread_id = thread_id
+        self.mode = mode
+        self.capacity = capacity
+        self.stats = TraceStats()
+        self._file = bytearray(encode_header(mode, thread_id))
+        self._pending: List[bytes] = []
+        self._pending_bytes = 0
+        self._killed = False
+
+    def append(self, record: bytes) -> None:
+        """Store one encoded record."""
+        if self._killed:
+            return
+        self.stats.records += 1
+        if self.mode == MODE_MMAP:
+            self._file += record
+            self.stats.bytes_written += len(record)
+            return
+        if self._pending_bytes + len(record) > self.capacity:
+            self.flush()
+        self._pending.append(record)
+        self._pending_bytes += len(record)
+
+    def flush(self) -> None:
+        """Dump the pending buffer to the file (DUMP_ON_FULL mode)."""
+        if not self._pending:
+            return
+        chunk = b"".join(self._pending)
+        self._file += chunk
+        self.stats.bytes_written += len(chunk)
+        self.stats.dumps += 1
+        self._pending.clear()
+        self._pending_bytes = 0
+
+    def terminate(self) -> None:
+        """Normal thread termination: flush remaining records."""
+        self.flush()
+
+    def kill(self) -> None:
+        """Abnormal termination (SIGKILL): buffered records are lost.
+
+        In MMAP mode everything already reached the file, so nothing is
+        lost — the reason the paper uses memory-mapped buffers for the
+        microservice workloads.
+        """
+        self.stats.lost_records += len(self._pending)
+        self._pending.clear()
+        self._pending_bytes = 0
+        self._killed = True
+
+    @property
+    def data(self) -> bytes:
+        """The trace-file contents as persisted so far."""
+        return bytes(self._file)
+
+
+class TraceSession:
+    """All per-thread buffers of one profiling run."""
+
+    def __init__(self, mode: int = MODE_DUMP_ON_FULL,
+                 capacity: int = DEFAULT_BUFFER_BYTES) -> None:
+        self.mode = mode
+        self.capacity = capacity
+        self._buffers: Dict[int, ThreadTraceBuffer] = {}
+
+    def buffer_for(self, thread_id: int) -> ThreadTraceBuffer:
+        buffer = self._buffers.get(thread_id)
+        if buffer is None:
+            buffer = ThreadTraceBuffer(thread_id, self.mode, self.capacity)
+            self._buffers[thread_id] = buffer
+        return buffer
+
+    def terminate_all(self) -> None:
+        for buffer in self._buffers.values():
+            buffer.terminate()
+
+    def kill_all(self) -> None:
+        for buffer in self._buffers.values():
+            buffer.kill()
+
+    def trace_files(self) -> List[bytes]:
+        """Per-thread trace files, in thread-creation order."""
+        return [self._buffers[tid].data for tid in sorted(self._buffers)]
+
+    def total_stats(self) -> TraceStats:
+        total = TraceStats()
+        for buffer in self._buffers.values():
+            total.records += buffer.stats.records
+            total.bytes_written += buffer.stats.bytes_written
+            total.dumps += buffer.stats.dumps
+            total.lost_records += buffer.stats.lost_records
+        return total

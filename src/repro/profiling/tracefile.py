@@ -1,0 +1,125 @@
+"""Binary trace-file format (one file per thread; paper Sec. 6.1).
+
+Layout::
+
+    magic "NITR" | version u8 | mode u8 | thread_id uvarint | records...
+
+Record kinds::
+
+    0x01 METHOD_ENTRY  method_id
+    0x02 CU_ENTRY      cu_id
+    0x03 PATH          method_id start_block path_value n_ids id*n
+
+``PATH`` records carry the object identifiers accessed along the path.  The
+count is redundant with the decoded path (the paper stores only the IDs and
+derives the count from the path); we keep it in the stream and *verify* it
+against the decode, which doubles as an integrity check of the path
+machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple, Union
+
+from ..util.varint import decode_uvarint, encode_uvarint
+
+MAGIC = b"NITR"
+VERSION = 1
+
+MODE_DUMP_ON_FULL = 1
+MODE_MMAP = 2
+
+TAG_METHOD_ENTRY = 0x01
+TAG_CU_ENTRY = 0x02
+TAG_PATH = 0x03
+
+
+@dataclass(frozen=True)
+class MethodEntryRecord:
+    method_id: int
+
+
+@dataclass(frozen=True)
+class CuEntryRecord:
+    cu_id: int
+
+
+@dataclass(frozen=True)
+class PathRecord:
+    method_id: int
+    start_block: int
+    path_value: int
+    object_ids: Tuple[int, ...]
+
+
+TraceRecord = Union[MethodEntryRecord, CuEntryRecord, PathRecord]
+
+
+def encode_method_entry(method_id: int) -> bytes:
+    return bytes([TAG_METHOD_ENTRY]) + encode_uvarint(method_id)
+
+
+def encode_cu_entry(cu_id: int) -> bytes:
+    return bytes([TAG_CU_ENTRY]) + encode_uvarint(cu_id)
+
+
+def encode_path(method_id: int, start_block: int, path_value: int,
+                object_ids: List[int]) -> bytes:
+    out = bytearray([TAG_PATH])
+    out += encode_uvarint(method_id)
+    out += encode_uvarint(start_block)
+    out += encode_uvarint(path_value)
+    out += encode_uvarint(len(object_ids))
+    for object_id in object_ids:
+        out += encode_uvarint(object_id)
+    return bytes(out)
+
+
+def encode_header(mode: int, thread_id: int) -> bytes:
+    return MAGIC + bytes([VERSION, mode]) + encode_uvarint(thread_id)
+
+
+@dataclass
+class TraceFile:
+    """A parsed trace file."""
+
+    mode: int
+    thread_id: int
+    records: List[TraceRecord]
+
+
+def parse_trace(data: bytes) -> TraceFile:
+    """Parse a complete per-thread trace file."""
+    if data[:4] != MAGIC:
+        raise ValueError("bad trace magic")
+    if data[4] != VERSION:
+        raise ValueError(f"unsupported trace version {data[4]}")
+    mode = data[5]
+    thread_id, pos = decode_uvarint(data, 6)
+    records = list(_iter_records(data, pos))
+    return TraceFile(mode=mode, thread_id=thread_id, records=records)
+
+
+def _iter_records(data: bytes, pos: int) -> Iterator[TraceRecord]:
+    while pos < len(data):
+        tag = data[pos]
+        pos += 1
+        if tag == TAG_METHOD_ENTRY:
+            method_id, pos = decode_uvarint(data, pos)
+            yield MethodEntryRecord(method_id)
+        elif tag == TAG_CU_ENTRY:
+            cu_id, pos = decode_uvarint(data, pos)
+            yield CuEntryRecord(cu_id)
+        elif tag == TAG_PATH:
+            method_id, pos = decode_uvarint(data, pos)
+            start_block, pos = decode_uvarint(data, pos)
+            path_value, pos = decode_uvarint(data, pos)
+            count, pos = decode_uvarint(data, pos)
+            ids = []
+            for _ in range(count):
+                object_id, pos = decode_uvarint(data, pos)
+                ids.append(object_id)
+            yield PathRecord(method_id, start_block, path_value, tuple(ids))
+        else:
+            raise ValueError(f"unknown trace record tag {tag:#x} at offset {pos - 1}")

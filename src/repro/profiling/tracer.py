@@ -1,0 +1,186 @@
+"""Runtime side of the tracing profiler (paper Sec. 6.1).
+
+Observes the instrumented execution through the interpreter hooks and fills
+per-thread trace buffers with:
+
+* ``CU_ENTRY`` records when control enters a compilation unit's prologue;
+* ``METHOD_ENTRY`` records on every frame push of an instrumented method;
+* ``PATH`` records — Ball–Larus path values per region, each carrying the
+  identifiers of the image-heap objects accessed along the path (runtime
+  allocations record the sentinel 0).
+
+Path segments end at cut edges (loop back edges), at calls (flushed *before*
+the callee's records so records nest in true execution order), and at
+returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..minijava.bytecode import HEAP_ACCESS_OPS, CompiledMethod
+from ..vm.interpreter import Frame, Interpreter, ThreadState
+from .cfg import MethodCfg
+from .instrument import InstrumentationManifest
+from .tracebuf import TraceSession
+from .tracefile import MODE_MMAP, encode_cu_entry, encode_method_entry, encode_path
+
+#: Object-identifier sentinel for runtime-allocated (non-image) objects.
+NON_IMAGE_ID = 0
+
+
+@dataclass
+class _PathState:
+    """Per-frame path-tracking state."""
+
+    cfg: MethodCfg
+    method_id: int
+    start_block: Optional[int] = None
+    current_block: Optional[int] = None
+    value: int = 0
+    pending_ids: List[int] = field(default_factory=list)
+
+
+class PathTracer:
+    """Collects traces during one instrumented execution."""
+
+    def __init__(self, manifest: InstrumentationManifest, session: TraceSession) -> None:
+        self._manifest = manifest
+        self.session = session
+        self.counts: Dict[str, int] = {
+            "method_entries": 0,
+            "cu_entries": 0,
+            "path_records": 0,
+            "heap_ids": 0,
+            "blocks": 0,
+        }
+
+    # -- hook surface (called by ExecHooks) -----------------------------------
+
+    def leaders_for(self, method: CompiledMethod) -> Optional[frozenset]:
+        cfg = self._manifest.cfgs.get(method.signature)
+        return cfg.leaders if cfg is not None else None
+
+    def on_cu_entry(self, cu_root_signature: str, thread: ThreadState) -> None:
+        self._flush_caller(thread)
+        cu_id = self._manifest.cu_ids.get(cu_root_signature)
+        if cu_id is None:
+            return
+        self.counts["cu_entries"] += 1
+        self._buffer(thread).append(encode_cu_entry(cu_id))
+
+    def on_method_enter(self, frame: Frame, thread: ThreadState) -> None:
+        self._flush_caller(thread)
+        cfg = self._manifest.cfgs.get(frame.method.signature)
+        if cfg is None:
+            frame.trace_state = None
+            return
+        method_id = self._manifest.method_ids[frame.method.signature]
+        frame.trace_state = _PathState(cfg=cfg, method_id=method_id)
+        self.counts["method_entries"] += 1
+        self._buffer(thread).append(encode_method_entry(method_id))
+
+    def on_method_exit(self, frame: Frame, thread: ThreadState) -> None:
+        state = frame.trace_state
+        if state is not None:
+            self._emit_segment(state, thread, extra_increment=0)
+            frame.trace_state = None
+
+    def on_block(self, frame: Frame, leader_pc: int, thread: ThreadState) -> None:
+        state = frame.trace_state
+        if state is None:
+            return
+        self.counts["blocks"] += 1
+        cfg = state.cfg
+        new_block = cfg.block_of_pc[leader_pc]
+        if state.current_block is None:
+            # Region start: method entry or resume after a call.
+            state.start_block = new_block
+            state.current_block = new_block
+            state.value = 0
+            return
+        edge = cfg.edge(state.current_block, new_block)
+        if edge is None:
+            raise RuntimeError(
+                f"{frame.method.signature}: untracked CFG edge "
+                f"{state.current_block}->{new_block}"
+            )
+        if edge.cut:
+            self._emit_segment(state, thread, extra_increment=edge.increment)
+            state.start_block = new_block
+            state.current_block = new_block
+            state.value = 0
+        else:
+            state.value += edge.increment
+            state.current_block = new_block
+
+    def on_object_access(self, obj: Any, op: str, thread: ThreadState) -> None:
+        if op not in HEAP_ACCESS_OPS:
+            # e.g. ARRAYLEN touches pages but is not a traced access site.
+            return
+        frame = thread.frames[-1]
+        state = frame.trace_state
+        if state is None or state.current_block is None:
+            return
+        ref = getattr(obj, "image_ref", None)
+        # Identifier 0 marks non-image objects; image objects use index + 1.
+        object_id = (ref.index + 1) if ref is not None else NON_IMAGE_ID
+        state.pending_ids.append(object_id)
+        self.counts["heap_ids"] += 1
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def terminate(self, interp: Interpreter) -> None:
+        """Normal program exit: flush buffers.
+
+        Open path segments of frames that never returned (threads stopped
+        mid-execution) are *not* emitted: their values do not decode to a
+        region terminal.  Normally terminating threads flushed everything
+        through ``on_method_exit`` already.
+        """
+        self.session.terminate_all()
+
+    def kill(self, interp: Interpreter) -> None:
+        """Abnormal termination (SIGKILL): in-buffer records are lost."""
+        self.session.kill_all()
+
+    def event_counts(self) -> Dict[str, int]:
+        stats = self.session.total_stats()
+        counts = dict(self.counts)
+        counts["dumps"] = stats.dumps
+        counts["mmap_writes"] = stats.records if self.session.mode == MODE_MMAP else 0
+        return counts
+
+    # -- internals ------------------------------------------------------------------
+
+    def _buffer(self, thread: ThreadState):
+        return self.session.buffer_for(thread.thread_id)
+
+    def _flush_caller(self, thread: ThreadState) -> None:
+        """Flush the caller's open path segment before callee records.
+
+        A call terminates its basic block with a single cut fall-through
+        edge whose Ball–Larus increment is 0, so the segment value is final.
+        """
+        if len(thread.frames) < 2:
+            return
+        parent = thread.frames[-2]
+        state = parent.trace_state
+        if state is not None and state.current_block is not None:
+            self._emit_segment(state, thread, extra_increment=0)
+            state.start_block = None
+            state.current_block = None
+            state.value = 0
+
+    def _emit_segment(self, state: _PathState, thread: ThreadState,
+                      extra_increment: Optional[int]) -> None:
+        if state.current_block is None or state.start_block is None:
+            return
+        value = state.value + (extra_increment or 0)
+        record = encode_path(
+            state.method_id, state.start_block, value, state.pending_ids
+        )
+        state.pending_ids = []
+        self.counts["path_records"] += 1
+        self._buffer(thread).append(record)

@@ -1,0 +1,9 @@
+"""Runtime simulation: demand paging, I/O devices, binary executor."""
+
+from .executor import BinaryExecutor, ExecHooks, ExecutionConfig, RunMetrics, run_binary
+from .paging import DEVICES, NFS, SSD, IoDevice, PageCache
+
+__all__ = [
+    "BinaryExecutor", "ExecHooks", "ExecutionConfig", "RunMetrics", "run_binary",
+    "DEVICES", "NFS", "SSD", "IoDevice", "PageCache",
+]

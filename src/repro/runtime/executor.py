@@ -1,0 +1,281 @@
+"""Binary executor: runs a built image and measures startup behavior.
+
+This is the measurement harness of the reproduction.  It wires the
+interpreter's hooks to the paging simulator:
+
+* entering a method touches the code bytes of the copy that executes — the
+  inlined copy inside the caller's CU, or the method's own CU after a
+  non-inlined call (plus the CU prologue);
+* field/array/static accesses touch the accessed object's ``.svm_heap``
+  pages; string-literal and folded constants touch their interned objects;
+* startup touches the entry CU and the first pages of the native-library
+  blob (libc initialization), which the ordering strategies cannot move
+  (paper Appendix A).
+
+The time model is ``base + ops * t_op + faults * device_latency (+ probe
+costs for instrumented runs)``: startup of short-running workloads is
+I/O-dominated, so layout quality shows up in time the way it does in the
+paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..image.binary import NativeImageBinary, RuntimeImage
+from ..image.sections import HEAP_SECTION, PAGE_SIZE, TEXT_SECTION
+from ..vm.interpreter import Frame, Interpreter, RuntimeHooks, ThreadState
+from ..vm.values import VMError
+from .paging import SSD, IoDevice, PageCache
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Cost model and run-control knobs."""
+
+    device: IoDevice = SSD
+    op_time_s: float = 2e-9
+    base_startup_s: float = 150e-6
+    #: native-blob pages touched unconditionally during process startup
+    startup_native_pages: int = 8
+    stop_on_first_response: bool = False
+    max_ops: int = 50_000_000
+    quantum: int = 400
+    #: kernel fault-around window (pages mapped per fault on each side);
+    #: 0 = per-page accounting as in the paper's measurements
+    fault_around_pages: int = 0
+    #: relative measurement noise (std-dev); 0 = deterministic
+    time_jitter: float = 0.0
+    jitter_seed: int = 0
+    # probe costs (instrumented runs; Sec. 7.4 overhead model).  Calibrated
+    # so the per-flavour overhead factors land in the paper's regime
+    # (~1.2x-3.7x, method > cu, mmap write-through > buffered dumps).
+    probe_method_entry_s: float = 900e-9
+    probe_block_s: float = 8e-9  # path increments are register adds
+    probe_heap_id_s: float = 40e-9
+    probe_record_s: float = 60e-9
+    dump_cost_s: float = 40e-6
+    mmap_write_through_s: float = 600e-9
+
+
+@dataclass
+class RunMetrics:
+    """Everything one execution produced."""
+
+    ops: int = 0
+    faults: Dict[str, int] = field(default_factory=dict)
+    time_s: float = 0.0
+    output: List[str] = field(default_factory=list)
+    result: Any = None
+    #: set when the workload responded (microservices: time to first response)
+    first_response_ops: Optional[int] = None
+    first_response_faults: Optional[Dict[str, int]] = None
+    first_response_time_s: Optional[float] = None
+    trace_event_counts: Dict[str, int] = field(default_factory=dict)
+    #: per-section page-level detail (for the Fig. 6 visualization)
+    faulted_pages: Dict[str, frozenset] = field(default_factory=dict)
+    resident_pages: Dict[str, frozenset] = field(default_factory=dict)
+
+    @property
+    def text_faults(self) -> int:
+        return self.faults.get(TEXT_SECTION, 0)
+
+    @property
+    def heap_faults(self) -> int:
+        return self.faults.get(HEAP_SECTION, 0)
+
+    @property
+    def total_faults(self) -> int:
+        return sum(self.faults.values())
+
+    def faults_at_response(self, section: str) -> int:
+        source = self.first_response_faults or self.faults
+        return source.get(section, 0)
+
+
+class ExecHooks(RuntimeHooks):
+    """Interpreter hooks charging page touches (and forwarding to a tracer)."""
+
+    def __init__(
+        self,
+        binary: NativeImageBinary,
+        cache: PageCache,
+        config: ExecutionConfig,
+        tracer: Optional[Any] = None,
+    ) -> None:
+        self._binary = binary
+        self._cache = cache
+        self._config = config
+        self._tracer = tracer
+        self.interpreter: Optional[Interpreter] = None
+        self.responded = False
+        self.response_snapshot: Optional[Dict[str, int]] = None
+        self.response_ops: Optional[int] = None
+
+    # -- code ------------------------------------------------------------------
+
+    def on_method_enter(self, frame: Frame, caller: Optional[Frame],
+                        thread: ThreadState) -> None:
+        caller_cu = caller.context if caller is not None else None
+        placed, member = self._binary.code_location(frame.method, caller_cu)
+        if placed is None:
+            frame.context = caller_cu
+        else:
+            frame.context = placed
+            offset, size = placed.member_range(member)
+            non_inlined_entry = placed is not caller_cu
+            if non_inlined_entry:
+                # CU prologue executes too.
+                self._cache.touch(TEXT_SECTION, placed.offset,
+                                  offset - placed.offset + size)
+            else:
+                self._cache.touch(TEXT_SECTION, offset, size)
+            if self._tracer is not None and non_inlined_entry:
+                self._tracer.on_cu_entry(placed.cu.name, thread)
+        if self._tracer is not None:
+            self._tracer.on_method_enter(frame, thread)
+
+    def on_method_exit(self, frame: Frame, thread: ThreadState) -> None:
+        if self._tracer is not None:
+            self._tracer.on_method_exit(frame, thread)
+
+    def leaders_for(self, method) -> Optional[frozenset]:
+        if self._tracer is None:
+            return None
+        return self._tracer.leaders_for(method)
+
+    def on_block(self, frame: Frame, leader_pc: int, thread: ThreadState) -> None:
+        if self._tracer is not None:
+            self._tracer.on_block(frame, leader_pc, thread)
+
+    # -- heap ---------------------------------------------------------------------
+
+    def on_object_access(self, obj: Any, op: str, thread: ThreadState) -> None:
+        ref = getattr(obj, "image_ref", None)
+        if ref is not None:
+            self._cache.touch(HEAP_SECTION, ref.address, ref.size)
+        if self._tracer is not None:
+            self._tracer.on_object_access(obj, op, thread)
+
+    def on_const_str(self, sid: int) -> None:
+        entry = self._binary.literal_objects.get(sid)
+        if entry is not None:
+            self._cache.touch(HEAP_SECTION, entry.address, entry.size)
+
+    def on_const_obj(self, token: str) -> None:
+        entry = self._binary.fold_objects.get(token)
+        if entry is not None:
+            self._cache.touch(HEAP_SECTION, entry.address, entry.size)
+
+    # -- workload signals -------------------------------------------------------------
+
+    def on_respond(self, value: Any) -> None:
+        if not self.responded:
+            self.responded = True
+            self.response_snapshot = self._cache.snapshot_counts()
+            assert self.interpreter is not None
+            self.response_ops = self.interpreter.ops_executed
+        if self._config.stop_on_first_response:
+            assert self.interpreter is not None
+            self.interpreter.stop_requested = True
+
+
+class BinaryExecutor:
+    """Runs a binary with a cold page cache and reports metrics."""
+
+    def __init__(self, binary: NativeImageBinary,
+                 config: Optional[ExecutionConfig] = None,
+                 tracer: Optional[Any] = None) -> None:
+        self._binary = binary
+        self._config = config or ExecutionConfig()
+        self._tracer = tracer
+
+    def run(self, run_index: int = 0) -> RunMetrics:
+        """One cold execution (caches dropped beforehand, as in Sec. 7.1)."""
+        config = self._config
+        binary = self._binary
+        cache = PageCache(fault_around=config.fault_around_pages)
+        hooks = ExecHooks(binary, cache, config, tracer=self._tracer)
+
+        image: RuntimeImage = binary.instantiate()
+        interp = Interpreter(
+            binary.program,
+            statics=image.statics,
+            hooks=hooks,
+            max_ops=config.max_ops,
+            quantum=config.quantum,
+        )
+        hooks.interpreter = interp
+
+        # Process startup: native-library pages (unmovable code) fault first.
+        blob_pages = min(
+            config.startup_native_pages,
+            max(binary.text.native_blob_size // PAGE_SIZE, 0),
+        )
+        if blob_pages:
+            cache.touch(TEXT_SECTION, binary.text.native_blob_offset,
+                        blob_pages * PAGE_SIZE)
+
+        thread = interp.spawn_main()
+        interp.run()
+        if self._tracer is not None:
+            if config.stop_on_first_response and hooks.responded:
+                self._tracer.kill(interp)  # SIGKILL after first response
+            else:
+                self._tracer.terminate(interp)
+
+        metrics = RunMetrics(
+            ops=interp.ops_executed,
+            faults=cache.snapshot_counts(),
+            output=list(interp.output),
+            result=thread.result,
+        )
+        for section in (TEXT_SECTION, HEAP_SECTION):
+            metrics.faulted_pages[section] = frozenset(
+                cache.faulted_pages.get(section, set())
+            )
+            metrics.resident_pages[section] = frozenset(cache.resident_pages(section))
+        if self._tracer is not None:
+            metrics.trace_event_counts = self._tracer.event_counts()
+        metrics.time_s = self._time_of(metrics.ops, metrics.faults,
+                                       metrics.trace_event_counts, run_index)
+        if hooks.responded:
+            metrics.first_response_ops = hooks.response_ops
+            metrics.first_response_faults = hooks.response_snapshot
+            response_faults = hooks.response_snapshot or {}
+            metrics.first_response_time_s = self._time_of(
+                hooks.response_ops or 0, response_faults,
+                metrics.trace_event_counts, run_index,
+            )
+        return metrics
+
+    # -- time model ---------------------------------------------------------------
+
+    def _time_of(self, ops: int, faults: Dict[str, int],
+                 trace_counts: Dict[str, int], run_index: int) -> float:
+        config = self._config
+        time_s = config.base_startup_s
+        time_s += ops * config.op_time_s
+        time_s += config.device.fault_cost(sum(faults.values()))
+        if trace_counts:
+            time_s += trace_counts.get("method_entries", 0) * config.probe_method_entry_s
+            time_s += trace_counts.get("cu_entries", 0) * config.probe_method_entry_s
+            time_s += trace_counts.get("blocks", 0) * config.probe_block_s
+            time_s += trace_counts.get("heap_ids", 0) * config.probe_heap_id_s
+            time_s += trace_counts.get("path_records", 0) * config.probe_record_s
+            time_s += trace_counts.get("dumps", 0) * config.dump_cost_s
+            time_s += trace_counts.get("mmap_writes", 0) * config.mmap_write_through_s
+        if config.time_jitter > 0:
+            rng = random.Random((config.jitter_seed << 16) ^ run_index)
+            time_s *= max(0.5, 1.0 + rng.gauss(0.0, config.time_jitter))
+        return time_s
+
+
+def run_binary(binary: NativeImageBinary,
+               config: Optional[ExecutionConfig] = None,
+               tracer: Optional[Any] = None,
+               run_index: int = 0) -> RunMetrics:
+    """Convenience wrapper: one cold run of ``binary``."""
+    return BinaryExecutor(binary, config, tracer).run(run_index)

@@ -1,0 +1,10 @@
+"""Shared utilities: hashing, varints, statistics."""
+
+from .murmur3 import murmur3_32, murmur3_64, murmur3_x64_128
+from .stats import ConfidenceInterval, confidence_interval_95, geomean, mean, ratio_factor, stdev
+
+__all__ = [
+    "murmur3_32", "murmur3_64", "murmur3_x64_128",
+    "ConfidenceInterval", "confidence_interval_95", "geomean", "mean",
+    "ratio_factor", "stdev",
+]

@@ -1,0 +1,104 @@
+"""Statistics helpers used by the evaluation harness.
+
+The paper reports per-benchmark factors ``M_baseline / M_optimized`` (higher
+is better), geometric means across benchmarks, and 95% confidence intervals
+over 10 builds x 10 runs.  These helpers implement exactly those summaries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+# Two-sided 97.5% quantiles of Student's t distribution, indexed by degrees
+# of freedom.  We avoid a scipy dependency in the core library; the table
+# covers the sample sizes used by the harness (<=30) and falls back to the
+# normal quantile beyond that.
+_T_975 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447, 7: 2.365,
+    8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179, 13: 2.160,
+    14: 2.145, 15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093,
+    20: 2.086, 21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+}
+_Z_975 = 1.960
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean of a non-empty sequence."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (n-1 denominator); 0.0 for n < 2."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / (n - 1))
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of a sequence of positive numbers."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def t_quantile_975(dof: int) -> float:
+    """Two-sided 95% Student-t quantile for ``dof`` degrees of freedom."""
+    if dof < 1:
+        raise ValueError("degrees of freedom must be >= 1")
+    return _T_975.get(dof, _Z_975)
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A mean together with its symmetric 95% confidence half-width."""
+
+    mean: float
+    half_width: float
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.3f} +/- {self.half_width:.3f}"
+
+
+def confidence_interval_95(values: Sequence[float]) -> ConfidenceInterval:
+    """95% CI for the mean of ``values`` using Student's t distribution."""
+    n = len(values)
+    if n == 0:
+        raise ValueError("CI of empty sequence")
+    m = mean(values)
+    if n == 1:
+        return ConfidenceInterval(m, 0.0)
+    half = t_quantile_975(n - 1) * stdev(values) / math.sqrt(n)
+    return ConfidenceInterval(m, half)
+
+
+def ratio_factor(baseline: float, optimized: float) -> float:
+    """The paper's improvement factor ``M_baseline / M_optimized``.
+
+    Degenerate measurements (both zero) count as no change; a zero optimized
+    measurement with a non-zero baseline is capped rather than infinite so
+    that geometric means stay finite.
+    """
+    if baseline < 0 or optimized < 0:
+        raise ValueError("measurements must be non-negative")
+    if baseline == 0 and optimized == 0:
+        return 1.0
+    if optimized == 0:
+        return float(baseline) if baseline > 0 else 1.0
+    return baseline / optimized

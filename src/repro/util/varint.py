@@ -1,0 +1,91 @@
+"""LEB128-style variable-length integer codec.
+
+Trace files produced by the tracing profiler (Sec. 6.1 of the paper) store
+path IDs and object identities compactly.  We use unsigned LEB128 for
+non-negative values and a zig-zag transform for signed values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+
+def encode_uvarint(value: int) -> bytes:
+    """Encode a non-negative integer as unsigned LEB128."""
+    if value < 0:
+        raise ValueError(f"uvarint cannot encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_uvarint(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode an unsigned LEB128 integer.
+
+    Returns ``(value, next_offset)``.
+    """
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise ValueError("truncated uvarint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 70:
+            raise ValueError("uvarint too long")
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a signed integer to an unsigned one (zig-zag)."""
+    return (value << 1) ^ (value >> 63) if value >= -(1 << 63) else _zigzag_big(value)
+
+
+def _zigzag_big(value: int) -> int:
+    # Arbitrary-precision fallback: Python ints are unbounded, so emulate the
+    # usual two's-complement trick directly.
+    return (value << 1) ^ (value >> (max(value.bit_length(), 63)))
+
+
+def zigzag_decode(value: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    return (value >> 1) ^ -(value & 1)
+
+
+def encode_svarint(value: int) -> bytes:
+    """Encode a signed integer (zig-zag + LEB128)."""
+    return encode_uvarint(zigzag_encode(value))
+
+
+def decode_svarint(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode a signed integer (zig-zag + LEB128)."""
+    raw, pos = decode_uvarint(data, offset)
+    return zigzag_decode(raw), pos
+
+
+def encode_uvarints(values: Iterable[int]) -> bytes:
+    """Encode a sequence of non-negative integers back to back."""
+    out = bytearray()
+    for value in values:
+        out += encode_uvarint(value)
+    return bytes(out)
+
+
+def decode_all_uvarints(data: bytes) -> List[int]:
+    """Decode every unsigned varint in ``data``."""
+    values: List[int] = []
+    pos = 0
+    while pos < len(data):
+        value, pos = decode_uvarint(data, pos)
+        values.append(value)
+    return values

@@ -1,0 +1,29 @@
+"""MiniJava virtual machine: values, interpreter, cooperative threads."""
+
+from .interpreter import Frame, Interpreter, RuntimeHooks, ThreadState, make_statics
+from .values import (
+    ArrayInstance,
+    ObjectInstance,
+    ResourceBlob,
+    StaticsHolder,
+    VMError,
+    default_for_type,
+    to_display,
+    type_name_of,
+)
+
+__all__ = [
+    "Frame",
+    "Interpreter",
+    "RuntimeHooks",
+    "ThreadState",
+    "make_statics",
+    "ArrayInstance",
+    "ObjectInstance",
+    "ResourceBlob",
+    "StaticsHolder",
+    "VMError",
+    "default_for_type",
+    "to_display",
+    "type_name_of",
+]

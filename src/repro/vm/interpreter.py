@@ -1,0 +1,635 @@
+"""Explicit-frame step interpreter for MiniJava bytecode.
+
+The interpreter is the "CPU" of the simulated Native-Image runtime.  Design
+points that matter for the reproduction:
+
+* **Explicit frames, no host recursion** — deep benchmark recursion (Towers,
+  Havlak) cannot hit Python's recursion limit, and threads can be stepped
+  cooperatively for the multi-threaded microservice workloads.
+* **Pluggable hooks** — the executor (:mod:`repro.runtime.executor`) charges
+  page touches for code and image-heap accesses through
+  :class:`RuntimeHooks`; the tracing profiler additionally observes basic
+  block transitions for Ball–Larus path tracing.
+* **Build-time reuse** — the image builder runs class initializers with the
+  same interpreter (hooks disabled), exactly like Native Image executes
+  ``<clinit>`` methods during heap snapshotting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional
+
+from ..minijava.bytecode import ClassInfo, CompiledMethod, Program
+from .values import (
+    ArrayInstance,
+    ObjectInstance,
+    ResourceBlob,
+    StaticsHolder,
+    VMError,
+    default_for_type,
+    to_display,
+    type_name_of,
+)
+
+
+class RuntimeHooks:
+    """Observation points used by executors and profilers.
+
+    The base class is all no-ops; subclasses override what they need.
+    """
+
+    def on_method_enter(self, frame: "Frame", caller: Optional["Frame"],
+                        thread: "ThreadState") -> None:
+        """A new frame was pushed (after locals were bound)."""
+
+    def on_method_exit(self, frame: "Frame", thread: "ThreadState") -> None:
+        """A frame is about to be popped (return executed)."""
+
+    def on_object_access(self, obj: Any, op: str, thread: "ThreadState") -> None:
+        """A field/array/static access executed on ``obj``."""
+
+    def on_const_str(self, sid: int) -> None:
+        """A string-literal constant was materialized (code-section constant)."""
+
+    def on_const_obj(self, token: str) -> None:
+        """A PGO-folded code constant was materialized (heap-rooted object)."""
+
+    def on_allocate(self, obj: Any) -> None:
+        """A new object or array was allocated at runtime."""
+
+    def on_print(self, text: str) -> None:
+        """``print``/``println`` output."""
+
+    def on_respond(self, value: Any) -> None:
+        """The workload produced its first response (microservices)."""
+
+    def on_resource(self, blob: ResourceBlob) -> None:
+        """A resource blob was registered (build-time only in practice)."""
+
+    def leaders_for(self, method: CompiledMethod) -> Optional[frozenset]:
+        """Basic-block leader pcs for ``method`` or None when not tracing."""
+        return None
+
+    def on_block(self, frame: "Frame", leader_pc: int, thread: "ThreadState") -> None:
+        """Control entered the basic block starting at ``leader_pc``."""
+
+
+class Frame:
+    """One activation record."""
+
+    __slots__ = ("method", "code", "pc", "stack", "locals", "context", "leaders",
+                 "trace_state", "discard_result")
+
+    def __init__(self, method: CompiledMethod, args: List[Any]) -> None:
+        self.method = method
+        self.code = method.code
+        self.pc = 0
+        self.stack: List[Any] = []
+        self.locals: List[Any] = args + [None] * (method.num_slots - len(args))
+        self.context: Any = None  # compilation-unit context, set by executors
+        self.leaders: Optional[frozenset] = None
+        self.trace_state: Any = None
+        self.discard_result = False
+
+
+class ThreadState:
+    """A VM thread: a stack of frames plus status."""
+
+    _next_id = 0
+
+    def __init__(self, entry_frame: Frame, name: str = "") -> None:
+        self.thread_id = ThreadState._next_id
+        ThreadState._next_id += 1
+        self.name = name or f"thread-{self.thread_id}"
+        self.frames: List[Frame] = [entry_frame]
+        self.done = False
+        self.result: Any = None
+
+    @property
+    def current(self) -> Frame:
+        return self.frames[-1]
+
+
+_STRING_METHODS: Dict[str, Callable[..., Any]] = {
+    "length": lambda s: len(s),
+    "charAt": lambda s, i: ord(s[i]),
+    "substring": lambda s, a, b: s[a:b],
+    "equals": lambda s, o: isinstance(o, str) and s == o,
+    "startsWith": lambda s, p: s.startswith(p),
+    "endsWith": lambda s, p: s.endswith(p),
+    "indexOf": lambda s, o: s.find(o if isinstance(o, str) else chr(o)),
+    "contains": lambda s, o: o in s,
+    "isEmpty": lambda s: len(s) == 0,
+    "concat": lambda s, o: s + to_display(o),
+    "toString": lambda s: s,
+    "hashCode": lambda s: _java_string_hash(s),
+}
+
+
+def _java_string_hash(s: str) -> int:
+    h = 0
+    for ch in s:
+        h = (31 * h + ord(ch)) & 0xFFFFFFFF
+    return h - (1 << 32) if h >= (1 << 31) else h
+
+
+def _int_div(a: int, b: int) -> int:
+    """Java integer division (truncates toward zero)."""
+    if b == 0:
+        raise VMError("division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _int_mod(a: int, b: int) -> int:
+    """Java remainder (sign follows the dividend)."""
+    if b == 0:
+        raise VMError("division by zero")
+    return a - _int_div(a, b) * b
+
+
+class Interpreter:
+    """Executes a compiled program, cooperatively scheduling its threads."""
+
+    def __init__(
+        self,
+        program: Program,
+        statics: Optional[Dict[str, StaticsHolder]] = None,
+        hooks: Optional[RuntimeHooks] = None,
+        max_ops: int = 50_000_000,
+        quantum: int = 500,
+    ) -> None:
+        self.program = program
+        self.hooks = hooks or RuntimeHooks()
+        self.statics = statics if statics is not None else make_statics(program)
+        self.threads: List[ThreadState] = []
+        self.ops_executed = 0
+        self.max_ops = max_ops
+        self.quantum = quantum
+        self.stop_requested = False
+        self.output: List[str] = []
+        self._yield_requested = False
+
+    # -- thread management ---------------------------------------------------
+
+    def spawn(self, method: CompiledMethod, args: Optional[List[Any]] = None,
+              name: str = "") -> ThreadState:
+        """Create a new runnable thread entering ``method``."""
+        frame = self._make_frame(method, list(args or []))
+        thread = ThreadState(frame, name=name)
+        self.threads.append(thread)
+        self.hooks.on_method_enter(frame, None, thread)
+        return thread
+
+    def spawn_main(self) -> ThreadState:
+        return self.spawn(self.program.entry_method(), [], name="main")
+
+    def _make_frame(self, method: CompiledMethod, args: List[Any]) -> Frame:
+        frame = Frame(method, args)
+        frame.leaders = self.hooks.leaders_for(method)
+        return frame
+
+    # -- scheduling ------------------------------------------------------------
+
+    def run(self) -> None:
+        """Round-robin all threads to completion (or stop/ops-budget)."""
+        while not self.stop_requested:
+            runnable = [t for t in self.threads if not t.done]
+            if not runnable:
+                return
+            for thread in runnable:
+                if self.stop_requested:
+                    return
+                self.step(thread, self.quantum)
+
+    def run_single(self, method: CompiledMethod, args: Optional[List[Any]] = None) -> Any:
+        """Run one method on a dedicated thread to completion; return result."""
+        thread = self.spawn(method, args, name=f"call:{method.name}")
+        while not thread.done and not self.stop_requested:
+            self.step(thread, self.quantum)
+        return thread.result
+
+    # -- core step loop ----------------------------------------------------------
+
+    def step(self, thread: ThreadState, budget: int) -> None:
+        """Execute up to ``budget`` instructions on ``thread``."""
+        hooks = self.hooks
+        self._yield_requested = False
+        while budget > 0 and not thread.done and not self._yield_requested:
+            if self.ops_executed >= self.max_ops:
+                raise VMError(f"op budget exceeded ({self.max_ops})")
+            frame = thread.frames[-1]
+            code = frame.code
+            pc = frame.pc
+            instr = code[pc]
+            if frame.leaders is not None and pc in frame.leaders:
+                hooks.on_block(frame, pc, thread)
+            self.ops_executed += 1
+            budget -= 1
+            op = instr.op
+            stack = frame.stack
+            args = instr.args
+
+            if op == "LOAD":
+                stack.append(frame.locals[args[0]])
+            elif op == "STORE":
+                frame.locals[args[0]] = stack.pop()
+            elif op == "CONST_INT" or op == "CONST_DOUBLE" or op == "CONST_BOOL":
+                stack.append(args[0])
+            elif op == "CONST_NULL":
+                stack.append(None)
+            elif op == "CONST_STR":
+                hooks.on_const_str(args[0])
+                stack.append(self.program.string_literals[args[0]])
+            elif op == "CONST_OBJ":
+                hooks.on_const_obj(args[1])
+                stack.append(args[0])
+            elif op == "GETFIELD":
+                obj = stack.pop()
+                if obj is None:
+                    raise VMError(self._err(frame, "null dereference (GETFIELD)"))
+                hooks.on_object_access(obj, op, thread)
+                if isinstance(obj, ObjectInstance):
+                    stack.append(obj.get_field(args[0]))
+                else:
+                    raise VMError(self._err(frame, f"GETFIELD on {type_name_of(obj)}"))
+            elif op == "PUTFIELD":
+                value = stack.pop()
+                obj = stack.pop()
+                if obj is None:
+                    raise VMError(self._err(frame, "null dereference (PUTFIELD)"))
+                hooks.on_object_access(obj, op, thread)
+                if isinstance(obj, ObjectInstance):
+                    obj.set_field(args[0], value)
+                else:
+                    raise VMError(self._err(frame, f"PUTFIELD on {type_name_of(obj)}"))
+            elif op == "GETSTATIC":
+                holder = self.statics[args[0]]
+                hooks.on_object_access(holder, op, thread)
+                stack.append(holder.get(args[1]))
+            elif op == "PUTSTATIC":
+                holder = self.statics[args[0]]
+                hooks.on_object_access(holder, op, thread)
+                holder.set(args[1], stack.pop())
+            elif op == "ALOAD":
+                index = stack.pop()
+                arr = stack.pop()
+                if arr is None:
+                    raise VMError(self._err(frame, "null dereference (ALOAD)"))
+                hooks.on_object_access(arr, op, thread)
+                if isinstance(arr, ArrayInstance):
+                    stack.append(arr.load(index))
+                elif isinstance(arr, str):
+                    stack.append(ord(arr[index]))
+                else:
+                    raise VMError(self._err(frame, f"ALOAD on {type_name_of(arr)}"))
+            elif op == "ASTORE":
+                value = stack.pop()
+                index = stack.pop()
+                arr = stack.pop()
+                if arr is None:
+                    raise VMError(self._err(frame, "null dereference (ASTORE)"))
+                hooks.on_object_access(arr, op, thread)
+                if not isinstance(arr, ArrayInstance):
+                    raise VMError(self._err(frame, f"ASTORE on {type_name_of(arr)}"))
+                arr.store(index, value)
+            elif op == "ARRAYLEN":
+                arr = stack.pop()
+                if arr is None:
+                    raise VMError(self._err(frame, "null dereference (.length)"))
+                if isinstance(arr, ArrayInstance):
+                    hooks.on_object_access(arr, op, thread)
+                    stack.append(arr.length)
+                elif isinstance(arr, str):
+                    stack.append(len(arr))
+                else:
+                    raise VMError(self._err(frame, f".length on {type_name_of(arr)}"))
+            elif op == "NEWARRAY":
+                length = stack.pop()
+                arr = ArrayInstance(args[0], length)
+                hooks.on_allocate(arr)
+                stack.append(arr)
+            elif op == "NEW":
+                obj = ObjectInstance(self.program.get_class(args[0]))
+                hooks.on_allocate(obj)
+                stack.append(obj)
+            elif op in ("ADD", "SUB", "MUL", "DIV", "MOD", "BAND", "BOR", "BXOR",
+                        "SHL", "SHR", "EQ", "NE", "LT", "LE", "GT", "GE"):
+                right = stack.pop()
+                left = stack.pop()
+                stack.append(self._binary(frame, op, left, right))
+            elif op == "NEG":
+                stack.append(-stack.pop())
+            elif op == "NOT":
+                stack.append(not stack.pop())
+            elif op == "BNOT":
+                stack.append(~stack.pop())
+            elif op == "I2D":
+                stack.append(float(stack.pop()))
+            elif op == "D2I":
+                stack.append(int(stack.pop()))
+            elif op == "JUMP":
+                frame.pc = args[0]
+                continue
+            elif op == "JMP_FALSE":
+                if not stack.pop():
+                    frame.pc = args[0]
+                    continue
+            elif op == "JMP_TRUE":
+                if stack.pop():
+                    frame.pc = args[0]
+                    continue
+            elif op == "DUP":
+                stack.append(stack[-1])
+            elif op == "DUP2":
+                stack.extend(stack[-2:])
+            elif op == "DUP_X1":
+                stack.insert(-2, stack[-1])
+            elif op == "DUP_X2":
+                stack.insert(-3, stack[-1])
+            elif op == "POP":
+                stack.pop()
+            elif op in ("CALL_STATIC", "CALL_VIRTUAL", "CALL_SUPER", "CALL_CTOR"):
+                frame.pc = pc + 1
+                handled = self._dispatch_call(thread, frame, op, args)
+                if handled:
+                    continue  # a new frame was pushed (or intrinsic handled)
+                continue
+            elif op == "BUILTIN":
+                frame.pc = pc + 1
+                self._builtin(thread, frame, args[0], args[1])
+                continue
+            elif op == "RET_VAL" or op == "RET_VOID":
+                value = stack.pop() if op == "RET_VAL" else None
+                hooks.on_method_exit(frame, thread)
+                thread.frames.pop()
+                if thread.frames:
+                    if not frame.discard_result:
+                        thread.frames[-1].stack.append(value)
+                else:
+                    thread.done = True
+                    thread.result = value
+                continue
+            elif op == "INSTANCEOF":
+                value = stack.pop()
+                stack.append(self._instanceof(value, args[0]))
+            elif op == "CHECKCAST":
+                value = stack[-1]
+                if value is not None and not self._castable(value, args[0]):
+                    raise VMError(
+                        self._err(frame, f"cannot cast {type_name_of(value)} to {args[0]}")
+                    )
+            elif op == "STR_CONCAT":
+                right = stack.pop()
+                left = stack.pop()
+                stack.append(to_display(left) + to_display(right))
+            else:  # pragma: no cover - exhaustive opcode set
+                raise VMError(self._err(frame, f"unknown opcode {op}"))
+            frame.pc = pc + 1
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _err(self, frame: Frame, message: str) -> str:
+        instr = frame.code[frame.pc]
+        return f"{message} in {frame.method.signature} (line {instr.line})"
+
+    def _binary(self, frame: Frame, op: str, left: Any, right: Any) -> Any:
+        if op == "ADD":
+            if isinstance(left, str) or isinstance(right, str):
+                return to_display(left) + to_display(right)
+            return left + right
+        if op == "SUB":
+            return left - right
+        if op == "MUL":
+            return left * right
+        if op == "DIV":
+            if isinstance(left, float) or isinstance(right, float):
+                if right == 0:
+                    raise VMError(self._err(frame, "division by zero"))
+                return left / right
+            return _int_div(left, right)
+        if op == "MOD":
+            if isinstance(left, float) or isinstance(right, float):
+                return math.fmod(left, right)
+            return _int_mod(left, right)
+        if op == "BAND":
+            return left & right
+        if op == "BOR":
+            return left | right
+        if op == "BXOR":
+            return left ^ right
+        if op == "SHL":
+            return left << right
+        if op == "SHR":
+            return left >> right
+        if op == "EQ":
+            return self._equals(left, right)
+        if op == "NE":
+            return not self._equals(left, right)
+        if op == "LT":
+            return left < right
+        if op == "LE":
+            return left <= right
+        if op == "GT":
+            return left > right
+        if op == "GE":
+            return left >= right
+        raise VMError(self._err(frame, f"unknown binary op {op}"))
+
+    @staticmethod
+    def _equals(left: Any, right: Any) -> bool:
+        if left is None or right is None:
+            return left is right
+        if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+            return left == right
+        if isinstance(left, str) and isinstance(right, str):
+            return left == right
+        return left is right
+
+    def _instanceof(self, value: Any, type_name: str) -> bool:
+        if value is None:
+            return False
+        if isinstance(value, ObjectInstance):
+            return value.klass.is_subclass_of(type_name)
+        return type_name_of(value) == type_name
+
+    def _castable(self, value: Any, type_name: str) -> bool:
+        if isinstance(value, ObjectInstance):
+            if value.klass.is_subclass_of(type_name):
+                return True
+            # Downcasts are checked dynamically; an upcast target that is a
+            # superclass is also fine (handled above). Also allow casting to
+            # any class the object could be viewed as via hierarchy.
+            return False
+        if isinstance(value, str):
+            return type_name == "String"
+        if isinstance(value, ArrayInstance):
+            return type_name == value.type_name or type_name.endswith("[]")
+        return type_name_of(value) == type_name
+
+    # -- calls ----------------------------------------------------------------------
+
+    def _dispatch_call(self, thread: ThreadState, frame: Frame, op: str, args) -> bool:
+        stack = frame.stack
+        if op == "CALL_STATIC":
+            cls_name, name, argc = args
+            method = self._find_static(cls_name, name)
+            call_args = _pop_n(stack, argc)
+            self._push_frame(thread, frame, method, call_args)
+            return True
+        if op == "CALL_VIRTUAL":
+            name, argc = args
+            call_args = _pop_n(stack, argc)
+            receiver = stack.pop()
+            if receiver is None:
+                raise VMError(self._err_at(frame, f"null dereference calling {name}"))
+            if isinstance(receiver, str):
+                stack.append(self._string_method(frame, receiver, name, call_args))
+                return True
+            if not isinstance(receiver, ObjectInstance):
+                raise VMError(
+                    self._err_at(frame, f"cannot call {name} on {type_name_of(receiver)}")
+                )
+            method = receiver.klass.lookup_method(name)
+            if method is None or method.is_static:
+                raise VMError(
+                    self._err_at(frame, f"no method {name} on {receiver.klass.name}")
+                )
+            self._push_frame(thread, frame, method, [receiver] + call_args)
+            return True
+        if op == "CALL_SUPER":
+            super_name, name, argc = args
+            call_args = _pop_n(stack, argc)
+            receiver = stack.pop()
+            super_cls = self.program.get_class(super_name)
+            method = super_cls.lookup_method(name)
+            if method is None:
+                raise VMError(self._err_at(frame, f"no super method {super_name}.{name}"))
+            self._push_frame(thread, frame, method, [receiver] + call_args)
+            return True
+        if op == "CALL_CTOR":
+            cls_name, argc = args
+            call_args = _pop_n(stack, argc)
+            receiver = stack.pop()
+            ctor = self.program.get_class(cls_name).methods["<init>"]
+            # Constructors are void: the DUP before the args keeps the new
+            # object on the caller stack, so drop the pushed null on return.
+            self._push_frame(thread, frame, ctor, [receiver] + call_args,
+                             discard_result=True)
+            return True
+        raise VMError(self._err_at(frame, f"unknown call op {op}"))
+
+    def _err_at(self, frame: Frame, message: str) -> str:
+        pc = max(frame.pc - 1, 0)
+        return f"{message} in {frame.method.signature} (line {frame.code[pc].line})"
+
+    def _find_static(self, cls_name: str, name: str) -> CompiledMethod:
+        cls: Optional[ClassInfo] = self.program.get_class(cls_name)
+        while cls is not None:
+            method = cls.methods.get(name)
+            if method is not None and method.is_static:
+                return method
+            cls = cls.superclass
+        raise VMError(f"no static method {cls_name}.{name}")
+
+    def _push_frame(
+        self,
+        thread: ThreadState,
+        caller: Frame,
+        method: CompiledMethod,
+        call_args: List[Any],
+        discard_result: bool = False,
+    ) -> None:
+        if len(call_args) != method.num_params:
+            raise VMError(
+                f"{method.signature} expects {method.num_params} args, "
+                f"got {len(call_args)}"
+            )
+        if len(thread.frames) > 4000:
+            raise VMError(f"stack overflow calling {method.signature}")
+        new_frame = self._make_frame(method, call_args)
+        new_frame.discard_result = discard_result
+        thread.frames.append(new_frame)
+        self.hooks.on_method_enter(new_frame, caller, thread)
+
+    def _string_method(self, frame: Frame, receiver: str, name: str, call_args) -> Any:
+        handler = _STRING_METHODS.get(name)
+        if handler is None:
+            raise VMError(self._err_at(frame, f"no String method {name}"))
+        try:
+            return handler(receiver, *call_args)
+        except IndexError:
+            raise VMError(self._err_at(frame, f"String.{name} index out of bounds"))
+
+    # -- builtins -----------------------------------------------------------------
+
+    def _builtin(self, thread: ThreadState, frame: Frame, name: str, argc: int) -> None:
+        stack = frame.stack
+        call_args = _pop_n(stack, argc)
+        if name == "println":
+            text = to_display(call_args[0])
+            self.output.append(text)
+            self.hooks.on_print(text + "\n")
+            stack.append(None)
+        elif name == "print":
+            text = to_display(call_args[0])
+            self.output.append(text)
+            self.hooks.on_print(text)
+            stack.append(None)
+        elif name == "sqrt":
+            stack.append(math.sqrt(call_args[0]))
+        elif name == "pow":
+            stack.append(math.pow(call_args[0], call_args[1]))
+        elif name == "abs":
+            stack.append(abs(call_args[0]))
+        elif name == "floor":
+            stack.append(float(math.floor(call_args[0])))
+        elif name == "ceil":
+            stack.append(float(math.ceil(call_args[0])))
+        elif name == "min":
+            stack.append(min(call_args))
+        elif name == "max":
+            stack.append(max(call_args))
+        elif name == "intOf":
+            value = call_args[0]
+            stack.append(int(value) if not isinstance(value, str) else int(value.strip()))
+        elif name == "doubleOf":
+            value = call_args[0]
+            stack.append(float(value) if not isinstance(value, str) else float(value.strip()))
+        elif name == "spawn":
+            cls_name, method_name = call_args
+            method = self._find_static(cls_name, method_name)
+            self.spawn(method, [], name=f"{cls_name}.{method_name}")
+            stack.append(None)
+        elif name == "respond":
+            self.hooks.on_respond(call_args[0])
+            stack.append(None)
+        elif name == "resource":
+            blob = ResourceBlob(call_args[0], call_args[1])
+            self.hooks.on_resource(blob)
+            stack.append(blob)
+        elif name == "yieldThread":
+            self._yield_requested = True
+            stack.append(None)
+        else:
+            raise VMError(self._err_at(frame, f"unknown builtin {name}"))
+
+
+def _pop_n(stack: List[Any], n: int) -> List[Any]:
+    if n == 0:
+        return []
+    args = stack[-n:]
+    del stack[-n:]
+    return args
+
+
+def make_statics(program: Program) -> Dict[str, StaticsHolder]:
+    """Fresh static areas with default values for every class."""
+    statics: Dict[str, StaticsHolder] = {}
+    for name, cls in program.classes.items():
+        fields = cls.static_fields
+        statics[name] = StaticsHolder(
+            name, [f.name for f in fields], [f.default_value() for f in fields]
+        )
+    return statics

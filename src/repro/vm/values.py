@@ -1,0 +1,192 @@
+"""Runtime value model for the MiniJava VM.
+
+Values are Python natives where possible: MiniJava ``int``/``double``/
+``boolean`` map to ``int``/``float``/``bool``; strings are Python ``str``
+(literal strings additionally exist as interned String objects in the image
+heap); ``null`` is ``None``.  Objects and arrays are explicit instances so
+the image builder can traverse them and attach image-heap metadata.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..minijava.bytecode import ClassInfo
+
+
+class VMError(Exception):
+    """Raised for runtime errors (null deref, bad index, bad dispatch...)."""
+
+
+def default_for_type(type_name: str) -> Any:
+    """The default value for a declared type name (Java zero-values)."""
+    if type_name == "int":
+        return 0
+    if type_name == "double":
+        return 0.0
+    if type_name == "boolean":
+        return False
+    return None
+
+
+class ObjectInstance:
+    """A heap object: a class reference plus named fields.
+
+    ``image_ref`` is attached by the image builder when the object is placed
+    in the ``.svm_heap`` snapshot; the executor uses it to charge page
+    touches.
+    """
+
+    __slots__ = ("klass", "fields", "image_ref")
+
+    def __init__(self, klass: ClassInfo) -> None:
+        self.klass = klass
+        self.fields: Dict[str, Any] = {
+            f.name: f.default_value() for f in klass.all_instance_fields()
+        }
+        self.image_ref: Optional[object] = None
+
+    def get_field(self, name: str) -> Any:
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise VMError(f"no field {name!r} on {self.klass.name}") from None
+
+    def set_field(self, name: str, value: Any) -> None:
+        if name not in self.fields:
+            raise VMError(f"no field {name!r} on {self.klass.name}")
+        self.fields[name] = value
+
+    @property
+    def type_name(self) -> str:
+        return self.klass.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.klass.name}@{id(self):x}>"
+
+
+class ArrayInstance:
+    """A MiniJava array with a fixed element type and length."""
+
+    __slots__ = ("elem_type", "values", "image_ref")
+
+    def __init__(self, elem_type: str, length: int) -> None:
+        if length < 0:
+            raise VMError(f"negative array size {length}")
+        self.elem_type = elem_type
+        self.values: List[Any] = [default_for_type(elem_type)] * length
+        self.image_ref: Optional[object] = None
+
+    def load(self, index: int) -> Any:
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise VMError(f"array index must be int, got {type(index).__name__}")
+        if index < 0 or index >= len(self.values):
+            raise VMError(f"index {index} out of bounds for length {len(self.values)}")
+        return self.values[index]
+
+    def store(self, index: int, value: Any) -> None:
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise VMError(f"array index must be int, got {type(index).__name__}")
+        if index < 0 or index >= len(self.values):
+            raise VMError(f"index {index} out of bounds for length {len(self.values)}")
+        self.values[index] = value
+
+    @property
+    def length(self) -> int:
+        return len(self.values)
+
+    @property
+    def type_name(self) -> str:
+        return f"{self.elem_type}[]"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.elem_type}[{len(self.values)}]@{id(self):x}>"
+
+
+class StaticsHolder:
+    """Per-class holder for static field values.
+
+    In a Native-Image binary, statics live in the image heap; we model one
+    holder object per class so that ``GETSTATIC`` touches a heap page, as it
+    does in the real system.
+    """
+
+    __slots__ = ("class_name", "fields", "image_ref")
+
+    def __init__(self, class_name: str, field_names: List[str], defaults: List[Any]) -> None:
+        self.class_name = class_name
+        self.fields: Dict[str, Any] = dict(zip(field_names, defaults))
+        self.image_ref: Optional[object] = None
+
+    def get(self, name: str) -> Any:
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise VMError(f"no static field {name!r} on {self.class_name}") from None
+
+    def set(self, name: str, value: Any) -> None:
+        if name not in self.fields:
+            raise VMError(f"no static field {name!r} on {self.class_name}")
+        self.fields[name] = value
+
+    @property
+    def type_name(self) -> str:
+        return f"{self.class_name}.<statics>"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<statics of {self.class_name}>"
+
+
+class ResourceBlob:
+    """An embedded resource (Sec. 5.3: heap-inclusion reason "Resource")."""
+
+    __slots__ = ("name", "size", "image_ref")
+
+    def __init__(self, name: str, size: int) -> None:
+        self.name = name
+        self.size = size
+        self.image_ref: Optional[object] = None
+
+    @property
+    def type_name(self) -> str:
+        return "Resource"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<resource {self.name} ({self.size} bytes)>"
+
+
+def type_name_of(value: Any) -> str:
+    """MiniJava type name of a runtime value (for instanceof/diagnostics)."""
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "double"
+    if isinstance(value, str):
+        return "String"
+    if isinstance(value, (ObjectInstance, ArrayInstance, StaticsHolder, ResourceBlob)):
+        return value.type_name
+    raise VMError(f"unknown value kind {type(value).__name__}")
+
+
+def to_display(value: Any) -> str:
+    """Java-ish string conversion used by ``println`` and string ``+``."""
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        text = repr(value)
+        return text
+    if isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, ObjectInstance):
+        return f"{value.klass.name}@{id(value) & 0xFFFFFF:x}"
+    if isinstance(value, ArrayInstance):
+        return f"{value.elem_type}[{value.length}]"
+    return str(value)

@@ -1,0 +1,19 @@
+"""Workloads: AWFY benchmarks, microservice simulacra, runtime ballast."""
+
+from .awfy.suite import AWFY_NAMES, awfy_suite, awfy_workload
+from .ballast import generate_ballast
+from .microservices.suite import (
+    MICROSERVICE_NAMES,
+    microservice_suite,
+    microservice_workload,
+)
+
+__all__ = [
+    "AWFY_NAMES",
+    "awfy_suite",
+    "awfy_workload",
+    "generate_ballast",
+    "MICROSERVICE_NAMES",
+    "microservice_suite",
+    "microservice_workload",
+]

@@ -1,0 +1,5 @@
+"""The 14 "Are We Fast Yet?" benchmarks, written in MiniJava."""
+
+from .suite import AWFY_NAMES, awfy_suite, awfy_workload
+
+__all__ = ["AWFY_NAMES", "awfy_suite", "awfy_workload"]

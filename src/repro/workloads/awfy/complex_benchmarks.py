@@ -1,0 +1,672 @@
+"""AWFY macro benchmarks (MiniJava sources).
+
+CD, DeltaBlue, Havlak, Json, Richards — structurally faithful, reduced-size
+ports of the AWFY macro benchmarks.  They keep the class hierarchies and
+algorithmic skeletons of the originals (virtual dispatch, collection usage,
+recursive parsing, worklists), scaled to startup-sized inputs.
+"""
+
+# Collision detection: aircraft on deterministic trajectories, voxel bucketing
+# via SomDictionary, pairwise checks within a voxel.
+CD = """
+class Aircraft {
+    int callsign;
+    double px; double py;
+    double vx; double vy;
+    Aircraft(int id, double x0, double y0, double vx0, double vy0) {
+        callsign = id; px = x0; py = y0; vx = vx0; vy = vy0;
+    }
+    void step(double dt) { px += vx * dt; py += vy * dt; }
+}
+class CollisionDetector {
+    SomDictionary voxels;
+    int voxelKey(double x, double y) {
+        int ix = (int)(x / 10.0);
+        int iy = (int)(y / 10.0);
+        return ix * 1000 + iy;
+    }
+    int detect(Aircraft[] fleet) {
+        voxels = new SomDictionary();
+        for (int i = 0; i < fleet.length; i++) {
+            int key = voxelKey(fleet[i].px, fleet[i].py);
+            Vector bucket = (Vector) voxels.get(key);
+            if (bucket == null) { bucket = new Vector(); voxels.put(key, bucket); }
+            bucket.append(fleet[i]);
+        }
+        int collisions = 0;
+        for (int i = 0; i < fleet.length; i++) {
+            int key = voxelKey(fleet[i].px, fleet[i].py);
+            Vector bucket = (Vector) voxels.get(key);
+            for (int j = 0; j < bucket.size(); j++) {
+                Aircraft other = (Aircraft) bucket.at(j);
+                if (other.callsign > fleet[i].callsign) {
+                    double dx = other.px - fleet[i].px;
+                    double dy = other.py - fleet[i].py;
+                    if (dx * dx + dy * dy < 16.0) collisions++;
+                }
+            }
+        }
+        return collisions;
+    }
+}
+class CD {
+    int benchmark() {
+        int planes = 20;
+        Aircraft[] fleet = new Aircraft[planes];
+        for (int i = 0; i < planes; i++) {
+            double offset = 1.0 * i;
+            double vel = 1.0 + 1.0 * (i % 5);
+            if (i % 2 == 0) {
+                fleet[i] = new Aircraft(i, offset * 3.0, 0.0, 0.0, vel);
+            } else {
+                fleet[i] = new Aircraft(i, 0.0, offset * 3.0, vel, 0.0);
+            }
+        }
+        CollisionDetector detector = new CollisionDetector();
+        int collisions = 0;
+        for (int t = 0; t < 8; t++) {
+            for (int i = 0; i < planes; i++) fleet[i].step(1.0);
+            collisions += detector.detect(fleet);
+        }
+        return collisions;
+    }
+}
+"""
+
+# DeltaBlue: one-way constraint solver on a chain of variables, with the
+# original Strength / UnaryConstraint / BinaryConstraint hierarchy.
+DELTABLUE = """
+class Strength {
+    int value;
+    Strength(int v) { value = v; }
+    boolean stronger(Strength other) { return value < other.value; }
+    boolean weaker(Strength other) { return value > other.value; }
+}
+class DBVariable {
+    int value;
+    Vector constraints;
+    AbstractConstraint determinedBy;
+    int mark;
+    Strength walkStrength;
+    boolean stay;
+    DBVariable(int v) {
+        value = v;
+        constraints = new Vector();
+        determinedBy = null;
+        mark = 0;
+        walkStrength = new Strength(8);
+        stay = true;
+    }
+    void addConstraint(AbstractConstraint c) { constraints.append(c); }
+    void removeConstraint(AbstractConstraint c) {
+        constraints.remove(c);
+        if (determinedBy == c) determinedBy = null;
+    }
+}
+class AbstractConstraint {
+    Strength strength;
+    AbstractConstraint() { strength = new Strength(4); }
+    boolean isSatisfied() { return false; }
+    void addToGraph() { }
+    void removeFromGraph() { }
+    void chooseMethod(int mark) { }
+    void execute() { }
+    DBVariable output() { return null; }
+    boolean inputsKnown(int mark) { return true; }
+    void markUnsatisfied() { }
+    void incrementalAdd(Planner planner) {
+        int mark = planner.newMark();
+        addToGraph();
+        chooseMethod(mark);
+        planner.incrementalAdd(this, mark);
+    }
+}
+class UnaryConstraint extends AbstractConstraint {
+    DBVariable out;
+    boolean satisfied;
+    UnaryConstraint(DBVariable v, int strengthValue, Planner planner) {
+        out = v;
+        strength = new Strength(strengthValue);
+        satisfied = false;
+        addToGraph();
+        incrementalAdd(planner);
+    }
+    void addToGraph() { out.addConstraint(this); satisfied = false; }
+    void removeFromGraph() { out.removeConstraint(this); satisfied = false; }
+    boolean isSatisfied() { return satisfied; }
+    void chooseMethod(int mark) {
+        satisfied = out.mark != mark && strength.stronger(out.walkStrength);
+    }
+    void markUnsatisfied() { satisfied = false; }
+    DBVariable output() { return out; }
+    void execute() { }
+}
+class StayConstraint extends UnaryConstraint {
+    StayConstraint(DBVariable v, int s, Planner planner) { super(v, s, planner); }
+}
+class EditConstraint extends UnaryConstraint {
+    EditConstraint(DBVariable v, int s, Planner planner) { super(v, s, planner); }
+}
+class ScaleConstraint extends AbstractConstraint {
+    DBVariable src;
+    DBVariable dest;
+    int scale;
+    boolean satisfied;
+    ScaleConstraint(DBVariable a, DBVariable b, int k, int strengthValue, Planner planner) {
+        src = a; dest = b; scale = k;
+        strength = new Strength(strengthValue);
+        satisfied = false;
+        addToGraph();
+        incrementalAdd(planner);
+    }
+    void addToGraph() { src.addConstraint(this); dest.addConstraint(this); satisfied = false; }
+    void removeFromGraph() { src.removeConstraint(this); dest.removeConstraint(this); satisfied = false; }
+    boolean isSatisfied() { return satisfied; }
+    void chooseMethod(int mark) {
+        satisfied = dest.mark != mark && strength.stronger(dest.walkStrength);
+    }
+    void markUnsatisfied() { satisfied = false; }
+    DBVariable output() { return dest; }
+    boolean inputsKnown(int mark) { return src.mark == mark || src.stay || src.determinedBy == null; }
+    void execute() { dest.value = src.value * scale; }
+}
+class Planner {
+    int currentMark;
+    Planner() { currentMark = 0; }
+    int newMark() { currentMark++; return currentMark; }
+    void incrementalAdd(AbstractConstraint c, int mark) {
+        if (!c.isSatisfied()) return;
+        DBVariable out = c.output();
+        AbstractConstraint overridden = out.determinedBy;
+        if (overridden != null) overridden.markUnsatisfied();
+        out.determinedBy = c;
+        out.walkStrength = c.strength;
+        out.mark = mark;
+        c.execute();
+        // propagate along the chain
+        for (int i = 0; i < out.constraints.size(); i++) {
+            AbstractConstraint next = (AbstractConstraint) out.constraints.at(i);
+            if (next != c && next.inputsKnown(mark) && next.isSatisfied()) {
+                next.execute();
+            }
+        }
+    }
+}
+class DeltaBlue {
+    int benchmark() {
+        Planner planner = new Planner();
+        int n = 12;
+        DBVariable[] chain = new DBVariable[n];
+        for (int i = 0; i < n; i++) chain[i] = new DBVariable(i);
+        new StayConstraint(chain[n - 1], 6, planner);
+        for (int i = 0; i < n - 1; i++) {
+            new ScaleConstraint(chain[i], chain[i + 1], 2, 4, planner);
+        }
+        EditConstraint edit = new EditConstraint(chain[0], 2, planner);
+        int total = 0;
+        for (int round = 1; round <= 5; round++) {
+            chain[0].value = round;
+            planner.incrementalAdd(edit, planner.newMark());
+            total += chain[n - 1].value;
+        }
+        for (int i = 0; i < n; i++) total += chain[i].value;
+        return total;
+    }
+}
+"""
+
+# Havlak-style loop recognition: DFS numbering, back-edge detection, loop
+# membership by backward reachability inside DFS intervals.
+HAVLAK = """
+class BasicBlock {
+    int id;
+    Vector inEdges;
+    Vector outEdges;
+    int dfsNum;
+    boolean visited;
+    BasicBlock(int name) {
+        id = name;
+        inEdges = new Vector();
+        outEdges = new Vector();
+        dfsNum = -1;
+        visited = false;
+    }
+}
+class ControlFlowGraph {
+    Vector blocks;
+    BasicBlock start;
+    ControlFlowGraph() { blocks = new Vector(); start = null; }
+    BasicBlock createNode(int name) {
+        BasicBlock node = new BasicBlock(name);
+        blocks.append(node);
+        if (start == null) start = node;
+        return node;
+    }
+    void addEdge(BasicBlock from, BasicBlock to) {
+        from.outEdges.append(to);
+        to.inEdges.append(from);
+    }
+    int size() { return blocks.size(); }
+}
+class LoopFinder {
+    ControlFlowGraph cfg;
+    int counter;
+    LoopFinder(ControlFlowGraph graph) { cfg = graph; counter = 0; }
+    void dfs(BasicBlock node) {
+        node.visited = true;
+        node.dfsNum = counter;
+        counter++;
+        for (int i = 0; i < node.outEdges.size(); i++) {
+            BasicBlock target = (BasicBlock) node.outEdges.at(i);
+            if (!target.visited) dfs(target);
+        }
+    }
+    int findLoops() {
+        for (int i = 0; i < cfg.blocks.size(); i++) {
+            BasicBlock b = (BasicBlock) cfg.blocks.at(i);
+            b.visited = false;
+            b.dfsNum = -1;
+        }
+        counter = 0;
+        dfs(cfg.start);
+        int loops = 0;
+        for (int i = 0; i < cfg.blocks.size(); i++) {
+            BasicBlock b = (BasicBlock) cfg.blocks.at(i);
+            for (int j = 0; j < b.outEdges.size(); j++) {
+                BasicBlock target = (BasicBlock) b.outEdges.at(j);
+                // back edge: target dominates-ish (earlier in DFS) and reaches b
+                if (target.dfsNum >= 0 && target.dfsNum <= b.dfsNum) loops++;
+            }
+        }
+        return loops;
+    }
+}
+class Havlak {
+    ControlFlowGraph buildGraph(int loopsPerLevel) {
+        ControlFlowGraph cfg = new ControlFlowGraph();
+        BasicBlock entry = cfg.createNode(0);
+        BasicBlock current = entry;
+        int name = 1;
+        for (int i = 0; i < loopsPerLevel; i++) {
+            // diamond with a loop back edge
+            BasicBlock header = cfg.createNode(name); name++;
+            BasicBlock left = cfg.createNode(name); name++;
+            BasicBlock right = cfg.createNode(name); name++;
+            BasicBlock join = cfg.createNode(name); name++;
+            cfg.addEdge(current, header);
+            cfg.addEdge(header, left);
+            cfg.addEdge(header, right);
+            cfg.addEdge(left, join);
+            cfg.addEdge(right, join);
+            cfg.addEdge(join, header);
+            current = join;
+        }
+        return cfg;
+    }
+    int benchmark() {
+        ControlFlowGraph cfg = buildGraph(12);
+        LoopFinder finder = new LoopFinder(cfg);
+        int total = 0;
+        for (int i = 0; i < 4; i++) total += finder.findLoops();
+        return total * 1000 + cfg.size();
+    }
+}
+"""
+
+# Recursive-descent JSON parser over a fixed document, with the original's
+# value-class hierarchy.
+JSON = """
+class JsonValue {
+    boolean isObject() { return false; }
+    boolean isArray() { return false; }
+    boolean isNumber() { return false; }
+    boolean isString() { return false; }
+    boolean isLiteral() { return false; }
+    int weight() { return 1; }
+}
+class JsonString extends JsonValue {
+    String value;
+    JsonString(String v) { value = v; }
+    boolean isString() { return true; }
+    int weight() { return 1 + value.length(); }
+}
+class JsonNumber extends JsonValue {
+    int value;
+    JsonNumber(int v) { value = v; }
+    boolean isNumber() { return true; }
+    int weight() { return 2; }
+}
+class JsonLiteral extends JsonValue {
+    String name;
+    JsonLiteral(String n) { name = n; }
+    boolean isLiteral() { return true; }
+}
+class JsonArray extends JsonValue {
+    Vector items;
+    JsonArray() { items = new Vector(); }
+    boolean isArray() { return true; }
+    void add(JsonValue v) { items.append(v); }
+    int weight() {
+        int total = 1;
+        for (int i = 0; i < items.size(); i++) {
+            JsonValue v = (JsonValue) items.at(i);
+            total += v.weight();
+        }
+        return total;
+    }
+}
+class JsonObject extends JsonValue {
+    Vector names;
+    Vector values;
+    JsonObject() { names = new Vector(); values = new Vector(); }
+    boolean isObject() { return true; }
+    void add(String name, JsonValue v) { names.append(name); values.append(v); }
+    int weight() {
+        int total = 1;
+        for (int i = 0; i < values.size(); i++) {
+            JsonValue v = (JsonValue) values.at(i);
+            String n = (String) names.at(i);
+            total += v.weight() + n.length();
+        }
+        return total;
+    }
+}
+class JsonParser {
+    String input;
+    int index;
+    JsonParser(String text) { input = text; index = 0; }
+    int peek() {
+        if (index >= input.length()) return -1;
+        return input.charAt(index);
+    }
+    int read() { int c = peek(); index++; return c; }
+    void skipWhitespace() {
+        while (peek() == ' ' || peek() == '\\n' || peek() == '\\t') index++;
+    }
+    JsonValue parseValue() {
+        skipWhitespace();
+        int c = peek();
+        if (c == '{') return parseObject();
+        if (c == '[') return parseArray();
+        if (c == '"') return new JsonString(parseString());
+        if (c == 't') { index += 4; return new JsonLiteral("true"); }
+        if (c == 'f') { index += 5; return new JsonLiteral("false"); }
+        if (c == 'n') { index += 4; return new JsonLiteral("null"); }
+        return parseNumber();
+    }
+    JsonObject parseObject() {
+        JsonObject obj = new JsonObject();
+        read(); // {
+        skipWhitespace();
+        if (peek() == '}') { read(); return obj; }
+        while (true) {
+            skipWhitespace();
+            String name = parseString();
+            skipWhitespace();
+            read(); // :
+            obj.add(name, parseValue());
+            skipWhitespace();
+            if (peek() == ',') { read(); } else { read(); return obj; }
+        }
+    }
+    JsonArray parseArray() {
+        JsonArray arr = new JsonArray();
+        read(); // [
+        skipWhitespace();
+        if (peek() == ']') { read(); return arr; }
+        while (true) {
+            arr.add(parseValue());
+            skipWhitespace();
+            if (peek() == ',') { read(); } else { read(); return arr; }
+        }
+    }
+    String parseString() {
+        read(); // "
+        int start = index;
+        while (peek() != '"') index++;
+        String result = input.substring(start, index);
+        read(); // "
+        return result;
+    }
+    JsonValue parseNumber() {
+        int start = index;
+        if (peek() == '-') index++;
+        while (peek() >= '0' && peek() <= '9') index++;
+        String digits = input.substring(start, index);
+        int value = 0;
+        int sign = 1;
+        int i = 0;
+        if (digits.charAt(0) == '-') { sign = -1; i = 1; }
+        while (i < digits.length()) {
+            value = value * 10 + (digits.charAt(i) - '0');
+            i++;
+        }
+        return new JsonNumber(value * sign);
+    }
+}
+class Json {
+    static final String DOCUMENT = "{\\"head\\": {\\"requestCounter\\": 4}, \\"operations\\": [[\\"destroy\\", \\"w54\\"], [\\"set\\", \\"w2\\", {\\"activeControl\\": \\"w99\\"}], [\\"set\\", \\"w21\\", {\\"customVariant\\": \\"variant_navigation\\"}], [\\"set\\", \\"w28\\", {\\"customText\\": \\"Dynamic fonts\\"}], [\\"call\\", \\"w1\\", \\"measure\\", {\\"strings\\": [\\"text one\\", \\"text two\\"], \\"counts\\": [1, 2, 3, -7]}]]}";
+    int benchmark() {
+        int total = 0;
+        for (int i = 0; i < 3; i++) {
+            JsonParser parser = new JsonParser(Json.DOCUMENT);
+            JsonValue doc = parser.parseValue();
+            total += doc.weight();
+        }
+        return total;
+    }
+}
+"""
+
+# Richards OS-scheduler simulation: the classic task/packet state machine
+# with the original task hierarchy, reduced queue lengths.
+RICHARDS = """
+class Packet {
+    Packet link;
+    int identity;
+    int kind;
+    int datum;
+    int[] data;
+    Packet(Packet l, int id, int k) {
+        link = l;
+        identity = id;
+        kind = k;
+        datum = 0;
+        data = new int[4];
+    }
+}
+class TaskControlBlock {
+    TaskControlBlock link;
+    int identity;
+    int priority;
+    Packet input;
+    boolean packetPending;
+    boolean taskWaiting;
+    boolean taskHolding;
+    Scheduler scheduler;
+    TaskControlBlock(TaskControlBlock l, int id, int prio, Packet queue, Scheduler s) {
+        link = l;
+        identity = id;
+        priority = prio;
+        input = queue;
+        packetPending = queue != null;
+        taskWaiting = false;
+        taskHolding = false;
+        scheduler = s;
+    }
+    TaskControlBlock runTask() {
+        Packet message = null;
+        if (isWaitingWithPacket()) {
+            message = input;
+            input = message.link;
+            packetPending = input != null;
+            taskWaiting = false;
+        }
+        return processPacket(message);
+    }
+    TaskControlBlock processPacket(Packet work) { return scheduler.markWaiting(); }
+    boolean isWaitingWithPacket() { return packetPending && taskWaiting && !taskHolding; }
+    TaskControlBlock addPacket(Packet packet, TaskControlBlock old) {
+        packet.link = null;
+        if (input == null) {
+            input = packet;
+            packetPending = true;
+            if (priority > old.priority) return this;
+        } else {
+            Packet mouse = input;
+            while (mouse.link != null) mouse = mouse.link;
+            mouse.link = packet;
+        }
+        return old;
+    }
+}
+class IdleTask extends TaskControlBlock {
+    int count;
+    int control;
+    IdleTask(int id, int prio, int cnt, Scheduler s) {
+        super(null, id, prio, null, s);
+        count = cnt;
+        control = 1;
+    }
+    TaskControlBlock processPacket(Packet work) {
+        count--;
+        if (count == 0) return scheduler.holdSelf();
+        if ((control & 1) == 0) {
+            control = control / 2;
+            return scheduler.release(1);
+        }
+        control = (control / 2) ^ 53256;
+        return scheduler.release(2);
+    }
+}
+class WorkerTask extends TaskControlBlock {
+    int destination;
+    int count;
+    WorkerTask(int id, int prio, Packet queue, Scheduler s) {
+        super(null, id, prio, queue, s);
+        destination = 1;
+        count = 0;
+    }
+    TaskControlBlock processPacket(Packet work) {
+        if (work == null) return scheduler.markWaiting();
+        if (destination == 1) destination = 2; else destination = 1;
+        work.identity = destination;
+        work.datum = 0;
+        for (int i = 0; i < 4; i++) {
+            count++;
+            if (count > 26) count = 1;
+            work.data[i] = 64 + count;
+        }
+        return scheduler.queuePacket(work);
+    }
+}
+class HandlerTask extends TaskControlBlock {
+    Packet workIn;
+    Packet deviceIn;
+    HandlerTask(int id, int prio, Packet queue, Scheduler s) {
+        super(null, id, prio, queue, s);
+        workIn = null;
+        deviceIn = null;
+    }
+    TaskControlBlock processPacket(Packet work) {
+        if (work != null) {
+            if (work.kind == 1) workIn = appendTo(workIn, work);
+            else deviceIn = appendTo(deviceIn, work);
+        }
+        if (workIn != null) {
+            int count = workIn.datum;
+            if (count >= 4) {
+                Packet rest = workIn.link;
+                scheduler.holdCount++;
+                workIn = rest;
+            } else if (deviceIn != null) {
+                Packet device = deviceIn;
+                deviceIn = device.link;
+                device.datum = workIn.data[count];
+                workIn.datum = count + 1;
+                return scheduler.queuePacket(device);
+            }
+        }
+        return scheduler.markWaiting();
+    }
+    Packet appendTo(Packet queue, Packet packet) {
+        packet.link = null;
+        if (queue == null) return packet;
+        Packet mouse = queue;
+        while (mouse.link != null) mouse = mouse.link;
+        mouse.link = packet;
+        return queue;
+    }
+}
+class Scheduler {
+    TaskControlBlock taskList;
+    TaskControlBlock currentTask;
+    TaskControlBlock[] taskTable;
+    int queueCount;
+    int holdCount;
+    Scheduler() {
+        taskList = null;
+        currentTask = null;
+        taskTable = new TaskControlBlock[6];
+        queueCount = 0;
+        holdCount = 0;
+    }
+    void addTask(int identity, TaskControlBlock task) {
+        task.link = taskList;
+        taskList = task;
+        taskTable[identity] = task;
+    }
+    void schedule() {
+        currentTask = taskList;
+        int guard = 0;
+        while (currentTask != null && guard < 5000) {
+            guard++;
+            TaskControlBlock next;
+            if (currentTask.taskHolding || (currentTask.taskWaiting && !currentTask.packetPending)) {
+                next = currentTask.link;
+            } else {
+                next = currentTask.runTask();
+            }
+            currentTask = next;
+        }
+    }
+    TaskControlBlock markWaiting() {
+        currentTask.taskWaiting = true;
+        return currentTask.link;
+    }
+    TaskControlBlock holdSelf() {
+        holdCount++;
+        currentTask.taskHolding = true;
+        return currentTask.link;
+    }
+    TaskControlBlock release(int identity) {
+        TaskControlBlock task = taskTable[identity];
+        if (task == null) return null;
+        task.taskHolding = false;
+        if (task.priority > currentTask.priority) return task;
+        return currentTask;
+    }
+    TaskControlBlock queuePacket(Packet packet) {
+        TaskControlBlock task = taskTable[packet.identity];
+        if (task == null) return null;
+        queueCount++;
+        return task.addPacket(packet, currentTask);
+    }
+}
+class Richards {
+    int benchmark() {
+        Scheduler scheduler = new Scheduler();
+        scheduler.addTask(0, new IdleTask(0, 0, 200, scheduler));
+        Packet wq = new Packet(null, 1, 1);
+        wq = new Packet(wq, 1, 1);
+        scheduler.addTask(1, new WorkerTask(1, 1000, wq, scheduler));
+        Packet hq = new Packet(null, 2, 2);
+        hq = new Packet(hq, 2, 2);
+        hq = new Packet(hq, 2, 2);
+        scheduler.addTask(2, new HandlerTask(2, 2000, hq, scheduler));
+        scheduler.addTask(3, new HandlerTask(3, 3000, null, scheduler));
+        scheduler.schedule();
+        return scheduler.queueCount * 1000 + scheduler.holdCount;
+    }
+}
+"""

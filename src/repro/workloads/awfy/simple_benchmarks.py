@@ -1,0 +1,398 @@
+"""AWFY micro benchmarks with compact kernels (MiniJava sources).
+
+Bounce, List, Mandelbrot, NBody, Permute, Queens, Sieve, Storage, Towers —
+ported from the "Are We Fast Yet?" suite [Marr et al., DLS'16], scaled down
+to startup-sized inputs (the paper evaluates first-execution behaviour, not
+steady state).
+"""
+
+BOUNCE = """
+class Ball {
+    int x; int y; int xVel; int yVel;
+    Ball(SomRandom random) {
+        x = random.next() % 500;
+        y = random.next() % 500;
+        xVel = (random.next() % 300) - 150;
+        yVel = (random.next() % 300) - 150;
+    }
+    boolean bounce() {
+        int xLimit = 500;
+        int yLimit = 500;
+        boolean bounced = false;
+        x += xVel;
+        y += yVel;
+        if (x > xLimit) { x = xLimit; xVel = 0 - abs(xVel); bounced = true; }
+        if (x < 0) { x = 0; xVel = abs(xVel); bounced = true; }
+        if (y > yLimit) { y = yLimit; yVel = 0 - abs(yVel); bounced = true; }
+        if (y < 0) { y = 0; yVel = abs(yVel); bounced = true; }
+        return bounced;
+    }
+}
+class Bounce {
+    int benchmark() {
+        SomRandom random = new SomRandom();
+        int ballCount = 30;
+        int bounces = 0;
+        Ball[] balls = new Ball[ballCount];
+        for (int i = 0; i < ballCount; i++) balls[i] = new Ball(random);
+        for (int i = 0; i < 30; i++) {
+            for (int j = 0; j < ballCount; j++) {
+                if (balls[j].bounce()) bounces++;
+            }
+        }
+        return bounces;
+    }
+}
+"""
+
+LIST = """
+class ListElement {
+    int val;
+    ListElement next;
+    ListElement(int v) { val = v; }
+    int length() {
+        if (next == null) return 1;
+        return 1 + next.length();
+    }
+}
+class ListBench {
+    ListElement makeList(int length) {
+        if (length == 0) return null;
+        ListElement e = new ListElement(length);
+        e.next = makeList(length - 1);
+        return e;
+    }
+    boolean isShorterThan(ListElement x, ListElement y) {
+        ListElement xTail = x;
+        ListElement yTail = y;
+        while (yTail != null) {
+            if (xTail == null) return true;
+            xTail = xTail.next;
+            yTail = yTail.next;
+        }
+        return false;
+    }
+    ListElement tail(ListElement x, ListElement y, ListElement z) {
+        if (isShorterThan(y, x)) {
+            return tail(tail(x.next, y, z), tail(y.next, z, x), tail(z.next, x, y));
+        }
+        return z;
+    }
+    int benchmark() {
+        ListElement result = tail(makeList(9), makeList(6), makeList(4));
+        return result.length();
+    }
+}
+"""
+
+MANDELBROT = """
+class Mandelbrot {
+    int benchmark() { return mandelbrot(32); }
+    int mandelbrot(int size) {
+        int sum = 0;
+        int byteAcc = 0;
+        int bitNum = 0;
+        int y = 0;
+        while (y < size) {
+            double ci = (2.0 * y / size) - 1.0;
+            int x = 0;
+            while (x < size) {
+                double zrzr = 0.0;
+                double zi = 0.0;
+                double zizi = 0.0;
+                double cr = (2.0 * x / size) - 1.5;
+                int z = 0;
+                boolean notDone = true;
+                int escape = 0;
+                while (notDone && z < 50) {
+                    double zr = zrzr - zizi + cr;
+                    zi = 2.0 * zr * zi + ci;
+                    zrzr = zr * zr;
+                    zizi = zi * zi;
+                    if (zrzr + zizi > 4.0) { notDone = false; escape = 1; }
+                    z++;
+                }
+                byteAcc = (byteAcc << 1) + escape;
+                bitNum++;
+                if (bitNum == 8) { sum ^= byteAcc; byteAcc = 0; bitNum = 0; }
+                else if (x == size - 1) {
+                    byteAcc <<= (8 - bitNum);
+                    sum ^= byteAcc;
+                    byteAcc = 0;
+                    bitNum = 0;
+                }
+                x++;
+            }
+            y++;
+        }
+        return sum;
+    }
+}
+"""
+
+NBODY = """
+class Body {
+    double x; double y; double z;
+    double vx; double vy; double vz;
+    double mass;
+    Body(double x0, double y0, double z0, double vx0, double vy0, double vz0, double m) {
+        x = x0; y = y0; z = z0;
+        vx = vx0 * 365.24; vy = vy0 * 365.24; vz = vz0 * 365.24;
+        mass = m * 39.47841760435743;
+    }
+    void offsetMomentum(double px, double py, double pz) {
+        vx = 0.0 - (px / 39.47841760435743);
+        vy = 0.0 - (py / 39.47841760435743);
+        vz = 0.0 - (pz / 39.47841760435743);
+    }
+}
+class NBodySystem {
+    Body[] bodies;
+    NBodySystem() {
+        bodies = new Body[5];
+        bodies[0] = new Body(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0);
+        bodies[1] = new Body(4.84143144246472090, -1.16032004402742839, -0.103622044471123109,
+                             0.00166007664274403694, 0.00769901118419740425, -0.0000690460016972063023,
+                             0.000954791938424326609);
+        bodies[2] = new Body(8.34336671824457987, 4.12479856412430479, -0.403523417114321381,
+                             -0.00276742510726862411, 0.00499852801234917238, 0.0000230417297573763929,
+                             0.000285885980666130812);
+        bodies[3] = new Body(12.8943695621391310, -15.1111514016986312, -0.223307578892655734,
+                             0.00296460137564761618, 0.00237847173959480950, -0.0000296589568540237556,
+                             0.0000436624404335156298);
+        bodies[4] = new Body(15.3796971148509165, -25.9193146099879641, 0.179258772950371181,
+                             0.00268067772490389322, 0.00162824170038242295, -0.0000951592254519715870,
+                             0.0000515138902046611451);
+        double px = 0.0; double py = 0.0; double pz = 0.0;
+        for (int i = 0; i < bodies.length; i++) {
+            px += bodies[i].vx * bodies[i].mass;
+            py += bodies[i].vy * bodies[i].mass;
+            pz += bodies[i].vz * bodies[i].mass;
+        }
+        bodies[0].offsetMomentum(px, py, pz);
+    }
+    void advance(double dt) {
+        for (int i = 0; i < bodies.length; i++) {
+            Body iBody = bodies[i];
+            for (int j = i + 1; j < bodies.length; j++) {
+                Body jBody = bodies[j];
+                double dx = iBody.x - jBody.x;
+                double dy = iBody.y - jBody.y;
+                double dz = iBody.z - jBody.z;
+                double dSquared = dx * dx + dy * dy + dz * dz;
+                double distance = sqrt(dSquared);
+                double mag = dt / (dSquared * distance);
+                iBody.vx -= dx * jBody.mass * mag;
+                iBody.vy -= dy * jBody.mass * mag;
+                iBody.vz -= dz * jBody.mass * mag;
+                jBody.vx += dx * iBody.mass * mag;
+                jBody.vy += dy * iBody.mass * mag;
+                jBody.vz += dz * iBody.mass * mag;
+            }
+            iBody.x += dt * iBody.vx;
+            iBody.y += dt * iBody.vy;
+            iBody.z += dt * iBody.vz;
+        }
+    }
+    double energy() {
+        double e = 0.0;
+        for (int i = 0; i < bodies.length; i++) {
+            Body iBody = bodies[i];
+            e += 0.5 * iBody.mass * (iBody.vx * iBody.vx + iBody.vy * iBody.vy + iBody.vz * iBody.vz);
+            for (int j = i + 1; j < bodies.length; j++) {
+                Body jBody = bodies[j];
+                double dx = iBody.x - jBody.x;
+                double dy = iBody.y - jBody.y;
+                double dz = iBody.z - jBody.z;
+                double distance = sqrt(dx * dx + dy * dy + dz * dz);
+                e -= (iBody.mass * jBody.mass) / distance;
+            }
+        }
+        return e;
+    }
+}
+class NBody {
+    int benchmark() {
+        NBodySystem system = new NBodySystem();
+        for (int i = 0; i < 25; i++) system.advance(0.01);
+        double e = system.energy();
+        // scale to a stable integer checksum
+        return (int)(e * -1000000.0);
+    }
+}
+"""
+
+PERMUTE = """
+class Permute {
+    int count;
+    int[] v;
+    int benchmark() {
+        count = 0;
+        v = new int[6];
+        permute(6);
+        return count;
+    }
+    void permute(int n) {
+        count++;
+        if (n != 0) {
+            int n1 = n - 1;
+            permute(n1);
+            for (int i = n1; i >= 0; i--) {
+                swap(n1, i);
+                permute(n1);
+                swap(n1, i);
+            }
+        }
+    }
+    void swap(int i, int j) {
+        int tmp = v[i];
+        v[i] = v[j];
+        v[j] = tmp;
+    }
+}
+"""
+
+QUEENS = """
+class Queens {
+    boolean[] freeMaxs;
+    boolean[] freeRows;
+    boolean[] freeMins;
+    int[] queenRows;
+    int solutions;
+    int benchmark() {
+        solutions = 0;
+        int result = 0;
+        for (int i = 0; i < 5; i++) {
+            if (queens()) result++;
+        }
+        return result * 100 + solutions;
+    }
+    boolean queens() {
+        freeRows = new boolean[8];
+        freeMaxs = new boolean[16];
+        freeMins = new boolean[16];
+        queenRows = new int[8];
+        for (int i = 0; i < 8; i++) { freeRows[i] = true; queenRows[i] = -1; }
+        for (int i = 0; i < 16; i++) { freeMaxs[i] = true; freeMins[i] = true; }
+        boolean ok = placeQueen(0);
+        if (ok) solutions++;
+        return ok;
+    }
+    boolean placeQueen(int c) {
+        for (int r = 0; r < 8; r++) {
+            if (getRowColumn(r, c)) {
+                queenRows[r] = c;
+                setRowColumn(r, c, false);
+                if (c == 7) return true;
+                if (placeQueen(c + 1)) return true;
+                setRowColumn(r, c, true);
+            }
+        }
+        return false;
+    }
+    boolean getRowColumn(int r, int c) {
+        return freeRows[r] && freeMaxs[c + r] && freeMins[c - r + 7];
+    }
+    void setRowColumn(int r, int c, boolean v) {
+        freeRows[r] = v;
+        freeMaxs[c + r] = v;
+        freeMins[c - r + 7] = v;
+    }
+}
+"""
+
+SIEVE = """
+class Sieve {
+    int benchmark() {
+        boolean[] flags = new boolean[1000];
+        return sieve(flags, 1000);
+    }
+    int sieve(boolean[] flags, int size) {
+        int primeCount = 0;
+        for (int i = 0; i < size; i++) flags[i] = true;
+        for (int i = 2; i <= size; i++) {
+            if (flags[i - 1]) {
+                primeCount++;
+                for (int k = i + i; k <= size; k += i) flags[k - 1] = false;
+            }
+        }
+        return primeCount;
+    }
+}
+"""
+
+STORAGE = """
+class TreeNode {
+    Object[] children;
+}
+class Storage {
+    int count;
+    int benchmark() {
+        SomRandom random = new SomRandom();
+        count = 0;
+        buildTreeDepth(5, random);
+        return count;
+    }
+    Object buildTreeDepth(int depth, SomRandom random) {
+        count++;
+        if (depth == 1) {
+            return new Object[random.next() % 8 + 1];
+        }
+        Object[] arr = new Object[4];
+        for (int i = 0; i < 4; i++) arr[i] = buildTreeDepth(depth - 1, random);
+        return arr;
+    }
+}
+"""
+
+TOWERS = """
+class TowersDisk {
+    int size;
+    TowersDisk next;
+    TowersDisk(int s) { size = s; }
+}
+class Towers {
+    TowersDisk[] piles;
+    int movesDone;
+    int benchmark() {
+        piles = new TowersDisk[3];
+        buildTowerAt(0, 10);
+        movesDone = 0;
+        moveDisks(10, 0, 1);
+        return movesDone;
+    }
+    void pushDisk(TowersDisk disk, int pile) {
+        TowersDisk top = piles[pile];
+        if (top != null && disk.size >= top.size) {
+            println("Cannot put a big disk on a smaller one");
+            return;
+        }
+        disk.next = top;
+        piles[pile] = disk;
+    }
+    TowersDisk popDiskFrom(int pile) {
+        TowersDisk top = piles[pile];
+        if (top == null) {
+            println("Attempting to remove a disk from an empty pile");
+            return null;
+        }
+        piles[pile] = top.next;
+        top.next = null;
+        return top;
+    }
+    void moveTopDisk(int fromPile, int toPile) {
+        pushDisk(popDiskFrom(fromPile), toPile);
+        movesDone++;
+    }
+    void buildTowerAt(int pile, int disks) {
+        for (int i = disks; i > 0; i--) pushDisk(new TowersDisk(i), pile);
+    }
+    void moveDisks(int disks, int fromPile, int toPile) {
+        if (disks == 1) { moveTopDisk(fromPile, toPile); return; }
+        int otherPile = (3 - fromPile) - toPile;
+        moveDisks(disks - 1, fromPile, otherPile);
+        moveTopDisk(fromPile, toPile);
+        moveDisks(disks - 1, otherPile, toPile);
+    }
+}
+"""

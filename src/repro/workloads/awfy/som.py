@@ -1,0 +1,173 @@
+"""The ``som`` support library, in MiniJava.
+
+The real AWFY suite ships its own deterministic collection library
+(``som.Vector``, ``som.Random``, ...) so that every language implementation
+executes the same algorithms.  We mirror that: the benchmarks below use
+these classes rather than host collections, which also puts realistic
+generic data structures into every image's code and heap sections.
+"""
+
+SOM_LIBRARY = """
+class SomRandom {
+    int seed;
+    SomRandom() { seed = 74755; }
+    int next() {
+        seed = ((seed * 1309) + 13849) & 65535;
+        return seed;
+    }
+}
+
+class Vector {
+    Object[] storage;
+    int firstIdx;
+    int lastIdx;
+    Vector() {
+        storage = new Object[8];
+        firstIdx = 0;
+        lastIdx = 0;
+    }
+    static Vector withSize(int size) {
+        Vector v = new Vector();
+        v.storage = new Object[size];
+        v.lastIdx = size;
+        return v;
+    }
+    int size() { return lastIdx - firstIdx; }
+    boolean isEmpty() { return lastIdx == firstIdx; }
+    Object at(int idx) {
+        if (idx >= storage.length) return null;
+        return storage[firstIdx + idx];
+    }
+    void atPut(int idx, Object val) {
+        if (idx >= storage.length - firstIdx) {
+            int newLength = storage.length;
+            while (newLength <= idx + firstIdx) newLength *= 2;
+            Object[] fresh = new Object[newLength];
+            for (int i = 0; i < lastIdx; i++) fresh[i] = storage[i];
+            storage = fresh;
+        }
+        storage[firstIdx + idx] = val;
+        if (lastIdx < idx + firstIdx + 1) lastIdx = idx + firstIdx + 1;
+    }
+    void append(Object elem) {
+        if (lastIdx >= storage.length) {
+            Object[] fresh = new Object[storage.length * 2];
+            for (int i = 0; i < lastIdx; i++) fresh[i] = storage[i];
+            storage = fresh;
+        }
+        storage[lastIdx] = elem;
+        lastIdx++;
+    }
+    Object removeFirst() {
+        if (isEmpty()) return null;
+        Object elem = storage[firstIdx];
+        storage[firstIdx] = null;
+        firstIdx++;
+        return elem;
+    }
+    Object removeLast() {
+        if (isEmpty()) return null;
+        lastIdx--;
+        Object elem = storage[lastIdx];
+        storage[lastIdx] = null;
+        return elem;
+    }
+    boolean remove(Object obj) {
+        int moved = 0;
+        boolean found = false;
+        for (int i = firstIdx; i < lastIdx; i++) {
+            if (storage[i] == obj) { found = true; }
+            else { storage[firstIdx + moved] = storage[i]; moved++; }
+        }
+        for (int i = firstIdx + moved; i < lastIdx; i++) storage[i] = null;
+        lastIdx = firstIdx + moved;
+        return found;
+    }
+    void removeAll() {
+        storage = new Object[storage.length];
+        firstIdx = 0;
+        lastIdx = 0;
+    }
+}
+
+class IntVector {
+    int[] storage;
+    int count;
+    IntVector() { storage = new int[8]; count = 0; }
+    int size() { return count; }
+    void append(int value) {
+        if (count >= storage.length) {
+            int[] fresh = new int[storage.length * 2];
+            for (int i = 0; i < count; i++) fresh[i] = storage[i];
+            storage = fresh;
+        }
+        storage[count] = value;
+        count++;
+    }
+    int at(int idx) { return storage[idx]; }
+    void atPut(int idx, int value) { storage[idx] = value; }
+    boolean contains(int value) {
+        for (int i = 0; i < count; i++) { if (storage[i] == value) return true; }
+        return false;
+    }
+}
+
+class SomDictionary {
+    // Open-addressing hash map from int keys to Object values.
+    int[] keys;
+    Object[] vals;
+    boolean[] used;
+    int count;
+    SomDictionary() {
+        keys = new int[32];
+        vals = new Object[32];
+        used = new boolean[32];
+        count = 0;
+    }
+    int indexFor(int key) {
+        int mask = keys.length - 1;
+        int idx = (key * 31) & mask;
+        while (used[idx] && keys[idx] != key) idx = (idx + 1) & mask;
+        return idx;
+    }
+    void put(int key, Object value) {
+        if (count * 2 >= keys.length) grow();
+        int idx = indexFor(key);
+        if (!used[idx]) { used[idx] = true; keys[idx] = key; count++; }
+        vals[idx] = value;
+    }
+    Object get(int key) {
+        int idx = indexFor(key);
+        if (used[idx]) return vals[idx];
+        return null;
+    }
+    boolean containsKey(int key) { return used[indexFor(key)]; }
+    int size() { return count; }
+    void grow() {
+        int[] oldKeys = keys;
+        Object[] oldVals = vals;
+        boolean[] oldUsed = used;
+        keys = new int[oldKeys.length * 2];
+        vals = new Object[oldKeys.length * 2];
+        used = new boolean[oldKeys.length * 2];
+        count = 0;
+        for (int i = 0; i < oldKeys.length; i++) {
+            if (oldUsed[i]) put(oldKeys[i], oldVals[i]);
+        }
+    }
+}
+
+class SomIntSet {
+    IntVector items;
+    SomIntSet() { items = new IntVector(); }
+    boolean add(int value) {
+        if (items.contains(value)) return false;
+        items.append(value);
+        return true;
+    }
+    boolean contains(int value) { return items.contains(value); }
+    int size() { return items.size(); }
+}
+
+class Object { }
+"""

@@ -1,0 +1,95 @@
+"""The AWFY suite assembled into runnable workloads.
+
+Each workload = som support library + the benchmark's MiniJava source +
+runtime ballast (seeded per benchmark, so images differ across benchmarks
+as they would with different classpaths) + a harness ``Main`` that boots the
+runtime, runs the benchmark once, and prints the checksum.
+
+The paper runs AWFY as FaaS-style run-to-completion programs measured
+end-to-end (Sec. 7.1); a single in-process iteration is exactly the
+startup-dominated regime being optimized.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...eval.pipeline import Workload
+from ..ballast import generate_ballast
+from .complex_benchmarks import CD, DELTABLUE, HAVLAK, JSON, RICHARDS
+from .simple_benchmarks import (
+    BOUNCE,
+    LIST,
+    MANDELBROT,
+    NBODY,
+    PERMUTE,
+    QUEENS,
+    SIEVE,
+    STORAGE,
+    TOWERS,
+)
+from .som import SOM_LIBRARY
+
+#: benchmark name -> (source, benchmark class)
+_BENCHMARKS = {
+    "Bounce": (BOUNCE, "Bounce"),
+    "CD": (CD, "CD"),
+    "DeltaBlue": (DELTABLUE, "DeltaBlue"),
+    "Havlak": (HAVLAK, "Havlak"),
+    "Json": (JSON, "Json"),
+    "List": (LIST, "ListBench"),
+    "Mandelbrot": (MANDELBROT, "Mandelbrot"),
+    "NBody": (NBODY, "NBody"),
+    "Permute": (PERMUTE, "Permute"),
+    "Queens": (QUEENS, "Queens"),
+    "Richards": (RICHARDS, "Richards"),
+    "Sieve": (SIEVE, "Sieve"),
+    "Storage": (STORAGE, "Storage"),
+    "Towers": (TOWERS, "Towers"),
+}
+
+AWFY_NAMES: List[str] = list(_BENCHMARKS)
+
+
+def _harness(name: str, bench_class: str) -> str:
+    return f"""
+class Main {{
+    static int main() {{
+        RuntimeSystem.boot();
+        {bench_class} bench = new {bench_class}();
+        int result = bench.benchmark();
+        println("{name}: " + result);
+        return result;
+    }}
+}}
+"""
+
+
+def awfy_workload(
+    name: str,
+    ballast_subsystems: int = 12,
+    ballast_classes: int = 3,
+    ballast_methods: int = 8,
+) -> Workload:
+    """Assemble one AWFY workload by benchmark name."""
+    if name not in _BENCHMARKS:
+        raise KeyError(f"unknown AWFY benchmark {name!r}; choose from {AWFY_NAMES}")
+    source_text, bench_class = _BENCHMARKS[name]
+    ballast = generate_ballast(
+        seed=1000 + AWFY_NAMES.index(name),
+        subsystems=ballast_subsystems,
+        classes_per_subsystem=ballast_classes,
+        methods_per_class=ballast_methods,
+    )
+    source = "\n".join([SOM_LIBRARY, source_text, ballast, _harness(name, bench_class)])
+    return Workload(
+        name=name,
+        source=source,
+        microservice=False,
+        description=f"AWFY {name} (single startup-sized iteration)",
+    )
+
+
+def awfy_suite(**kwargs) -> Dict[str, Workload]:
+    """All 14 AWFY workloads, keyed by name."""
+    return {name: awfy_workload(name, **kwargs) for name in AWFY_NAMES}

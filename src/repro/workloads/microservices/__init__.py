@@ -1,0 +1,5 @@
+"""Hello-world microservice workloads (micronaut / quarkus / spring)."""
+
+from .suite import MICROSERVICE_NAMES, microservice_suite, microservice_workload
+
+__all__ = ["MICROSERVICE_NAMES", "microservice_suite", "microservice_workload"]

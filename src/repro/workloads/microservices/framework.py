@@ -1,0 +1,324 @@
+"""Microservice-framework simulacrum generator.
+
+The paper evaluates a *hello-world* workload on micronaut, quarkus, and
+spring, because it is the framework startup (not user code) being measured
+(Sec. 7.1).  This generator emits a MiniJava "framework" with the moving
+parts that dominate real startups:
+
+* a property/config subsystem parsed from an embedded resource,
+* a logger with level tables,
+* a DI-style bean registry that instantiates generated component beans
+  (controllers/services/repositories) in dependency order,
+* a router mapping paths to controllers, a JSON codec for the response,
+* background threads (scheduler heartbeat, metrics), and
+* an HTTP-ish accept loop that produces the first response (``respond``)
+  and then keeps serving until the harness SIGKILLs it.
+
+The three frameworks differ in bean counts, config size, eager-vs-lazy
+initialization mix, and thread counts — enough for distinct layouts and
+distinct profiles, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..ballast import generate_ballast
+
+_KINDS = ("Controller", "Service", "Repository")
+
+
+@dataclass(frozen=True)
+class FrameworkSpec:
+    """Shape of one framework simulacrum."""
+
+    name: str
+    beans: int = 12
+    config_entries: int = 18
+    eager_fraction: float = 0.75  # beans initialized during boot
+    threads: int = 2
+    resource_bytes: int = 6144
+    ballast_seed: int = 42
+    ballast_subsystems: int = 14
+
+
+def generate_framework(spec: FrameworkSpec) -> str:
+    """Full MiniJava source for one framework + hello-world app."""
+    parts = [
+        _gen_logger(spec),
+        _gen_config(spec),
+        _gen_json_codec(),
+        _gen_beans(spec),
+        _gen_registry(spec),
+        _gen_router(spec),
+        _gen_background(spec),
+        _gen_server(spec),
+        generate_ballast(
+            seed=spec.ballast_seed,
+            subsystems=spec.ballast_subsystems,
+            classes_per_subsystem=3,
+            methods_per_class=7,
+        ),
+        _gen_main(spec),
+    ]
+    return "\n".join(parts)
+
+
+def _gen_logger(spec: FrameworkSpec) -> str:
+    return f"""
+class Log {{
+    static String[] levels = new String[5];
+    static int threshold = 2;
+    static int emitted = 0;
+    static {{
+        levels[0] = "TRACE"; levels[1] = "DEBUG"; levels[2] = "INFO";
+        levels[3] = "WARN"; levels[4] = "ERROR";
+    }}
+    static void log(int level, String message) {{
+        if (level >= threshold) {{
+            Log.emitted = Log.emitted + 1;
+        }}
+    }}
+    static void info(String message) {{ log(2, message); }}
+    static void debug(String message) {{ log(1, message); }}
+}}
+"""
+
+
+def _gen_config(spec: FrameworkSpec) -> str:
+    pairs = []
+    for index in range(spec.config_entries):
+        pairs.append(f"{spec.name}.prop{index}=value-{index * 7 % 91}")
+    blob = "\\n".join(pairs)
+    return f"""
+class Config {{
+    static String raw = "{blob}";
+    static String[] keys = new String[{spec.config_entries}];
+    static String[] values = new String[{spec.config_entries}];
+    static int count = 0;
+    static void load() {{
+        int start = 0;
+        int idx = 0;
+        while (start < raw.length() && idx < {spec.config_entries}) {{
+            int eq = start;
+            while (eq < raw.length() && raw.charAt(eq) != '=') eq++;
+            int end = eq;
+            while (end < raw.length() && raw.charAt(end) != '\\n') end++;
+            keys[idx] = raw.substring(start, eq);
+            values[idx] = raw.substring(eq + 1, end);
+            idx++;
+            start = end + 1;
+        }}
+        Config.count = idx;
+        Log.info("config loaded");
+    }}
+    static String get(String key) {{
+        for (int i = 0; i < count; i++) {{
+            if (keys[i].equals(key)) return values[i];
+        }}
+        return null;
+    }}
+}}
+"""
+
+
+def _gen_json_codec() -> str:
+    return """
+class JsonWriter {
+    String buffer;
+    JsonWriter() { buffer = ""; }
+    JsonWriter beginObject() { buffer = buffer + "{"; return this; }
+    JsonWriter endObject() { buffer = buffer + "}"; return this; }
+    JsonWriter field(String name, String value) {
+        if (buffer.length() > 1) buffer = buffer + ",";
+        buffer = buffer + "\\"" + name + "\\":\\"" + value + "\\"";
+        return this;
+    }
+    String done() { return buffer; }
+}
+"""
+
+
+def _gen_beans(spec: FrameworkSpec) -> str:
+    parts: List[str] = ["""
+class Bean {
+    String beanName;
+    boolean initialized;
+    Bean(String n) { beanName = n; initialized = false; }
+    void init() { initialized = true; }
+    int handle(int request) { return request; }
+}
+"""]
+    for index in range(spec.beans):
+        kind = _KINDS[index % len(_KINDS)]
+        cls = f"{kind}{index}"
+        # Beans are deliberately self-similar (real frameworks stamp out
+        # near-identical component metadata): same (size, weight) classes
+        # produce structurally identical state arrays, the collision case
+        # of the structural-hash strategy.
+        weight = 3 + index % 3
+        size = 8 + (index % 3) * 8
+        parts.append(f"""
+class {cls} extends Bean {{
+    int[] state;
+    int[] meta;
+    String[] tags;
+    {cls}() {{
+        super("{cls.lower()}");
+        state = new int[{size}];
+        meta = new int[{size}];
+        tags = new String[4];
+    }}
+    void init() {{
+        for (int i = 0; i < state.length; i++) state[i] = (i * {weight}) % 53;
+        for (int i = 0; i < meta.length; i++) meta[i] = (i + {weight}) * 3 % 31;
+        tags[0] = beanName + ":singleton";
+        tags[1] = beanName + ":ready";
+        tags[2] = "scope-app";
+        tags[3] = "kind-{kind.lower()}";
+        initialized = true;
+        Log.debug(beanName);
+    }}
+    int handle(int request) {{
+        int acc = request;
+        for (int i = 0; i < {weight}; i++) acc += state[i % state.length];
+        acc += meta[acc % meta.length];
+        return acc;
+    }}
+}}
+""")
+    return "\n".join(parts)
+
+
+def _gen_registry(spec: FrameworkSpec) -> str:
+    eager_count = int(spec.beans * spec.eager_fraction)
+    creates = []
+    for index in range(spec.beans):
+        kind = _KINDS[index % len(_KINDS)]
+        creates.append(f"        register(new {kind}{index}());")
+    eager = [f"        initBean({i});" for i in range(eager_count)]
+    return f"""
+class BeanRegistry {{
+    static Bean[] beans = new Bean[{spec.beans}];
+    static int registered = 0;
+    static void register(Bean bean) {{
+        beans[registered] = bean;
+        registered++;
+    }}
+    static void initBean(int idx) {{
+        Bean bean = beans[idx];
+        if (!bean.initialized) bean.init();
+    }}
+    static Bean lookup(int idx) {{
+        Bean bean = beans[idx % registered];
+        if (!bean.initialized) bean.init();
+        return bean;
+    }}
+    static void bootstrap() {{
+{chr(10).join(creates)}
+{chr(10).join(eager)}
+        Log.info("registry ready");
+    }}
+}}
+"""
+
+
+def _gen_router(spec: FrameworkSpec) -> str:
+    return f"""
+class Router {{
+    static String[] paths = new String[4];
+    static int[] targets = new int[4];
+    static void mount() {{
+        paths[0] = "/"; targets[0] = 0;
+        paths[1] = "/hello"; targets[1] = 0;
+        paths[2] = "/health"; targets[2] = 1;
+        paths[3] = "/metrics"; targets[3] = 2;
+        Log.info("routes mounted");
+    }}
+    static int route(String path) {{
+        for (int i = 0; i < paths.length; i++) {{
+            if (paths[i].equals(path)) return targets[i];
+        }}
+        return 0;
+    }}
+}}
+"""
+
+
+def _gen_background(spec: FrameworkSpec) -> str:
+    spawns = []
+    for index in range(spec.threads):
+        spawns.append(f'        spawn("BackgroundWorker", "loop{index}");')
+    loops = []
+    for index in range(spec.threads):
+        loops.append(f"""
+    static void loop{index}() {{
+        for (int i = 0; i < 200; i++) {{
+            BackgroundWorker.ticks = BackgroundWorker.ticks + 1;
+            yieldThread();
+        }}
+    }}""")
+    return f"""
+class BackgroundWorker {{
+    static int ticks = 0;
+{''.join(loops)}
+    static void startAll() {{
+{chr(10).join(spawns)}
+    }}
+}}
+"""
+
+
+def _gen_server(spec: FrameworkSpec) -> str:
+    return f"""
+class Server {{
+    static int served = 0;
+    static String handleRequest(String path) {{
+        int target = Router.route(path);
+        Bean bean = BeanRegistry.lookup(target);
+        int payload = bean.handle(served);
+        JsonWriter writer = new JsonWriter();
+        writer.beginObject();
+        writer.field("message", "Hello, World!");
+        writer.field("framework", "{spec.name}");
+        writer.field("payload", "" + payload);
+        writer.endObject();
+        Server.served = Server.served + 1;
+        return writer.done();
+    }}
+    static void acceptLoop() {{
+        String first = handleRequest("/hello");
+        respond(first);
+        // keep serving until the harness kills the process
+        for (int i = 0; i < 100000; i++) {{
+            handleRequest("/hello");
+            yieldThread();
+        }}
+    }}
+}}
+"""
+
+
+def _gen_main(spec: FrameworkSpec) -> str:
+    return f"""
+class AppResources {{
+    // Registered during build-time initialization: ends up in the image
+    // heap with inclusion reason "Resource".
+    static Object banner = resource("{spec.name}-banner.txt", {spec.resource_bytes // 8});
+    static Object appJarIndex = resource("{spec.name}-app-index.bin", {spec.resource_bytes});
+}}
+class Main {{
+    static int main() {{
+        RuntimeSystem.boot();
+        if (AppResources.banner == null) return -1;
+        Log.info("starting {spec.name}");
+        Config.load();
+        BeanRegistry.bootstrap();
+        Router.mount();
+        BackgroundWorker.startAll();
+        Server.acceptLoop();
+        return Server.served;
+    }}
+}}
+"""

@@ -1,0 +1,72 @@
+"""The three microservice workloads of the evaluation (Sec. 7.1).
+
+Hello-world services in the style of micronaut, quarkus, and spring.  The
+specs encode the frameworks' folk characteristics rather than their code:
+spring boots the most beans eagerly with the largest configuration; quarkus
+does the most work at build time (fewer, leaner beans at runtime);
+micronaut sits in between.  All three are multi-threaded and measured by
+time-to-first-response, then SIGKILLed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...eval.pipeline import Workload
+from .framework import FrameworkSpec, generate_framework
+
+MICRONAUT = FrameworkSpec(
+    name="micronaut",
+    beans=24,
+    config_entries=16,
+    eager_fraction=0.5,
+    threads=2,
+    resource_bytes=6144,
+    ballast_seed=2101,
+    ballast_subsystems=14,
+)
+
+QUARKUS = FrameworkSpec(
+    name="quarkus",
+    beans=14,
+    config_entries=12,
+    eager_fraction=0.4,
+    threads=2,
+    resource_bytes=4096,
+    ballast_seed=2202,
+    ballast_subsystems=12,
+)
+
+SPRING = FrameworkSpec(
+    name="spring",
+    beans=32,
+    config_entries=24,
+    eager_fraction=0.8,
+    threads=3,
+    resource_bytes=8192,
+    ballast_seed=2303,
+    ballast_subsystems=16,
+)
+
+MICROSERVICE_SPECS = {spec.name: spec for spec in (MICRONAUT, QUARKUS, SPRING)}
+MICROSERVICE_NAMES: List[str] = list(MICROSERVICE_SPECS)
+
+
+def microservice_workload(name: str) -> Workload:
+    """Assemble one microservice workload by framework name."""
+    spec = MICROSERVICE_SPECS.get(name)
+    if spec is None:
+        raise KeyError(
+            f"unknown framework {name!r}; choose from {MICROSERVICE_NAMES}"
+        )
+    return Workload(
+        name=name,
+        source=generate_framework(spec),
+        microservice=True,
+        description=f"{name} hello-world startup (time to first response)",
+    )
+
+
+def microservice_suite() -> Dict[str, Workload]:
+    """All three microservice workloads, keyed by framework name."""
+    return {name: microservice_workload(name) for name in MICROSERVICE_NAMES}

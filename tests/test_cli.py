@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figures_defaults(self):
+        args = build_parser().parse_args(["figures"])
+        assert args.suite == "all"
+        assert args.builds == 2
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Bounce" in out and "spring" in out and "cu+heap path" in out
+
+    def test_compare_single_strategy(self, capsys):
+        assert main(["compare", "Sieve", "--strategy", "cu"]) == 0
+        out = capsys.readouterr().out
+        assert "[Sieve / cu]" in out and "speedup" in out
+
+    def test_compare_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "NotABenchmark"])
+
+    def test_compare_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "Sieve", "--strategy", "bogus"])
+
+    def test_pagemap_text(self, capsys):
+        assert main(["pagemap", "Sieve"]) == 0
+        out = capsys.readouterr().out
+        assert "regular binary" in out and "#" in out
+
+    def test_pagemap_heap(self, capsys):
+        assert main(["pagemap", "Sieve", "--heap"]) == 0
+        out = capsys.readouterr().out
+        assert ".svm_heap page map" in out
+        assert "faulted pages" in out
+
+    def test_emit_roundtrip(self, tmp_path, capsys):
+        out_path = tmp_path / "image.snib"
+        assert main(["emit", "Sieve", "-o", str(out_path)]) == 0
+        assert out_path.exists()
+        out = capsys.readouterr().out
+        assert "SNIB image" in out and "mode=regular" in out
+
+    def test_emit_optimized(self, tmp_path, capsys):
+        out_path = tmp_path / "opt.snib"
+        assert main(["emit", "Sieve", "-o", str(out_path), "--strategy", "cu"]) == 0
+        out = capsys.readouterr().out
+        assert "mode=optimized" in out
+
+    def test_figures_single_workload(self, capsys):
+        assert main([
+            "figures", "--suite", "awfy", "--builds", "1", "--runs", "1",
+            "--only", "Sieve",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out and "Figure 5" in out and "Sieve" in out
+
+    def test_overhead_subset(self, capsys):
+        assert main(["overhead", "--only", "Sieve"]) == 0
+        out = capsys.readouterr().out
+        assert "Sieve" in out and "micronaut" in out

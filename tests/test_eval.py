@@ -1,0 +1,180 @@
+"""Tests for the evaluation harness: experiments, figures, page maps."""
+
+import math
+
+import pytest
+
+from repro.eval.experiments import (
+    ExperimentConfig,
+    evaluate_workload,
+    profiling_overhead,
+    quick_config,
+)
+from repro.eval.figures import (
+    render_fig2,
+    render_fig3,
+    render_fig4,
+    render_fig5,
+    render_overhead,
+    run_fig6,
+)
+from repro.eval.pipeline import (
+    ALL_STRATEGY_SPECS,
+    STRATEGY_COMBINED,
+    STRATEGY_CU,
+    STRATEGY_HEAP_PATH,
+    Workload,
+    WorkloadPipeline,
+)
+from repro.eval.plotting import render_factor_chart, render_table
+from repro.eval.textmap import front_density, text_page_map
+from repro.util.stats import ConfidenceInterval
+from repro.workloads.awfy.suite import awfy_workload
+from repro.workloads.microservices.suite import microservice_workload
+
+
+@pytest.fixture(scope="module")
+def bounce_result():
+    return evaluate_workload(awfy_workload("Bounce"), quick_config())
+
+
+class TestEvaluateWorkload:
+    def test_all_strategies_present(self, bounce_result):
+        assert set(bounce_result.strategies) == {s.name for s in ALL_STRATEGY_SPECS}
+
+    def test_factors_positive_and_finite(self, bounce_result):
+        for result in bounce_result.strategies.values():
+            assert result.fault_factor.mean > 0
+            assert math.isfinite(result.fault_factor.mean)
+            assert result.speedup.mean > 0
+
+    def test_code_strategies_reduce_faults(self, bounce_result):
+        assert bounce_result.strategies["cu"].fault_factor.mean > 1.0
+        assert bounce_result.strategies["method"].fault_factor.mean > 1.0
+
+    def test_combined_beats_cu_alone_on_total_faults(self, bounce_result):
+        # cu+heap path covers both sections; its factor is computed over
+        # text+heap, cu's over text only — both should improve the baseline.
+        assert bounce_result.strategies["cu+heap path"].fault_factor.mean > 1.0
+
+    def test_baseline_recorded(self, bounce_result):
+        assert bounce_result.baseline_time_s > 0
+        assert bounce_result.baseline_faults[".text"] > 0
+
+    def test_sample_counts_match_builds(self, bounce_result):
+        for result in bounce_result.strategies.values():
+            assert len(result.fault_samples) == 1  # quick config: 1 build
+
+
+class TestPaperShapes:
+    """The artifact-appendix claims (B.3), on a fast subset."""
+
+    @pytest.fixture(scope="class")
+    def micro_result(self):
+        return evaluate_workload(microservice_workload("micronaut"), quick_config())
+
+    def test_cu_beats_method_on_microservices(self, micro_result):
+        assert (
+            micro_result.strategies["cu"].fault_factor.mean
+            >= micro_result.strategies["method"].fault_factor.mean
+        )
+
+    def test_heap_path_beats_incremental_on_microservices(self, micro_result):
+        assert (
+            micro_result.strategies["heap path"].fault_factor.mean
+            >= micro_result.strategies["incremental id"].fault_factor.mean
+        )
+
+    def test_code_strategies_never_slow_down(self, micro_result):
+        assert micro_result.strategies["cu"].speedup.mean >= 1.0
+        assert micro_result.strategies["method"].speedup.mean >= 1.0
+
+    def test_combined_is_best_speedup(self, micro_result):
+        combined = micro_result.strategies["cu+heap path"].speedup.mean
+        for name, result in micro_result.strategies.items():
+            if name != "cu+heap path":
+                assert combined >= result.speedup.mean - 1e-9
+
+
+class TestOverheadModel:
+    def test_overheads_are_moderate_factors(self):
+        result = profiling_overhead(awfy_workload("Towers"))
+        assert 1.0 <= result.cu_overhead < 10.0
+        assert 1.0 <= result.method_overhead < 10.0
+        assert 1.0 <= result.heap_overhead < 10.0
+        assert result.dump_mode == "dump-on-full"
+
+    def test_method_tracing_costs_more_than_cu(self):
+        result = profiling_overhead(awfy_workload("Towers"))
+        assert result.method_overhead >= result.cu_overhead
+
+    def test_microservices_use_mmap(self):
+        result = profiling_overhead(microservice_workload("quarkus"))
+        assert result.dump_mode == "mmap"
+
+
+class TestRendering:
+    def test_factor_chart_contains_values(self):
+        chart = render_factor_chart(
+            "T",
+            ["w1"],
+            ["s1"],
+            {"w1": {"s1": ConfidenceInterval(1.5, 0.1)}},
+            geomeans={"s1": 1.5},
+        )
+        assert "1.50x" in chart
+        assert "geomean" in chart
+
+    def test_table_alignment(self):
+        table = render_table("T", ["a", "bbb"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len({len(line) for line in lines[2:]}) >= 1
+        assert "333" in table
+
+    def test_fig_renderers_smoke(self, bounce_result):
+        from repro.eval.experiments import SuiteResult
+
+        suite = SuiteResult(suite="AWFY", workloads=[bounce_result])
+        for renderer in (render_fig2, render_fig5):
+            text = renderer(suite)
+            assert "Bounce" in text and "cu+heap path" in text
+        micro_suite = SuiteResult(suite="micro", workloads=[bounce_result])
+        assert "Figure 3" in render_fig3(micro_suite)
+        assert "Figure 4" in render_fig4(micro_suite)
+
+    def test_overhead_render(self):
+        result = profiling_overhead(awfy_workload("Sieve"))
+        text = render_overhead([result])
+        assert "Sieve" in text and "dump-on-full" in text
+
+
+class TestFig6PageMap:
+    def test_page_map_cells_cover_text_section(self):
+        pipeline = WorkloadPipeline(awfy_workload("Bounce"))
+        binary = pipeline.build_baseline()
+        page_map = text_page_map(binary, pipeline.exec_config)
+        from repro.image.sections import PAGE_SIZE
+
+        assert len(page_map.cells) == (binary.text.size + PAGE_SIZE - 1) // PAGE_SIZE
+        assert page_map.faulted > 0
+
+    def test_optimized_map_is_front_compacted(self):
+        pipeline = WorkloadPipeline(awfy_workload("Bounce"))
+        regular = pipeline.build_baseline(seed=1)
+        outcome = pipeline.profile(seed=1)
+        optimized = pipeline.build_optimized(outcome.profiles, STRATEGY_CU, seed=2)
+        regular_map = text_page_map(regular, pipeline.exec_config)
+        optimized_map = text_page_map(optimized, pipeline.exec_config)
+        # Fig. 6's claim: the cu layout compacts executed code to the front.
+        assert front_density(optimized_map) > front_density(regular_map)
+
+    def test_run_fig6_renders(self):
+        text = run_fig6()
+        assert "regular binary" in text
+        assert "#" in text
+
+    def test_native_blob_marked(self):
+        pipeline = WorkloadPipeline(awfy_workload("Bounce"))
+        binary = pipeline.build_baseline()
+        page_map = text_page_map(binary, pipeline.exec_config)
+        assert "N" in page_map.cells

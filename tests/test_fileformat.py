@@ -1,0 +1,92 @@
+"""Tests for the SNIB on-disk image container."""
+
+import pytest
+
+from repro.eval.pipeline import STRATEGY_CU, Workload, WorkloadPipeline
+from repro.image.fileformat import read_snib, write_snib
+from repro.workloads.awfy.suite import awfy_workload
+
+SOURCE = """
+class Data { static int[] nums = new int[8]; static String tag = "snib"; }
+class Main { static int main() { println(Data.tag); return Data.nums.length; } }
+"""
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return WorkloadPipeline(Workload(name="snib", source=SOURCE))
+
+
+class TestRoundtrip:
+    def test_header_fields(self, pipeline, tmp_path):
+        binary = pipeline.build_baseline()
+        path = tmp_path / "app.snib"
+        size = write_snib(binary, path)
+        assert size == path.stat().st_size
+        image = read_snib(path)
+        assert image.mode == "regular"
+        assert image.text_size == binary.text.size
+        assert image.heap_size == binary.heap.size
+
+    def test_symbols_match_layout(self, pipeline, tmp_path):
+        binary = pipeline.build_baseline()
+        path = tmp_path / "app.snib"
+        write_snib(binary, path)
+        image = read_snib(path)
+        assert len(image.symbols) == len(binary.text.placed)
+        for sym, placed in zip(image.symbols, binary.text.placed):
+            assert sym.root_signature == placed.cu.name
+            assert sym.offset == placed.offset
+            assert sym.size == placed.cu.size
+            assert [m[0] for m in sym.members] == [
+                member.signature for member in placed.cu.members
+            ]
+
+    def test_objects_match_snapshot(self, pipeline, tmp_path):
+        binary = pipeline.build_baseline()
+        path = tmp_path / "app.snib"
+        write_snib(binary, path)
+        image = read_snib(path)
+        assert len(image.objects) == len(binary.heap.ordered)
+        for entry, obj in zip(image.objects, binary.heap.ordered):
+            assert entry.address == obj.address
+            assert entry.type_name == obj.type_name
+            assert entry.is_root == obj.is_root
+            assert entry.ids["heap_path"] == obj.ids["heap_path"]
+
+    def test_mode_preserved_for_instrumented(self, pipeline, tmp_path):
+        binary = pipeline.build_instrumented()
+        path = tmp_path / "instr.snib"
+        write_snib(binary, path)
+        assert read_snib(path).mode == "instrumented"
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bogus.snib"
+        path.write_bytes(b"ELF!" + b"\x00" * 64)
+        with pytest.raises(ValueError):
+            read_snib(path)
+
+
+class TestLayoutDiffing:
+    def test_reordered_binary_has_different_symbol_order(self, tmp_path):
+        pipeline = WorkloadPipeline(awfy_workload("Sieve"))
+        baseline = pipeline.build_baseline(seed=1)
+        outcome = pipeline.profile(seed=1)
+        optimized = pipeline.build_optimized(outcome.profiles, STRATEGY_CU, seed=1)
+        base_path = tmp_path / "base.snib"
+        opt_path = tmp_path / "opt.snib"
+        write_snib(baseline, base_path)
+        write_snib(optimized, opt_path)
+        base_order = [s.root_signature for s in read_snib(base_path).symbols]
+        opt_order = [s.root_signature for s in read_snib(opt_path).symbols]
+        assert sorted(base_order) != base_order or base_order != opt_order
+        assert set(opt_order) <= set(base_order) | set(opt_order)
+
+    def test_describe_output(self, pipeline, tmp_path):
+        binary = pipeline.build_baseline()
+        path = tmp_path / "app.snib"
+        write_snib(binary, path)
+        text = read_snib(path).describe()
+        assert "SNIB image" in text
+        assert "Main.main()" in text
+        assert "compilation units" in text

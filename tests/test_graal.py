@@ -1,0 +1,267 @@
+"""Tests for the simulated Graal mid-end: reachability, inlining, transforms."""
+
+import pytest
+
+from repro.graal.inliner import InlinerConfig, form_compilation_units
+from repro.graal.reachability import analyze, virtual_targets
+from repro.graal.transform import clone_program, fold_final_statics
+from repro.image.heap import BuildTimeInitializer
+from repro.minijava import compile_source
+from repro.ordering.profiles import CallCountProfile
+
+HIERARCHY = """
+class Animal { int sound() { return 0; } }
+class Dog extends Animal { int sound() { return 1; } }
+class Cat extends Animal { int sound() { return 2; } }
+class Bird extends Animal { int sound() { return 3; } }
+class Unused { int lonely() { return 42; } }
+class Main {
+    static int main() {
+        Animal a = new Dog();
+        return a.sound();
+    }
+}
+"""
+
+
+class TestReachability:
+    def test_entry_and_transitive_methods(self):
+        program = compile_source(HIERARCHY)
+        result = analyze(program)
+        assert "Main.main()" in result.methods
+        assert "Dog.<init>()" in result.methods
+
+    def test_unused_class_methods_excluded(self):
+        program = compile_source(HIERARCHY)
+        result = analyze(program)
+        assert "Unused.lonely()" not in result.methods
+        assert "Unused" not in result.classes
+
+    def test_virtual_targets_follow_instantiation(self):
+        program = compile_source(HIERARCHY)
+        result = analyze(program)
+        # Only Dog is instantiated: only Dog.sound() reachable via dispatch.
+        assert "Dog.sound()" in result.methods
+        assert "Cat.sound()" not in result.methods
+        assert "Bird.sound()" not in result.methods
+
+    def test_instantiating_more_classes_adds_targets(self):
+        source = HIERARCHY.replace(
+            "Animal a = new Dog();",
+            "Animal a = new Dog(); Animal b = new Cat(); a = b;",
+        )
+        program = compile_source(source)
+        result = analyze(program)
+        assert "Cat.sound()" in result.methods
+
+    def test_saturation_marks_all_declarations(self):
+        program = compile_source(HIERARCHY)
+        result = analyze(program, saturation_threshold=2)
+        # 4 declarations of sound() > threshold 2 -> saturated.
+        assert "sound" in result.saturated_names
+        assert "Cat.sound()" in result.methods
+        assert "Bird.sound()" in result.methods
+
+    def test_virtual_targets_helper(self):
+        program = compile_source(HIERARCHY)
+        result = analyze(program)
+        targets = virtual_targets(program, result, "sound")
+        assert [t.signature for t in targets] == ["Dog.sound()"]
+
+    def test_static_reference_reaches_class(self):
+        source = """
+        class Table { static int size = 10; }
+        class Main { static int main() { return Table.size; } }
+        """
+        result = analyze(compile_source(source))
+        assert "Table" in result.classes
+
+    def test_string_literals_collected(self):
+        source = 'class Main { static int main() { println("x"); return 0; } }'
+        result = analyze(compile_source(source))
+        assert len(result.string_literal_ids) == 1
+
+
+class TestInliner:
+    def test_trivial_callee_inlined(self):
+        source = """
+        class Util { static int tiny(int x) { return x + 1; } }
+        class Main { static int main() { return Util.tiny(1); } }
+        """
+        program = compile_source(source)
+        reach = analyze(program)
+        cus = form_compilation_units(program, reach)
+        main_cu = next(cu for cu in cus if cu.name == "Main.main()")
+        assert main_cu.contains("Util.tiny(int)")
+
+    def test_large_callee_not_inlined_without_profile(self):
+        body = " ".join(f"x = x + {i};" for i in range(60))
+        source = f"""
+        class Util {{ static int big(int x) {{ {body} return x; }} }}
+        class Main {{ static int main() {{ return Util.big(1); }} }}
+        """
+        program = compile_source(source)
+        reach = analyze(program)
+        cus = form_compilation_units(program, reach)
+        main_cu = next(cu for cu in cus if cu.name == "Main.main()")
+        assert not main_cu.contains("Util.big(int)")
+        assert any(cu.name == "Util.big(int)" for cu in cus)
+
+    def test_hot_callee_inlined_with_profile(self):
+        # ~350 simulated bytes: above the trivial threshold (120), below the
+        # hot threshold (420).
+        body = " ".join(f"x = x + {i};" for i in range(24))
+        source = f"""
+        class Util {{ static int big(int x) {{ {body} return x; }} }}
+        class Main {{ static int main() {{ return Util.big(1); }} }}
+        """
+        program = compile_source(source)
+        reach = analyze(program)
+        counts = CallCountProfile(counts={"Util.big(int)": 100})
+        cus = form_compilation_units(program, reach, call_counts=counts)
+        main_cu = next(cu for cu in cus if cu.name == "Main.main()")
+        assert main_cu.contains("Util.big(int)")
+
+    def test_recursion_not_inlined_into_itself(self):
+        source = """
+        class Main {
+            static int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+            static int main() { return fib(5); }
+        }
+        """
+        program = compile_source(source)
+        reach = analyze(program)
+        cus = form_compilation_units(program, reach)
+        fib_cu = next(cu for cu in cus if cu.name == "Main.fib(int)")
+        assert "Main.fib(int)" not in fib_cu.inlined_signatures
+        assert len(fib_cu.members) == 1
+
+    def test_polymorphic_virtual_not_inlined(self):
+        source = HIERARCHY.replace(
+            "Animal a = new Dog();",
+            "Animal a = new Dog(); Animal b = new Cat(); if (a.sound() > 0) a = b;",
+        )
+        program = compile_source(source)
+        reach = analyze(program)
+        cus = form_compilation_units(program, reach)
+        main_cu = next(cu for cu in cus if cu.name == "Main.main()")
+        assert not main_cu.contains("Dog.sound()")
+        assert not main_cu.contains("Cat.sound()")
+
+    def test_monomorphic_virtual_devirtualized_and_inlined(self):
+        program = compile_source(HIERARCHY)
+        reach = analyze(program)
+        cus = form_compilation_units(program, reach)
+        main_cu = next(cu for cu in cus if cu.name == "Main.main()")
+        assert main_cu.contains("Dog.sound()")
+
+    def test_member_offsets_contiguous(self):
+        program = compile_source(HIERARCHY)
+        reach = analyze(program)
+        cus = form_compilation_units(program, reach)
+        for cu in cus:
+            offset = cu.members[0].offset
+            for member in cu.members:
+                assert member.offset == offset
+                offset += member.size
+            assert cu.size == offset
+
+    def test_cu_budget_respected(self):
+        config = InlinerConfig(cu_budget=200)
+        program = compile_source(HIERARCHY)
+        reach = analyze(program)
+        cus = form_compilation_units(program, reach, config=config)
+        for cu in cus:
+            assert cu.size <= 200 + 16 + 400  # budget + prologue + root slack
+
+
+class TestTransforms:
+    def test_clone_is_deep_for_code(self):
+        program = compile_source(HIERARCHY)
+        clone = clone_program(program)
+        original = program.get_class("Main").methods["main"]
+        cloned = clone.get_class("Main").methods["main"]
+        assert original is not cloned
+        assert original.signature == cloned.signature
+        cloned.code[0] = None
+        assert original.code[0] is not None
+
+    def test_clone_relinks_hierarchy(self):
+        program = compile_source(HIERARCHY)
+        clone = clone_program(program)
+        dog = clone.get_class("Dog")
+        assert dog.superclass is clone.get_class("Animal")
+        assert dog.superclass is not program.get_class("Animal")
+
+    def _build_statics(self, program, reach):
+        init = BuildTimeInitializer(program)
+        init.run(reach)
+        return dict(init.statics.items())
+
+    def test_final_primitive_folded(self):
+        source = """
+        class K { static final int LIMIT = 40 + 2; }
+        class Main { static int main() { return K.LIMIT; } }
+        """
+        program = compile_source(source)
+        reach = analyze(program)
+        statics = self._build_statics(program, reach)
+        folded = fold_final_statics(program, statics, frozenset(reach.methods))
+        main = program.get_class("Main").methods["main"]
+        assert not any(i.op == "GETSTATIC" for i in main.code)
+        assert any(i.op == "CONST_INT" and i.args[0] == 42 for i in main.code)
+        assert folded == []  # no string folds
+
+    def test_final_string_folded_with_origin(self):
+        source = """
+        class K { static final String NAME = "svc"; }
+        class Main { static int main() { return K.NAME.length(); } }
+        """
+        program = compile_source(source)
+        reach = analyze(program)
+        statics = self._build_statics(program, reach)
+        folded = fold_final_statics(program, statics, frozenset(reach.methods))
+        assert len(folded) == 1
+        assert folded[0].value == "svc"
+        assert folded[0].origin_signature == "Main.main()"
+        main = program.get_class("Main").methods["main"]
+        assert any(i.op == "CONST_OBJ" for i in main.code)
+
+    def test_non_final_not_folded(self):
+        source = """
+        class K { static int counter = 7; }
+        class Main { static int main() { return K.counter; } }
+        """
+        program = compile_source(source)
+        reach = analyze(program)
+        statics = self._build_statics(program, reach)
+        fold_final_statics(program, statics, frozenset(reach.methods))
+        main = program.get_class("Main").methods["main"]
+        assert any(i.op == "GETSTATIC" for i in main.code)
+
+    def test_reference_final_not_folded(self):
+        source = """
+        class Box { int v; }
+        class K { static final Box BOX = new Box(); }
+        class Main { static int main() { return K.BOX.v; } }
+        """
+        program = compile_source(source)
+        reach = analyze(program)
+        statics = self._build_statics(program, reach)
+        fold_final_statics(program, statics, frozenset(reach.methods))
+        main = program.get_class("Main").methods["main"]
+        assert any(i.op == "GETSTATIC" for i in main.code)
+
+    def test_folded_program_still_runs(self):
+        source = """
+        class K { static final int A = 6; static final String S = "hey"; }
+        class Main { static int main() { return K.A + K.S.length(); } }
+        """
+        program = compile_source(source)
+        reach = analyze(program)
+        statics = self._build_statics(program, reach)
+        fold_final_statics(program, statics, frozenset(reach.methods))
+        from repro.vm import Interpreter
+
+        interp = Interpreter(program, statics=statics)
+        assert interp.run_single(program.entry_method()) == 9

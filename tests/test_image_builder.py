@@ -1,0 +1,185 @@
+"""Tests for the build pipeline and the binary container."""
+
+import pytest
+
+from repro.eval.pipeline import (
+    STRATEGY_COMBINED,
+    STRATEGY_CU,
+    Workload,
+    WorkloadPipeline,
+)
+from repro.image.binary import MODE_INSTRUMENTED, MODE_OPTIMIZED, MODE_REGULAR
+from repro.image.builder import BuildConfig, NativeImageBuilder
+from repro.image.sections import PAGE_SIZE
+
+SOURCE = """
+class Data {
+    static int[] values = new int[16];
+    static String tag = "data-tag";
+    static { for (int i = 0; i < 16; i++) values[i] = i * i; }
+}
+class Worker {
+    int id;
+    Worker(int n) { id = n; }
+    int work() { return Data.values[id % 16]; }
+}
+class Main {
+    static int main() {
+        println("builder-test");
+        Worker w = new Worker(3);
+        return w.work();
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return WorkloadPipeline(Workload(name="builder", source=SOURCE))
+
+
+class TestBuildModes:
+    def test_regular_has_no_manifest(self, pipeline):
+        binary = pipeline.build_baseline()
+        assert binary.mode == MODE_REGULAR
+        assert binary.manifest is None
+
+    def test_instrumented_has_manifest_with_ids(self, pipeline):
+        binary = pipeline.build_instrumented()
+        assert binary.mode == MODE_INSTRUMENTED
+        manifest = binary.manifest
+        assert manifest is not None
+        assert manifest.method_ids
+        assert manifest.object_ids
+        # every snapshot object got all three strategy IDs
+        sample = next(iter(manifest.object_ids.values()))
+        assert set(sample) == {"incremental_id", "structural_hash", "heap_path"}
+
+    def test_instrumented_code_is_larger(self, pipeline):
+        regular = pipeline.build_baseline()
+        instrumented = pipeline.build_instrumented()
+        assert sum(cu.size for cu in instrumented.cus) > sum(
+            cu.size for cu in regular.cus
+        )
+
+    def test_instrumented_heap_has_profiler_state(self, pipeline):
+        regular = pipeline.build_baseline()
+        instrumented = pipeline.build_instrumented()
+        assert len(instrumented.snapshot) > len(regular.snapshot)
+
+    def test_optimized_requires_profiles(self, pipeline):
+        builder = pipeline.builder()
+        with pytest.raises(ValueError):
+            builder.build(mode=MODE_OPTIMIZED)
+
+    def test_ordering_requires_optimized_mode(self, pipeline):
+        builder = pipeline.builder()
+        with pytest.raises(ValueError):
+            builder.build(mode=MODE_REGULAR, code_ordering="cu")
+
+    def test_unknown_mode_rejected(self, pipeline):
+        with pytest.raises(ValueError):
+            pipeline.builder().build(mode="debug")
+
+    def test_missing_profile_kind_rejected(self, pipeline):
+        outcome = pipeline.profile()
+        outcome.profiles.code.pop("cu")
+        with pytest.raises(ValueError):
+            pipeline.build_optimized(outcome.profiles, STRATEGY_CU)
+
+    def test_default_cu_order_is_alphabetical(self, pipeline):
+        binary = pipeline.build_baseline()
+        names = [placed.cu.name for placed in binary.text.placed]
+        assert names == sorted(names)
+
+    def test_native_blob_at_end_page_aligned(self, pipeline):
+        binary = pipeline.build_baseline()
+        text = binary.text
+        assert text.native_blob_offset % PAGE_SIZE == 0
+        assert text.size == text.native_blob_offset + text.native_blob_size
+        for placed in text.placed:
+            assert placed.end <= text.native_blob_offset
+
+
+class TestRuntimeIsolation:
+    def test_instantiate_clones_mutable_state(self, pipeline):
+        binary = pipeline.build_baseline()
+        image_a = binary.instantiate()
+        image_b = binary.instantiate()
+        image_a.statics["Data"].fields["values"].store(0, 999)
+        assert image_b.statics["Data"].fields["values"].load(0) == 0
+        assert binary.statics["Data"].fields["values"].load(0) == 0
+
+    def test_clones_preserve_image_refs(self, pipeline):
+        binary = pipeline.build_baseline()
+        image = binary.instantiate()
+        arr = image.statics["Data"].fields["values"]
+        assert arr.image_ref is binary.statics["Data"].fields["values"].image_ref
+
+    def test_shared_object_cloned_once(self):
+        source = """
+        class Shared { int v; }
+        class Holder {
+            static Shared a = new Shared();
+            static Shared b;
+            static { b = a; }
+        }
+        class Main { static int main() { return Holder.a.v + Holder.b.v; } }
+        """
+        pipeline = WorkloadPipeline(Workload(name="alias", source=source))
+        binary = pipeline.build_baseline()
+        image = binary.instantiate()
+        holder = image.statics["Holder"]
+        assert holder.fields["a"] is holder.fields["b"]
+
+    def test_aliasing_visible_at_runtime(self):
+        source = """
+        class Shared { int v; }
+        class Holder {
+            static Shared a = new Shared();
+            static Shared b;
+            static { b = a; }
+        }
+        class Main {
+            static int main() {
+                Holder.a.v = 5;
+                return Holder.b.v;
+            }
+        }
+        """
+        pipeline = WorkloadPipeline(Workload(name="alias2", source=source))
+        binary = pipeline.build_baseline()
+        assert pipeline.measure(binary, 1)[0].result == 5
+
+
+class TestCodeLocation:
+    def test_entry_method_has_cu(self, pipeline):
+        binary = pipeline.build_baseline()
+        placed, member = binary.code_location(
+            binary.program.entry_method(), caller_cu=None
+        )
+        assert placed is not None
+        assert member.signature == "Main.main()"
+
+    def test_inlined_callee_stays_in_caller_cu(self, pipeline):
+        binary = pipeline.build_baseline()
+        main_placed = binary.placed_cu_for_root("Main.main()")
+        work = binary.program.get_class("Worker").methods["work"]
+        if main_placed.cu.contains(work.signature):
+            placed, member = binary.code_location(work, caller_cu=main_placed)
+            assert placed is main_placed
+            assert member.signature == work.signature
+
+
+class TestBuildConfig:
+    def test_with_max_depth(self):
+        config = BuildConfig()
+        assert config.with_max_depth(4).structural_max_depth == 4
+        assert config.structural_max_depth == 2  # frozen original unchanged
+
+    def test_combined_strategy_records_orderings(self, pipeline):
+        outcome = pipeline.profile()
+        binary = pipeline.build_optimized(outcome.profiles, STRATEGY_COMBINED)
+        assert binary.code_ordering == "cu"
+        assert binary.heap_ordering == "heap_path"
+        assert binary.mode == MODE_OPTIMIZED

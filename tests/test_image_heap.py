@@ -1,0 +1,192 @@
+"""Tests for build-time initialization and heap snapshotting."""
+
+import pytest
+
+from repro.eval.pipeline import Workload, WorkloadPipeline
+from repro.graal.reachability import analyze
+from repro.image.heap import BuildTimeInitializer, object_size
+from repro.minijava import compile_source
+from repro.ordering.reasons import (
+    REASON_DATA_SECTION,
+    REASON_INTERNED_STRING,
+    REASON_RESOURCE,
+)
+from repro.vm.values import ArrayInstance, ObjectInstance, ResourceBlob, StaticsHolder
+
+
+class TestBuildTimeInitializer:
+    def test_lazy_clinit_triggering_orders_dependencies(self):
+        # B's initializer reads A's statics: A must initialize first, no
+        # matter the outer iteration order.
+        source = """
+        class A { static int base = 10; }
+        class B { static int derived = A.base * 2; }
+        class Main { static int main() { return B.derived; } }
+        """
+        program = compile_source(source)
+        reach = analyze(program)
+        for seed in range(6):
+            init = BuildTimeInitializer(program, seed=seed)
+            init.run(reach)
+            assert init.statics["B"].get("derived") == 20, f"seed {seed}"
+
+    def test_in_progress_cycle_does_not_recurse_forever(self):
+        source = """
+        class A { static int x = B.y + 1; }
+        class B { static int y = A.x + 1; }
+        class Main { static int main() { return A.x + B.y; } }
+        """
+        program = compile_source(source)
+        reach = analyze(program)
+        init = BuildTimeInitializer(program, seed=0)
+        init.run(reach)  # must terminate; values depend on order, like Java
+        assert init.statics["A"].get("x") is not None
+
+    def test_unreachable_class_not_initialized(self):
+        source = """
+        class Cold { static int x = 99; }
+        class Main { static int main() { return 1; } }
+        """
+        program = compile_source(source)
+        reach = analyze(program)
+        init = BuildTimeInitializer(program, seed=0)
+        init.run(reach)
+        # default value, clinit never ran
+        assert dict.__getitem__(init.statics, "Cold").get("x") == 0
+
+    def test_resources_collected(self):
+        source = """
+        class R { static Object blob = resource("data.bin", 1000); }
+        class Main { static int main() { if (R.blob == null) return 0; return 1; } }
+        """
+        program = compile_source(source)
+        reach = analyze(program)
+        init = BuildTimeInitializer(program, seed=0)
+        init.run(reach)
+        assert len(init.resources) == 1
+        assert init.resources[0].name == "data.bin"
+
+
+class TestObjectSizes:
+    def test_object_size_grows_with_fields(self):
+        source = "class A { int x; } class B { int x; int y; } class Main { static int main() { return 0; } }"
+        program = compile_source(source)
+        a = ObjectInstance(program.get_class("A"))
+        b = ObjectInstance(program.get_class("B"))
+        assert object_size(b) == object_size(a) + 8
+
+    def test_array_size_by_length(self):
+        assert object_size(ArrayInstance("int", 10)) == 24 + 80
+
+    def test_string_size_by_bytes(self):
+        assert object_size("abc") == 24 + 3
+
+    def test_resource_size(self):
+        assert object_size(ResourceBlob("r", 100)) == 124
+
+    def test_statics_holder_size(self):
+        holder = StaticsHolder("C", ["a", "b"], [0, 0])
+        assert object_size(holder) == 16 + 16
+
+    def test_rejects_non_heap_value(self):
+        with pytest.raises(TypeError):
+            object_size(42)
+
+
+SNAPSHOT_SOURCE = """
+class Leaf { int v; Leaf(int x) { v = x; } }
+class Tree {
+    Leaf left; Leaf right;
+    Tree(Leaf a, Leaf b) { left = a; right = b; }
+}
+class Registry {
+    static Tree root = new Tree(new Leaf(1), new Leaf(2));
+    static int[] table = new int[5];
+    static Object blob = resource("registry.bin", 256);
+}
+class Main {
+    static int main() {
+        println("snapshot-test");
+        return Registry.root.left.v + Registry.table.length;
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def binary():
+    pipeline = WorkloadPipeline(Workload(name="snap", source=SNAPSHOT_SOURCE))
+    return pipeline.build_baseline()
+
+
+class TestSnapshotStructure:
+    def test_every_value_once(self, binary):
+        seen = set()
+        for obj in binary.snapshot:
+            key = obj.value if isinstance(obj.value, str) else id(obj.value)
+            assert key not in seen
+            seen.add(key)
+
+    def test_parents_link_to_snapshot_objects(self, binary):
+        indices = {obj.index for obj in binary.snapshot}
+        for obj in binary.snapshot:
+            if obj.parent is not None:
+                assert obj.parent.index in indices
+                assert obj.parent.index != obj.index
+
+    def test_roots_have_reasons_children_do_not(self, binary):
+        for obj in binary.snapshot:
+            if obj.is_root:
+                assert obj.parent is None
+            else:
+                assert obj.parent is not None
+
+    def test_inclusion_reason_kinds_present(self, binary):
+        reasons = {obj.root_reason for obj in binary.snapshot if obj.is_root}
+        assert REASON_DATA_SECTION in reasons
+        assert REASON_INTERNED_STRING in reasons
+        assert REASON_RESOURCE in reasons
+        assert any(r and r.startswith("StaticField:") for r in reasons)
+
+    def test_static_field_root_reason(self, binary):
+        tree = next(o for o in binary.snapshot if o.type_name == "Tree")
+        assert tree.root_reason == "StaticField:Registry.root"
+
+    def test_leaves_are_children_with_field_edges(self, binary):
+        leaves = [o for o in binary.snapshot if o.type_name == "Leaf"]
+        assert len(leaves) == 2
+        for leaf in leaves:
+            assert leaf.parent.type_name == "Tree"
+            assert leaf.parent_edge in ("Tree.left:Leaf", "Tree.right:Leaf")
+
+    def test_addresses_ascend_without_overlap(self, binary):
+        end = 0
+        for obj in binary.heap.ordered:
+            assert obj.address >= end
+            end = obj.address + obj.size
+        assert binary.heap.size >= end
+
+    def test_addresses_aligned(self, binary):
+        for obj in binary.heap.ordered:
+            assert obj.address % 8 == 0
+
+    def test_image_refs_attached_to_values(self, binary):
+        for obj in binary.snapshot:
+            if not isinstance(obj.value, str):
+                assert obj.value.image_ref is obj
+
+    def test_literal_table_maps_interned_strings(self, binary):
+        entries = list(binary.literal_objects.values())
+        assert entries
+        for entry in entries:
+            assert isinstance(entry.value, str)
+
+    def test_seed_jitter_perturbs_order_but_not_content(self):
+        pipeline = WorkloadPipeline(Workload(name="snap", source=SNAPSHOT_SOURCE))
+        a = pipeline.build_baseline(seed=0).snapshot
+        b = pipeline.build_baseline(seed=12345).snapshot
+        types_a = sorted(o.type_name for o in a)
+        types_b = sorted(o.type_name for o in b)
+        assert types_a == types_b  # same objects...
+        # (order *may* differ; with a small snapshot it sometimes does not,
+        # so only the content equality is asserted here)

@@ -1,0 +1,116 @@
+"""Unit tests for the MiniJava lexer."""
+
+import pytest
+
+from repro.minijava.errors import LexError
+from repro.minijava.lexer import tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind == "eof"
+
+    def test_identifiers_and_keywords(self):
+        toks = tokenize("class Foo extends Bar")
+        assert [t.kind for t in toks[:-1]] == ["keyword", "ident", "keyword", "ident"]
+
+    def test_underscore_identifier(self):
+        toks = tokenize("_x x_1 __a")
+        assert all(t.kind == "ident" for t in toks[:-1])
+
+    def test_int_literal(self):
+        toks = tokenize("42")
+        assert toks[0].kind == "int" and toks[0].text == "42"
+
+    def test_hex_literal(self):
+        toks = tokenize("0xFF")
+        assert toks[0].kind == "int" and toks[0].text == "255"
+
+    def test_double_literal(self):
+        toks = tokenize("3.25")
+        assert toks[0].kind == "double" and toks[0].text == "3.25"
+
+    def test_double_with_exponent(self):
+        toks = tokenize("1.5e3 2e-2")
+        assert toks[0].kind == "double"
+        assert toks[1].kind == "double"
+
+    def test_int_then_dot_method_not_double(self):
+        # "x.length" after an int-looking context; `1.foo` is not valid Java
+        # anyway, but "arr[0].f" must not treat "0." as a double.
+        toks = tokenize("a[0].f")
+        assert [t.text for t in toks[:-1]] == ["a", "[", "0", "]", ".", "f"]
+
+    def test_string_literal(self):
+        toks = tokenize('"hello world"')
+        assert toks[0].kind == "string" and toks[0].text == "hello world"
+
+    def test_string_escapes(self):
+        toks = tokenize(r'"a\nb\tc\\d\"e"')
+        assert toks[0].text == 'a\nb\tc\\d"e'
+
+    def test_char_literal_becomes_code_point(self):
+        toks = tokenize("'A' '\\n'")
+        assert toks[0].kind == "char" and toks[0].text == "A"
+        assert toks[1].text == "\n"
+
+
+class TestOperators:
+    def test_maximal_munch(self):
+        assert texts("a<<=b") == ["a", "<<=", "b"]
+        assert texts("a<=b") == ["a", "<=", "b"]
+        assert texts("a<b") == ["a", "<", "b"]
+
+    def test_increment_vs_plus(self):
+        assert texts("a+++b") == ["a", "++", "+", "b"]
+
+    def test_logical_operators(self):
+        assert texts("a&&b||!c") == ["a", "&&", "b", "||", "!", "c"]
+
+    @pytest.mark.parametrize("op", ["==", "!=", "+=", "-=", "*=", "/=", "%=", ">>", "<<"])
+    def test_compound_ops(self, op):
+        assert texts(f"a{op}b") == ["a", op, "b"]
+
+
+class TestTriviaAndPositions:
+    def test_line_comment(self):
+        assert texts("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* oops")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_string_across_newline_rejected(self):
+        with pytest.raises(LexError):
+            tokenize('"a\nb"')
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\n  c")
+        assert toks[0].line == 1
+        assert toks[1].line == 2
+        assert toks[2].line == 3 and toks[2].col == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a # b")
+
+    def test_block_comment_tracks_lines(self):
+        toks = tokenize("/* a\nb\nc */ x")
+        assert toks[0].line == 3

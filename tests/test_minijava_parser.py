@@ -1,0 +1,199 @@
+"""Unit tests for the MiniJava parser."""
+
+import pytest
+
+from repro.minijava import ast_nodes as ast
+from repro.minijava.errors import ParseError
+from repro.minijava.parser import parse
+
+
+def parse_class(body: str) -> ast.ClassDecl:
+    unit = parse(f"class T {{ {body} }}")
+    return unit.classes[0]
+
+
+def parse_method_stmts(body: str):
+    decl = parse_class(f"void m() {{ {body} }}")
+    return decl.methods[0].body.stmts
+
+
+def parse_expr(text: str) -> ast.Expr:
+    stmts = parse_method_stmts(f"x = {text};")
+    assign = stmts[0].expr
+    assert isinstance(assign, ast.Assign)
+    return assign.value
+
+
+class TestClassStructure:
+    def test_empty_class(self):
+        unit = parse("class A { }")
+        assert unit.classes[0].name == "A"
+        assert unit.classes[0].superclass is None
+
+    def test_extends(self):
+        unit = parse("class A extends B { }")
+        assert unit.classes[0].superclass == "B"
+
+    def test_fields(self):
+        decl = parse_class("int x; static double y = 1.5; final boolean z = true;")
+        assert [f.name for f in decl.fields] == ["x", "y", "z"]
+        assert decl.fields[1].is_static
+        assert decl.fields[2].is_final
+
+    def test_comma_separated_fields(self):
+        decl = parse_class("int a, b, c;")
+        assert [f.name for f in decl.fields] == ["a", "b", "c"]
+
+    def test_methods(self):
+        decl = parse_class("static int f(int a, double b) { return a; } void g() { }")
+        assert decl.methods[0].name == "f"
+        assert decl.methods[0].is_static
+        assert [str(p.type) for p in decl.methods[0].params] == ["int", "double"]
+        assert decl.methods[1].return_type.name == "void"
+
+    def test_constructor(self):
+        unit = parse("class P { P(int v) { } }")
+        ctor = unit.classes[0].methods[0]
+        assert ctor.is_ctor and ctor.name == "<init>"
+
+    def test_static_init_block(self):
+        decl = parse_class("static { x = 1; } int x;")
+        assert len(decl.static_inits) == 1
+
+    def test_array_types(self):
+        decl = parse_class("int[] a; double[][] b; Foo[] c;")
+        assert decl.fields[0].type.dims == 1
+        assert decl.fields[1].type.dims == 2
+        assert decl.fields[2].type.name == "Foo"
+
+
+class TestStatements:
+    def test_if_else(self):
+        stmts = parse_method_stmts("if (a) { b = 1; } else b = 2;")
+        node = stmts[0]
+        assert isinstance(node, ast.If) and node.otherwise is not None
+
+    def test_while(self):
+        stmts = parse_method_stmts("while (i < 10) i = i + 1;")
+        assert isinstance(stmts[0], ast.While)
+
+    def test_for(self):
+        stmts = parse_method_stmts("for (int i = 0; i < n; i++) { s = s + i; }")
+        node = stmts[0]
+        assert isinstance(node, ast.For)
+        assert isinstance(node.init, ast.VarDecl)
+        assert len(node.update) == 1
+
+    def test_for_with_empty_parts(self):
+        stmts = parse_method_stmts("for (;;) { break; }")
+        node = stmts[0]
+        assert node.init is None and node.cond is None and node.update == []
+
+    def test_var_decl_multi(self):
+        stmts = parse_method_stmts("int a = 1, b = 2;")
+        assert isinstance(stmts[0], ast.Block)
+        assert len(stmts[0].stmts) == 2
+
+    def test_return_value_and_void(self):
+        stmts = parse_method_stmts("return; ")
+        assert isinstance(stmts[0], ast.Return) and stmts[0].value is None
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+        assert isinstance(expr.right, ast.Binary) and expr.right.op == "*"
+
+    def test_relational_vs_shift(self):
+        expr = parse_expr("a << 2 < b")
+        assert expr.op == "<"
+        assert isinstance(expr.left, ast.Binary) and expr.left.op == "<<"
+
+    def test_short_circuit_structure(self):
+        expr = parse_expr("a && b || c")
+        assert expr.op == "||"
+        assert isinstance(expr.left, ast.Binary) and expr.left.op == "&&"
+
+    def test_ternary(self):
+        expr = parse_expr("a ? b : c")
+        assert isinstance(expr, ast.Conditional)
+
+    def test_field_chain_and_index(self):
+        expr = parse_expr("a.b.c[i].d")
+        assert isinstance(expr, ast.FieldAccess) and expr.name == "d"
+        assert isinstance(expr.obj, ast.IndexExpr)
+
+    def test_method_call_chain(self):
+        expr = parse_expr("obj.f(1).g(2, 3)")
+        assert isinstance(expr, ast.Call) and expr.name == "g"
+        assert isinstance(expr.receiver, ast.Call)
+
+    def test_new_object(self):
+        expr = parse_expr("new Point(1, 2)")
+        assert isinstance(expr, ast.NewObject)
+        assert len(expr.args) == 2
+
+    def test_new_array(self):
+        expr = parse_expr("new int[10]")
+        assert isinstance(expr, ast.NewArray)
+        assert expr.elem_type == ast.TypeRef("int", 0)
+
+    def test_new_array_of_arrays(self):
+        expr = parse_expr("new int[10][]")
+        assert expr.elem_type == ast.TypeRef("int", 1)
+
+    def test_class_cast(self):
+        expr = parse_expr("(Foo) x")
+        assert isinstance(expr, ast.Cast)
+        assert expr.target.name == "Foo"
+
+    def test_primitive_cast(self):
+        expr = parse_expr("(int) 3.5")
+        assert isinstance(expr, ast.Cast) and expr.target.name == "int"
+
+    def test_parenthesized_expr_not_cast(self):
+        # (a) + b  must parse as addition, not a cast of +b.
+        expr = parse_expr("(a) + b")
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+
+    def test_instanceof(self):
+        expr = parse_expr("x instanceof Foo")
+        assert isinstance(expr, ast.InstanceOf)
+
+    def test_super_call(self):
+        stmts = parse_method_stmts("super.f(1);")
+        assert isinstance(stmts[0].expr, ast.SuperCall)
+
+    def test_compound_assignment(self):
+        stmts = parse_method_stmts("x += 2;")
+        assert stmts[0].expr.op == "+="
+
+    def test_postfix_increment(self):
+        stmts = parse_method_stmts("i++;")
+        node = stmts[0].expr
+        assert isinstance(node, ast.IncDec) and not node.prefix
+
+    def test_prefix_decrement(self):
+        stmts = parse_method_stmts("--i;")
+        node = stmts[0].expr
+        assert node.prefix and node.op == "--"
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "class {",
+            "class A extends { }",
+            "class A { int; }",
+            "class A { void f( { } }",
+            "class A { void f() { if } }",
+            "class A { void f() { 1 + ; } }",
+            "class A { void f() { x = ; } }",
+            "class A { void f() { 3 = x; } }",
+        ],
+    )
+    def test_rejects(self, source):
+        with pytest.raises(ParseError):
+            parse(source)

@@ -1,0 +1,199 @@
+"""Semantic-analysis and front-end error-path tests."""
+
+import pytest
+
+from repro.minijava import compile_source
+from repro.minijava.errors import CompileError, SemanticError
+from repro.vm import Interpreter, VMError
+
+from conftest import run_source
+
+
+class TestClassTableErrors:
+    def test_duplicate_class(self):
+        with pytest.raises((SemanticError, ValueError)):
+            compile_source("class A { } class A { }")
+
+    def test_duplicate_field(self):
+        with pytest.raises(SemanticError):
+            compile_source("class A { int x; int x; }")
+
+    def test_duplicate_method(self):
+        with pytest.raises(SemanticError):
+            compile_source("class A { void f() { } void f() { } }")
+
+    def test_no_overloading(self):
+        with pytest.raises(SemanticError):
+            compile_source("class A { void f() { } void f(int x) { } }")
+
+    def test_two_constructors_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_source("class A { A() { } A(int x) { } }")
+
+    def test_duplicate_parameter(self):
+        with pytest.raises(SemanticError):
+            compile_source("class A { void f(int a, int a) { } }")
+
+    def test_reserved_class_name(self):
+        # "String" is a keyword, so this dies in the parser; a non-keyword
+        # collision would be caught by semantic analysis.
+        from repro.minijava.errors import MiniJavaError
+
+        with pytest.raises(MiniJavaError):
+            compile_source("class String { }")
+
+    def test_unknown_superclass(self):
+        with pytest.raises((SemanticError, ValueError)):
+            compile_source("class A extends Ghost { }")
+
+    def test_inheritance_cycle(self):
+        with pytest.raises((SemanticError, ValueError)):
+            compile_source("class A extends B { } class B extends A { }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(SemanticError):
+            compile_source("class A { void f() { break; } }")
+
+    def test_continue_inside_if_outside_loop(self):
+        with pytest.raises(SemanticError):
+            compile_source("class A { void f() { if (true) continue; } }")
+
+
+class TestNameResolutionErrors:
+    def test_unknown_variable(self):
+        with pytest.raises(CompileError):
+            compile_source("class A { int f() { return ghost; } }")
+
+    def test_unknown_function(self):
+        with pytest.raises(CompileError):
+            compile_source("class A { void f() { ghostCall(); } }")
+
+    def test_unknown_static_field(self):
+        with pytest.raises(CompileError):
+            compile_source("class B { } class A { int f() { return B.ghost; } }")
+
+    def test_unknown_static_method(self):
+        with pytest.raises(CompileError):
+            compile_source("class B { } class A { void f() { B.ghost(); } }")
+
+    def test_this_in_static_context(self):
+        with pytest.raises(CompileError):
+            compile_source("class A { int x; static int f() { return this.x; } }")
+
+    def test_super_without_superclass(self):
+        with pytest.raises((CompileError, SemanticError)):
+            compile_source("class A { void f() { super.g(); } }")
+
+    def test_instance_method_from_static(self):
+        with pytest.raises(CompileError):
+            compile_source("class A { void g() { } static void f() { g(); } }")
+
+    def test_unknown_class_in_new(self):
+        with pytest.raises(CompileError):
+            compile_source("class A { void f() { Object x = new Ghost(); } }")
+
+    def test_builtin_arity_checked(self):
+        with pytest.raises(CompileError):
+            compile_source("class A { void f() { println(1, 2); } }")
+
+    def test_unknown_assignment_target(self):
+        with pytest.raises(CompileError):
+            compile_source("class A { void f() { ghost = 1; } }")
+
+
+class TestShadowing:
+    def test_local_shadows_field(self):
+        source = """
+        class Main {
+            static int run() { return 0; }
+            static int main() { return new Helper().value(); }
+        }
+        class Helper {
+            int x = 10;
+            int value() { int x = 5; return x; }
+        }
+        """
+        assert run_source(source)[0] == 5
+
+    def test_param_shadows_field(self):
+        source = """
+        class Helper { int x = 10; int value(int x) { return x; } }
+        class Main { static int main() { return new Helper().value(3); } }
+        """
+        assert run_source(source)[0] == 3
+
+    def test_local_shadows_class_name_for_field_access(self):
+        source = """
+        class Box { static int tag = 1; int v = 7; }
+        class Main {
+            static int main() {
+                Box Box = new Box();
+                return Box.v;  // the local, not the class
+            }
+        }
+        """
+        assert run_source(source)[0] == 7
+
+    def test_field_and_static_of_same_class(self):
+        source = """
+        class C {
+            static int shared = 100;
+            int own = 5;
+            int total() { return shared + own; }
+        }
+        class Main { static int main() { return new C().total(); } }
+        """
+        assert run_source(source)[0] == 105
+
+
+class TestRuntimeErrors:
+    def test_missing_field_on_object(self):
+        source = """
+        class A { int x; }
+        class B { int y; }
+        class Main {
+            static int main() {
+                Object o = new B();
+                A a = (A) o;
+                return 0;
+            }
+        }
+        """
+        with pytest.raises(VMError):
+            run_source(source)
+
+    def test_stack_overflow_guard(self):
+        source = """
+        class Main {
+            static int loop(int n) { return loop(n + 1); }
+            static int main() { return loop(0); }
+        }
+        """
+        with pytest.raises(VMError):
+            run_source(source)
+
+    def test_op_budget_guard(self):
+        source = "class Main { static int main() { while (true) { } return 0; } }"
+        program = compile_source(source)
+        interp = Interpreter(program, max_ops=10_000)
+        with pytest.raises(VMError):
+            interp.run_single(program.entry_method())
+
+    def test_virtual_call_on_int(self):
+        source = """
+        class Main { static int main() { Object o = null; int x = 3; return 0; } }
+        """
+        run_source(source)  # baseline: fine
+
+    def test_call_missing_virtual_method(self):
+        source = """
+        class A { }
+        class Main {
+            static int main() {
+                A a = new A();
+                return a.ghost();
+            }
+        }
+        """
+        with pytest.raises(VMError):
+            run_source(source)

@@ -1,0 +1,154 @@
+"""Tests for code ordering (Sec. 4) and heap-order matching (Sec. 5)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graal.cunits import layout_members
+from repro.image.heap import HeapObject, HeapSnapshot
+from repro.minijava.bytecode import CompiledMethod, Instr
+from repro.ordering.code_order import default_order, order_compilation_units
+from repro.ordering.heap_order import match_and_order
+from repro.ordering.profiles import CodeOrderProfile, HeapOrderProfile
+
+
+def make_method(owner: str, name: str, n_instrs: int = 4) -> CompiledMethod:
+    return CompiledMethod(
+        owner=owner,
+        name=name,
+        param_types=[],
+        is_static=True,
+        is_ctor=False,
+        returns_value=False,
+        num_slots=0,
+        code=[Instr("CONST_INT", (0,))] * (n_instrs - 1) + [Instr("RET_VOID")],
+    )
+
+
+def make_cu(owner: str, name: str, inlined=()):
+    root = make_method(owner, name)
+    bodies = [make_method(o, n) for o, n in inlined]
+    return layout_members(root, bodies, lambda m: m.code_size())
+
+
+class TestCodeOrdering:
+    def setup_method(self):
+        self.cus = [
+            make_cu("Zeta", "run"),
+            make_cu("Alpha", "boot", inlined=[("Util", "mix")]),
+            make_cu("Mid", "work"),
+            make_cu("Util", "mix"),
+        ]
+
+    def test_default_is_alphabetical(self):
+        names = [cu.name for cu in default_order(self.cus)]
+        assert names == sorted(names)
+
+    def test_cu_profile_order_respected(self):
+        profile = CodeOrderProfile(kind="cu", signatures=["Zeta.run()", "Mid.work()"])
+        names = [cu.name for cu in order_compilation_units(self.cus, profile)]
+        assert names[:2] == ["Zeta.run()", "Mid.work()"]
+        # unmatched CUs follow alphabetically
+        assert names[2:] == sorted(names[2:])
+
+    def test_method_profile_ranks_by_any_member(self):
+        # Util.mix executed first; Alpha.boot inlines it, so method ordering
+        # pulls Alpha.boot to the front (the paper's Sec. 4 ambiguity).
+        profile = CodeOrderProfile(
+            kind="method", signatures=["Util.mix()", "Zeta.run()"]
+        )
+        names = [cu.name for cu in order_compilation_units(self.cus, profile)]
+        assert set(names[:3]) == {"Alpha.boot()", "Util.mix()", "Zeta.run()"}
+        assert names.index("Alpha.boot()") < names.index("Zeta.run()")
+
+    def test_cu_profile_ignores_inlined_members(self):
+        profile = CodeOrderProfile(kind="cu", signatures=["Util.mix()"])
+        names = [cu.name for cu in order_compilation_units(self.cus, profile)]
+        # only the Util.mix CU itself matches, not Alpha.boot
+        assert names[0] == "Util.mix()"
+        assert names[1:] == sorted(names[1:])
+
+    def test_unknown_profile_kind_rejected(self):
+        with pytest.raises(ValueError):
+            CodeOrderProfile(kind="bogus")
+
+    def test_no_profile_is_default(self):
+        assert [c.name for c in order_compilation_units(self.cus, None)] == [
+            c.name for c in default_order(self.cus)
+        ]
+
+    @given(st.permutations(["Zeta.run()", "Alpha.boot()", "Mid.work()", "Util.mix()"]))
+    def test_cu_ordering_is_permutation(self, profile_order):
+        profile = CodeOrderProfile(kind="cu", signatures=list(profile_order))
+        ordered = order_compilation_units(self.cus, profile)
+        assert sorted(cu.name for cu in ordered) == sorted(cu.name for cu in self.cus)
+        assert [cu.name for cu in ordered] == list(profile_order)
+
+
+def make_snapshot(entries):
+    """entries: list of (type_name, strategy_id)."""
+    snapshot = HeapSnapshot()
+    for index, (type_name, strategy_id) in enumerate(entries):
+        obj = HeapObject(
+            value=object(),
+            index=index,
+            type_name=type_name,
+            size=32,
+        )
+        obj.ids["test"] = strategy_id
+        snapshot.objects.append(obj)
+    return snapshot
+
+
+class TestHeapOrderMatching:
+    def test_profile_order_wins(self):
+        snapshot = make_snapshot([("A", 1), ("B", 2), ("C", 3)])
+        profile = HeapOrderProfile(strategy="test", ids=[3, 1])
+        ordered, report = match_and_order(snapshot, profile)
+        assert [o.index for o in ordered] == [2, 0, 1]
+        assert report.matched_profile_entries == 2
+        assert report.matched_objects == 2
+
+    def test_unmatched_profile_entries_counted(self):
+        snapshot = make_snapshot([("A", 1)])
+        profile = HeapOrderProfile(strategy="test", ids=[99, 1])
+        ordered, report = match_and_order(snapshot, profile)
+        assert report.matched_profile_entries == 1
+        assert report.profile_match_rate == 0.5
+        assert [o.index for o in ordered] == [0]
+
+    def test_colliding_ids_placed_together_in_default_order(self):
+        snapshot = make_snapshot([("A", 7), ("B", 7), ("C", 1)])
+        profile = HeapOrderProfile(strategy="test", ids=[7])
+        ordered, report = match_and_order(snapshot, profile)
+        assert [o.index for o in ordered] == [0, 1, 2]
+        assert report.colliding_ids == 1
+
+    def test_unmatched_objects_keep_default_order(self):
+        snapshot = make_snapshot([("A", 1), ("B", 2), ("C", 3), ("D", 4)])
+        profile = HeapOrderProfile(strategy="test", ids=[3])
+        ordered, _ = match_and_order(snapshot, profile)
+        assert [o.index for o in ordered] == [2, 0, 1, 3]
+
+    def test_missing_ids_raise(self):
+        snapshot = make_snapshot([("A", 1)])
+        profile = HeapOrderProfile(strategy="other", ids=[1])
+        with pytest.raises(ValueError):
+            match_and_order(snapshot, profile)
+
+    def test_empty_profile_is_default_order(self):
+        snapshot = make_snapshot([("A", 1), ("B", 2)])
+        profile = HeapOrderProfile(strategy="test", ids=[])
+        ordered, report = match_and_order(snapshot, profile)
+        assert [o.index for o in ordered] == [0, 1]
+        assert report.profile_match_rate == 0.0
+
+    @given(
+        st.lists(st.integers(1, 20), min_size=1, max_size=15, unique=True),
+        st.lists(st.integers(1, 30), max_size=15, unique=True),
+    )
+    def test_result_is_always_a_permutation(self, object_ids, profile_ids):
+        snapshot = make_snapshot([("T", oid) for oid in object_ids])
+        profile = HeapOrderProfile(strategy="test", ids=profile_ids)
+        ordered, _ = match_and_order(snapshot, profile)
+        assert sorted(o.index for o in ordered) == list(range(len(object_ids)))

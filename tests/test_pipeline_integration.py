@@ -1,0 +1,238 @@
+"""Integration tests: the full profile -> optimize -> measure pipeline."""
+
+import pytest
+
+from repro.eval.pipeline import (
+    ALL_STRATEGY_SPECS,
+    STRATEGY_COMBINED,
+    STRATEGY_CU,
+    STRATEGY_HEAP_PATH,
+    STRATEGY_METHOD,
+    Workload,
+    WorkloadPipeline,
+)
+from repro.image.sections import HEAP_SECTION, TEXT_SECTION
+
+SMALL_PROGRAM = """
+class Config {
+    static final String NAME = "small-bench";
+    static int[] table = new int[64];
+    static String[] labels = new String[8];
+    static {
+        for (int i = 0; i < 64; i++) table[i] = i * 3 % 17;
+        for (int i = 0; i < 8; i++) labels[i] = "label" + i;
+    }
+}
+class Node {
+    int value;
+    Node next;
+    Node(int v) { value = v; }
+}
+class ListOps {
+    static Node build(int n) {
+        Node head = null;
+        for (int i = 0; i < n; i++) { Node fresh = new Node(i); fresh.next = head; head = fresh; }
+        return head;
+    }
+    static int sum(Node head) {
+        int total = 0;
+        while (head != null) { total += head.value; head = head.next; }
+        return total;
+    }
+}
+class Shape { int area() { return 0; } }
+class Square extends Shape { int side; Square(int s) { side = s; } int area() { return side * side; } }
+class Circle extends Shape { int r; Circle(int r0) { r = r0; } int area() { return 3 * r * r; } }
+class ColdPath {
+    static int[] bigTable = new int[512];
+    static { for (int i = 0; i < 512; i++) bigTable[i] = i; }
+    static int never() { return bigTable[1] + bigTable[2]; }
+    static int alsoNever() { return never() * 2; }
+}
+class Main {
+    static boolean coldFlag = false;
+    static int main() {
+        int acc = Config.table[3] + Config.labels.length;
+        Node head = ListOps.build(40);
+        acc += ListOps.sum(head);
+        Shape[] shapes = new Shape[2];
+        shapes[0] = new Square(3);
+        shapes[1] = new Circle(2);
+        for (int i = 0; i < shapes.length; i++) acc += shapes[i].area();
+        if (coldFlag) acc += ColdPath.alsoNever();
+        println(Config.NAME);
+        return acc;
+    }
+}
+"""
+
+MICRO_PROGRAM = """
+class Registry {
+    static String[] endpoints = new String[4];
+    static {
+        endpoints[0] = "/";
+        endpoints[1] = "/health";
+        endpoints[2] = "/metrics";
+        endpoints[3] = "/hello";
+    }
+}
+class Worker {
+    static int beat = 0;
+    static void loop() {
+        for (int i = 0; i < 50; i++) { Worker.beat = Worker.beat + 1; yieldThread(); }
+    }
+}
+class Main {
+    static int main() {
+        spawn("Worker", "loop");
+        int warm = 0;
+        for (int i = 0; i < Registry.endpoints.length; i++) warm += Registry.endpoints[i].length();
+        respond("hello from " + Registry.endpoints[3]);
+        // post-response work that a SIGKILL would cut off
+        int tail = 0;
+        for (int i = 0; i < 1000; i++) tail += i;
+        return warm + tail;
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def small_pipeline():
+    return WorkloadPipeline(Workload(name="small", source=SMALL_PROGRAM))
+
+
+@pytest.fixture(scope="module")
+def small_profiling(small_pipeline):
+    return small_pipeline.profile(seed=0)
+
+
+class TestBaselineBuildAndRun:
+    def test_baseline_runs_and_returns_result(self, small_pipeline):
+        binary = small_pipeline.build_baseline()
+        metrics = small_pipeline.measure(binary, iterations=1)[0]
+        # acc = table[3] (9) + 8 labels + sum 0..39 (780) + 9 + 12
+        assert metrics.result == 9 + 8 + 780 + 9 + 12
+        assert metrics.output == ["small-bench"]
+
+    def test_baseline_touches_both_sections(self, small_pipeline):
+        binary = small_pipeline.build_baseline()
+        metrics = small_pipeline.measure(binary, iterations=1)[0]
+        assert metrics.faults.get(TEXT_SECTION, 0) > 0
+        assert metrics.faults.get(HEAP_SECTION, 0) > 0
+
+    def test_runs_are_reproducible_and_isolated(self, small_pipeline):
+        binary = small_pipeline.build_baseline()
+        first = small_pipeline.measure(binary, iterations=1)[0]
+        second = small_pipeline.measure(binary, iterations=1)[0]
+        assert first.result == second.result
+        assert first.faults == second.faults  # cold cache per run, no leakage
+
+    def test_cold_code_stays_untouched(self, small_pipeline):
+        binary = small_pipeline.build_baseline()
+        # Reachable through the guarded branch: present in some CU (own or
+        # inlined), even though it never executes.
+        assert any(
+            cu.contains("ColdPath.never()") or cu.name == "ColdPath.never()"
+            for cu in binary.cus
+        )
+        metrics = small_pipeline.measure(binary, iterations=1)[0]
+        assert metrics.result  # sanity: cold branch did not execute
+
+
+class TestProfiling:
+    def test_profiles_contain_all_orderings(self, small_profiling):
+        bundle = small_profiling.profiles
+        assert set(bundle.code) == {"cu", "method"}
+        assert set(bundle.heap) == {"incremental_id", "structural_hash", "heap_path"}
+
+    def test_method_profile_reflects_execution_order(self, small_profiling):
+        sigs = small_profiling.profiles.code["method"].signatures
+        assert sigs[0] == "Main.main()"
+        assert "ListOps.build(int)" in sigs
+        assert "ColdPath.never()" not in sigs
+        # No duplicates.
+        assert len(sigs) == len(set(sigs))
+
+    def test_cu_profile_subset_of_method_profile_roots(self, small_profiling):
+        cu_sigs = small_profiling.profiles.code["cu"].signatures
+        assert cu_sigs and cu_sigs[0] == "Main.main()"
+        assert len(cu_sigs) == len(set(cu_sigs))
+
+    def test_heap_profiles_nonempty_and_deduped(self, small_profiling):
+        for strategy, profile in small_profiling.profiles.heap.items():
+            assert profile.ids, strategy
+            assert len(profile.ids) == len(set(profile.ids)), strategy
+
+    def test_call_counts_track_hot_methods(self, small_profiling):
+        counts = small_profiling.profiles.calls.counts
+        assert counts.get("Node.<init>(int)", 0) == 40
+        assert counts.get("Main.main()") == 1
+
+    def test_instrumented_run_produces_trace_bytes(self, small_profiling):
+        assert small_profiling.trace_bytes > 0
+        assert small_profiling.lost_records == 0
+
+
+class TestOptimizedBuilds:
+    @pytest.mark.parametrize("strategy", ALL_STRATEGY_SPECS, ids=lambda s: s.name)
+    def test_optimized_build_still_correct(self, small_pipeline, small_profiling, strategy):
+        optimized = small_pipeline.build_optimized(small_profiling.profiles, strategy)
+        metrics = small_pipeline.measure(optimized, iterations=1)[0]
+        assert metrics.result == 9 + 8 + 780 + 9 + 12
+        assert metrics.output == ["small-bench"]
+
+    def test_cu_ordering_reduces_text_faults(self, small_pipeline, small_profiling):
+        baseline = small_pipeline.build_baseline()
+        optimized = small_pipeline.build_optimized(small_profiling.profiles, STRATEGY_CU)
+        base = small_pipeline.measure(baseline, 1)[0].faults.get(TEXT_SECTION, 0)
+        opt = small_pipeline.measure(optimized, 1)[0].faults.get(TEXT_SECTION, 0)
+        assert opt <= base
+
+    def test_heap_path_ordering_reduces_heap_faults(self, small_pipeline, small_profiling):
+        baseline = small_pipeline.build_baseline()
+        optimized = small_pipeline.build_optimized(
+            small_profiling.profiles, STRATEGY_HEAP_PATH
+        )
+        base = small_pipeline.measure(baseline, 1)[0].faults.get(HEAP_SECTION, 0)
+        opt = small_pipeline.measure(optimized, 1)[0].faults.get(HEAP_SECTION, 0)
+        assert opt <= base
+
+    def test_hot_cus_cluster_at_front(self, small_pipeline, small_profiling):
+        optimized = small_pipeline.build_optimized(small_profiling.profiles, STRATEGY_CU)
+        order = [placed.cu.name for placed in optimized.text.placed]
+        assert order[0] == "Main.main()"
+        cold = [i for i, sig in enumerate(order) if sig.startswith("ColdPath.")]
+        hot = [i for i, sig in enumerate(order) if sig.startswith(("ListOps.", "Square.", "Circle."))]
+        if cold and hot:
+            assert min(cold) > max(hot)
+
+    def test_method_ordering_differs_from_cu_when_inlining_diverges(
+        self, small_pipeline, small_profiling
+    ):
+        cu_bin = small_pipeline.build_optimized(small_profiling.profiles, STRATEGY_CU)
+        m_bin = small_pipeline.build_optimized(small_profiling.profiles, STRATEGY_METHOD)
+        assert [p.cu.name for p in cu_bin.text.placed]  # both build fine
+        assert [p.cu.name for p in m_bin.text.placed]
+
+
+class TestMicroservicePipeline:
+    def test_first_response_measured_and_execution_stopped(self):
+        pipeline = WorkloadPipeline(Workload(name="micro", source=MICRO_PROGRAM,
+                                             microservice=True))
+        baseline = pipeline.build_baseline()
+        metrics = pipeline.measure(baseline, iterations=1)[0]
+        assert metrics.first_response_time_s is not None
+        assert metrics.first_response_ops is not None
+        # SIGKILL semantics: the post-response tail loop did not finish.
+        assert metrics.result is None
+
+    def test_microservice_profiling_uses_mmap_and_loses_nothing(self):
+        pipeline = WorkloadPipeline(Workload(name="micro", source=MICRO_PROGRAM,
+                                             microservice=True))
+        outcome = pipeline.profile(seed=0)
+        assert outcome.lost_records == 0
+        assert outcome.profiles.code["method"].signatures
+        combined = pipeline.build_optimized(outcome.profiles, STRATEGY_COMBINED)
+        opt_metrics = pipeline.measure(combined, iterations=1)[0]
+        assert opt_metrics.first_response_time_s is not None

@@ -1,0 +1,114 @@
+"""Tests for CFG construction and Ball–Larus path numbering."""
+
+import pytest
+
+from repro.minijava import compile_source
+from repro.profiling.cfg import MAX_PATHS_PER_REGION, build_cfg
+
+
+def cfg_of(body: str, prelude: str = ""):
+    source = f"{prelude}\nclass Main {{ static int main() {{ {body} }} }}"
+    program = compile_source(source)
+    return build_cfg(program.get_class("Main").methods["main"])
+
+
+class TestBlockStructure:
+    def test_straight_line_single_block(self):
+        cfg = cfg_of("int a = 1; int b = 2; return a + b;")
+        # One executable block plus the unreachable synthesized epilogue
+        # (codegen always appends a trailing RET_VOID).
+        assert cfg.block_count == 2
+        assert cfg.out_edges.get(0, []) == []
+
+    def test_if_creates_diamond_or_triangle(self):
+        cfg = cfg_of("int a = 1; if (a > 0) a = 2; return a;")
+        # cond block, then block, join block + unreachable epilogue
+        assert cfg.block_count == 4
+        cond_edges = cfg.out_edges[0]
+        assert len(cond_edges) == 2
+        assert not any(e.cut for e in cond_edges)
+
+    def test_while_has_back_edge(self):
+        cfg = cfg_of("int i = 0; while (i < 3) i++; return i;")
+        back_edges = [e for e in cfg.edges.values() if e.cut]
+        assert len(back_edges) >= 1
+        back = back_edges[0]
+        assert cfg.blocks[back.target].start <= cfg.blocks[back.source].start
+
+    def test_call_ends_block_with_cut_edge(self):
+        prelude = "class H { static int f() { return 1; } }"
+        cfg = cfg_of("int a = H.f(); return a;", prelude)
+        cut = [e for e in cfg.edges.values() if e.cut]
+        assert len(cut) == 1
+
+    def test_heap_access_sites_recorded(self):
+        prelude = "class C { static int x; }"
+        cfg = cfg_of("C.x = 1; int a = C.x; return a;", prelude)
+        assert cfg.heap_site_count == 2
+
+    def test_leaders_are_block_starts(self):
+        cfg = cfg_of("int i = 0; while (i < 3) { if (i > 1) i++; i++; } return i;")
+        assert set(cfg.leaders) == {b.start for b in cfg.blocks}
+
+
+class TestNumbering:
+    def test_diamond_has_two_paths(self):
+        cfg = cfg_of("int a = 1; if (a > 0) a = 2; else a = 3; return a;")
+        entry_paths = cfg.num_paths[0]
+        assert entry_paths == 2
+
+    def test_unique_values_decode_to_distinct_paths(self):
+        cfg = cfg_of(
+            "int a = 1;"
+            "if (a > 0) a = 2; else a = 3;"
+            "if (a > 1) a = 4; else a = 5;"
+            "return a;"
+        )
+        assert cfg.num_paths[0] == 4
+        decoded = {tuple(cfg.decode_path(0, v)) for v in range(4)}
+        assert len(decoded) == 4
+
+    def test_decode_rejects_out_of_range_value(self):
+        cfg = cfg_of("int a = 1; if (a > 0) a = 2; return a;")
+        with pytest.raises(ValueError):
+            cfg.decode_path(0, 99)
+
+    def test_every_region_within_limit(self):
+        # Long if-chain would explode without path cutting.
+        body = "int a = 1;\n" + "\n".join(
+            f"if (a > {i}) a = a + {i}; else a = a - {i};" for i in range(40)
+        ) + "\nreturn a;"
+        cfg = cfg_of(body)
+        assert cfg.max_region_paths() <= MAX_PATHS_PER_REGION
+
+    def test_path_cutting_preserves_decode(self):
+        body = "int a = 1;\n" + "\n".join(
+            f"if (a > {i}) a = a + {i}; else a = a - {i};" for i in range(40)
+        ) + "\nreturn a;"
+        cfg = cfg_of(body)
+        # Any region start should decode value 0 without error.
+        starts = {0} | {e.target for e in cfg.edges.values() if e.cut}
+        for start in starts:
+            blocks = cfg.decode_path(start, 0)
+            assert blocks[0] == start
+
+    def test_increments_are_consistent_with_decode(self):
+        cfg = cfg_of(
+            "int a = 1;"
+            "if (a > 0) { a = 2; } else { a = 3; }"
+            "if (a > 1) { a = 4; }"
+            "return a;"
+        )
+        for value in range(cfg.num_paths[0]):
+            blocks = cfg.decode_path(0, value)
+            # Recompute the value by summing edge increments.
+            total = 0
+            for src, dst in zip(blocks, blocks[1:]):
+                total += cfg.edge(src, dst).increment
+            assert total == value
+
+    def test_heap_sites_on_path_ordered(self):
+        prelude = "class C { static int x; static int y; }"
+        cfg = cfg_of("C.x = 1; if (C.x > 0) C.y = 2; return C.y;", prelude)
+        all_sites = cfg.heap_sites_on_path(0, cfg.num_paths[0] - 1)
+        assert all_sites == sorted(all_sites)

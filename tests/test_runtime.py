@@ -1,0 +1,162 @@
+"""Tests for the paging simulator and the executor cost model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval.pipeline import Workload, WorkloadPipeline
+from repro.image.sections import HEAP_SECTION, PAGE_SIZE, TEXT_SECTION
+from repro.runtime.executor import ExecutionConfig
+from repro.runtime.paging import DEVICES, NFS, SSD, PageCache
+
+
+class TestPageCache:
+    def test_first_touch_faults(self):
+        cache = PageCache()
+        assert cache.touch(TEXT_SECTION, 0, 100) == 1
+        assert cache.fault_count(TEXT_SECTION) == 1
+
+    def test_second_touch_does_not_fault(self):
+        cache = PageCache()
+        cache.touch(TEXT_SECTION, 0, 100)
+        assert cache.touch(TEXT_SECTION, 50, 10) == 0
+        assert cache.fault_count(TEXT_SECTION) == 1
+
+    def test_range_spanning_pages(self):
+        cache = PageCache()
+        assert cache.touch(TEXT_SECTION, PAGE_SIZE - 10, 20) == 2
+
+    def test_sections_accounted_separately(self):
+        cache = PageCache()
+        cache.touch(TEXT_SECTION, 0, 1)
+        cache.touch(HEAP_SECTION, 0, 1)
+        assert cache.fault_count(TEXT_SECTION) == 1
+        assert cache.fault_count(HEAP_SECTION) == 1
+        assert cache.total_faults() == 2
+
+    def test_zero_size_counts_as_one_byte(self):
+        cache = PageCache()
+        assert cache.touch(TEXT_SECTION, 5, 0) == 1
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            PageCache().touch(TEXT_SECTION, -1, 4)
+
+    def test_fault_around_maps_without_faulting(self):
+        cache = PageCache(fault_around=2)
+        cache.touch(TEXT_SECTION, 10 * PAGE_SIZE, 1)
+        assert cache.fault_count(TEXT_SECTION) == 1
+        assert cache.resident_pages(TEXT_SECTION) == {8, 9, 10, 11, 12}
+        # touching a faulted-around page later is free
+        assert cache.touch(TEXT_SECTION, 11 * PAGE_SIZE, 1) == 0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 100 * PAGE_SIZE), st.integers(1, 3 * PAGE_SIZE)),
+            max_size=40,
+        )
+    )
+    def test_faults_equal_distinct_first_touched_pages(self, touches):
+        cache = PageCache()
+        expected = set()
+        for offset, size in touches:
+            first = offset // PAGE_SIZE
+            last = (offset + size - 1) // PAGE_SIZE
+            expected.update(range(first, last + 1))
+            cache.touch(TEXT_SECTION, offset, size)
+        assert cache.fault_count(TEXT_SECTION) == len(expected)
+        assert cache.resident_pages(TEXT_SECTION) == expected
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 50 * PAGE_SIZE), st.integers(1, PAGE_SIZE)),
+            max_size=30,
+        )
+    )
+    def test_fault_count_order_independent(self, touches):
+        forward = PageCache()
+        backward = PageCache()
+        for offset, size in touches:
+            forward.touch(TEXT_SECTION, offset, size)
+        for offset, size in reversed(touches):
+            backward.touch(TEXT_SECTION, offset, size)
+        assert forward.fault_count(TEXT_SECTION) == backward.fault_count(TEXT_SECTION)
+
+
+class TestDevices:
+    def test_device_registry(self):
+        assert DEVICES["ssd"] is SSD
+        assert DEVICES["nfs"] is NFS
+
+    def test_nfs_slower_than_ssd(self):
+        assert NFS.fault_latency_s > SSD.fault_latency_s
+
+    def test_fault_cost_linear(self):
+        assert SSD.fault_cost(10) == pytest.approx(10 * SSD.fault_latency_s)
+
+
+SOURCE = """
+class Data { static int[] table = new int[1024];
+    static { for (int i = 0; i < 1024; i++) table[i] = i; } }
+class Main {
+    static int main() {
+        int acc = 0;
+        for (int i = 0; i < 1024; i += 64) acc += Data.table[i];
+        return acc;
+    }
+}
+"""
+
+
+class TestExecutorCostModel:
+    def test_time_includes_fault_cost(self):
+        pipeline = WorkloadPipeline(Workload(name="cost", source=SOURCE))
+        binary = pipeline.build_baseline()
+        metrics = pipeline.measure(binary, 1)[0]
+        config = pipeline.exec_config
+        floor = config.base_startup_s + metrics.ops * config.op_time_s
+        assert metrics.time_s == pytest.approx(
+            floor + config.device.fault_cost(metrics.total_faults)
+        )
+
+    def test_nfs_runs_slower(self):
+        from dataclasses import replace
+
+        workload = Workload(name="cost", source=SOURCE)
+        ssd_pipeline = WorkloadPipeline(workload)
+        nfs_pipeline = WorkloadPipeline(
+            workload, exec_config=replace(ExecutionConfig(), device=NFS)
+        )
+        ssd_time = ssd_pipeline.measure(ssd_pipeline.build_baseline(), 1)[0].time_s
+        nfs_time = nfs_pipeline.measure(nfs_pipeline.build_baseline(), 1)[0].time_s
+        assert nfs_time > ssd_time
+
+    def test_jitter_perturbs_time_not_faults(self):
+        from dataclasses import replace
+
+        workload = Workload(name="cost", source=SOURCE)
+        pipeline = WorkloadPipeline(
+            workload,
+            exec_config=replace(ExecutionConfig(), time_jitter=0.05, jitter_seed=9),
+        )
+        binary = pipeline.build_baseline()
+        a = pipeline.measure(binary, 1, seed=1)[0]
+        b = pipeline.measure(binary, 1, seed=2)[0]
+        assert a.faults == b.faults
+        assert a.time_s != b.time_s
+
+    def test_startup_touches_native_blob(self):
+        pipeline = WorkloadPipeline(Workload(name="cost", source=SOURCE))
+        binary = pipeline.build_baseline()
+        metrics = pipeline.measure(binary, 1)[0]
+        native_first = binary.text.native_blob_offset // PAGE_SIZE
+        touched = metrics.faulted_pages[TEXT_SECTION]
+        startup_pages = {p for p in touched if p >= native_first}
+        assert len(startup_pages) == pipeline.exec_config.startup_native_pages
+
+    def test_big_array_spans_multiple_heap_pages(self):
+        pipeline = WorkloadPipeline(Workload(name="cost", source=SOURCE))
+        binary = pipeline.build_baseline()
+        metrics = pipeline.measure(binary, 1)[0]
+        # the 8 KiB table alone spans 3 pages
+        assert metrics.heap_faults >= 3

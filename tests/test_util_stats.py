@@ -1,0 +1,104 @@
+"""Unit + property tests for the statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    confidence_interval_95,
+    geomean,
+    mean,
+    ratio_factor,
+    stdev,
+    t_quantile_975,
+)
+
+finite_floats = st.floats(
+    min_value=0.001, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_stdev_known(self):
+        assert stdev([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(
+            2.138, abs=1e-3
+        )
+
+    def test_stdev_single_value_is_zero(self):
+        assert stdev([5.0]) == 0.0
+
+    def test_geomean_known(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    @given(st.lists(finite_floats, min_size=1, max_size=20))
+    def test_geomean_between_min_and_max(self, values):
+        g = geomean(values)
+        slack = 1e-9 * max(values)
+        assert min(values) - slack <= g <= max(values) + slack
+
+
+class TestConfidenceInterval:
+    def test_single_sample_has_zero_width(self):
+        ci = confidence_interval_95([3.5])
+        assert ci.mean == 3.5 and ci.half_width == 0.0
+
+    def test_constant_samples_have_zero_width(self):
+        ci = confidence_interval_95([2.0] * 10)
+        assert ci.half_width == 0.0
+
+    def test_known_interval(self):
+        # n=4, mean=5, s=2 -> half = 3.182 * 2 / 2 = 3.182
+        ci = confidence_interval_95([3.0, 4.0, 6.0, 7.0])
+        assert ci.mean == 5.0
+        expected = 3.182 * stdev([3.0, 4.0, 6.0, 7.0]) / 2.0
+        assert ci.half_width == pytest.approx(expected, rel=1e-6)
+
+    def test_low_high(self):
+        ci = confidence_interval_95([1.0, 2.0, 3.0])
+        assert ci.low == pytest.approx(ci.mean - ci.half_width)
+        assert ci.high == pytest.approx(ci.mean + ci.half_width)
+
+    def test_t_quantiles_monotone_decreasing(self):
+        values = [t_quantile_975(dof) for dof in range(1, 31)]
+        assert values == sorted(values, reverse=True)
+
+    def test_t_quantile_falls_back_to_normal(self):
+        assert t_quantile_975(1000) == pytest.approx(1.960)
+
+    @given(st.lists(finite_floats, min_size=2, max_size=15))
+    def test_mean_inside_interval(self, values):
+        ci = confidence_interval_95(values)
+        assert ci.low <= mean(values) <= ci.high
+
+
+class TestRatioFactor:
+    def test_normal_ratio(self):
+        assert ratio_factor(10.0, 5.0) == 2.0
+
+    def test_both_zero_is_one(self):
+        assert ratio_factor(0.0, 0.0) == 1.0
+
+    def test_zero_optimized_capped(self):
+        assert ratio_factor(7.0, 0.0) == 7.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ratio_factor(-1.0, 1.0)
+
+    @given(finite_floats, finite_floats)
+    def test_positive(self, a, b):
+        assert ratio_factor(a, b) > 0

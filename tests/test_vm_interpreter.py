@@ -1,0 +1,403 @@
+"""End-to-end tests: MiniJava source -> bytecode -> interpreter."""
+
+import pytest
+
+from repro.minijava import compile_source
+from repro.minijava.errors import CompileError, SemanticError
+from repro.vm import Interpreter, VMError
+
+from conftest import run_source
+
+
+def result_of(body: str, prelude: str = ""):
+    source = f"{prelude}\nclass Main {{ static int main() {{ {body} }} }}"
+    return run_source(source)[0]
+
+
+class TestArithmetic:
+    def test_basic_int_math(self):
+        assert result_of("return 2 + 3 * 4;") == 14
+
+    def test_division_truncates_toward_zero(self):
+        assert result_of("return -7 / 2;") == -3
+        assert result_of("return 7 / 2;") == 3
+
+    def test_modulo_sign_follows_dividend(self):
+        assert result_of("return -7 % 2;") == -1
+        assert result_of("return 7 % -2;") == 1
+
+    def test_division_by_zero(self):
+        with pytest.raises(VMError):
+            result_of("return 1 / 0;")
+
+    def test_double_math(self):
+        source = """
+        class Main { static double main() { return 1.5 * 4.0; } }
+        """
+        assert run_source(source)[0] == 6.0
+
+    def test_mixed_int_double(self):
+        source = "class Main { static double main() { return 3 / 2.0; } }"
+        assert run_source(source)[0] == 1.5
+
+    def test_bitwise_ops(self):
+        assert result_of("return (12 & 10) | (1 << 4);") == 24
+        assert result_of("return 12 ^ 10;") == 6
+        assert result_of("return -8 >> 1;") == -4
+        assert result_of("return ~5;") == -6
+
+    def test_unary_minus(self):
+        assert result_of("int x = 5; return -x;") == -5
+
+    def test_comparison_chain(self):
+        assert result_of("if (1 < 2 && 2 <= 2 && 3 > 2 && 3 >= 3) return 1; return 0;") == 1
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        assert result_of("int x = 3; if (x > 2) return 10; else return 20;") == 10
+
+    def test_while_loop(self):
+        assert result_of("int s = 0; int i = 0; while (i < 5) { s += i; i++; } return s;") == 10
+
+    def test_for_loop(self):
+        assert result_of("int s = 0; for (int i = 1; i <= 4; i++) s = s + i; return s;") == 10
+
+    def test_break(self):
+        assert result_of(
+            "int i = 0; while (true) { if (i == 7) break; i++; } return i;"
+        ) == 7
+
+    def test_continue(self):
+        body = """
+        int s = 0;
+        for (int i = 0; i < 10; i++) { if (i % 2 == 0) continue; s += i; }
+        return s;
+        """
+        assert result_of(body) == 25
+
+    def test_nested_loops_with_break(self):
+        body = """
+        int count = 0;
+        for (int i = 0; i < 3; i++) {
+            for (int j = 0; j < 10; j++) {
+                if (j == 2) break;
+                count++;
+            }
+        }
+        return count;
+        """
+        assert result_of(body) == 6
+
+    def test_ternary(self):
+        assert result_of("int x = 5; return x > 3 ? 100 : 200;") == 100
+
+    def test_short_circuit_and_skips_rhs(self):
+        prelude = """
+        class Helper {
+            static int calls = 0;
+            static boolean bump() { Helper.calls = Helper.calls + 1; return true; }
+        }
+        """
+        body = """
+        boolean r = false && Helper.bump();
+        return Helper.calls;
+        """
+        assert result_of(body, prelude) == 0
+
+    def test_short_circuit_or_skips_rhs(self):
+        prelude = """
+        class Helper {
+            static int calls = 0;
+            static boolean bump() { Helper.calls = Helper.calls + 1; return true; }
+        }
+        """
+        assert result_of("boolean r = true || Helper.bump(); return Helper.calls;", prelude) == 0
+
+
+class TestObjectsAndClasses:
+    def test_object_fields_and_methods(self):
+        source = """
+        class Point {
+            int x; int y;
+            Point(int x0, int y0) { x = x0; y = y0; }
+            int sum() { return x + y; }
+        }
+        class Main { static int main() { Point p = new Point(3, 4); return p.sum(); } }
+        """
+        assert run_source(source)[0] == 7
+
+    def test_field_initializers_run_in_ctor(self):
+        source = """
+        class C { int v = 42; }
+        class Main { static int main() { return new C().v; } }
+        """
+        assert run_source(source)[0] == 42
+
+    def test_inheritance_and_virtual_dispatch(self):
+        source = """
+        class Animal { int sound() { return 0; } int speak() { return sound(); } }
+        class Dog extends Animal { int sound() { return 1; } }
+        class Cat extends Animal { int sound() { return 2; } }
+        class Main {
+            static int main() {
+                Animal a = new Dog();
+                Animal b = new Cat();
+                return a.speak() * 10 + b.speak();
+            }
+        }
+        """
+        assert run_source(source)[0] == 12
+
+    def test_super_method_call(self):
+        source = """
+        class A { int f() { return 1; } }
+        class B extends A { int f() { return super.f() + 10; } }
+        class Main { static int main() { return new B().f(); } }
+        """
+        assert run_source(source)[0] == 11
+
+    def test_explicit_super_ctor(self):
+        source = """
+        class A { int v; A(int x) { v = x; } }
+        class B extends A { B() { super(5); } }
+        class Main { static int main() { return new B().v; } }
+        """
+        assert run_source(source)[0] == 5
+
+    def test_implicit_super_ctor_requires_noarg(self):
+        source = """
+        class A { A(int x) { } }
+        class B extends A { }
+        class Main { static int main() { return 0; } }
+        """
+        with pytest.raises(SemanticError):
+            compile_source(source)
+
+    def test_inherited_fields(self):
+        source = """
+        class A { int base = 7; }
+        class B extends A { int extra = 3; int total() { return base + extra; } }
+        class Main { static int main() { return new B().total(); } }
+        """
+        assert run_source(source)[0] == 10
+
+    def test_instanceof(self):
+        source = """
+        class A { }
+        class B extends A { }
+        class Main {
+            static int main() {
+                A x = new B();
+                int r = 0;
+                if (x instanceof B) r += 1;
+                if (x instanceof A) r += 2;
+                return r;
+            }
+        }
+        """
+        assert run_source(source)[0] == 3
+
+    def test_checkcast_failure(self):
+        source = """
+        class A { }
+        class B extends A { }
+        class Main { static int main() { A x = new A(); B y = (B) x; return 0; } }
+        """
+        with pytest.raises(VMError):
+            run_source(source)
+
+    def test_null_deref_raises(self):
+        source = """
+        class C { int v; }
+        class Main { static int main() { C c = null; return c.v; } }
+        """
+        with pytest.raises(VMError):
+            run_source(source)
+
+    def test_static_fields_and_methods(self):
+        source = """
+        class Counter {
+            static int count = 100;
+            static int next() { count++; return count; }
+        }
+        class Main { static int main() { Counter.next(); return Counter.next(); } }
+        """
+        assert run_source(source)[0] == 102
+
+
+class TestArraysAndStrings:
+    def test_array_roundtrip(self):
+        assert result_of(
+            "int[] a = new int[3]; a[0] = 5; a[1] = a[0] * 2; return a[0] + a[1] + a[2];"
+        ) == 15
+
+    def test_array_length(self):
+        assert result_of("int[] a = new int[7]; return a.length;") == 7
+
+    def test_array_bounds(self):
+        with pytest.raises(VMError):
+            result_of("int[] a = new int[2]; return a[2];")
+
+    def test_array_of_objects(self):
+        source = """
+        class Box { int v; Box(int x) { v = x; } }
+        class Main {
+            static int main() {
+                Box[] boxes = new Box[2];
+                boxes[0] = new Box(1);
+                boxes[1] = new Box(2);
+                return boxes[0].v + boxes[1].v;
+            }
+        }
+        """
+        assert run_source(source)[0] == 3
+
+    def test_2d_array(self):
+        body = """
+        int[][] m = new int[2][];
+        m[0] = new int[2];
+        m[1] = new int[2];
+        m[1][1] = 9;
+        return m[1][1] + m[0][0];
+        """
+        assert result_of(body) == 9
+
+    def test_string_concat(self):
+        source = """
+        class Main { static String main() { return "a" + 1 + "b" + true; } }
+        """
+        assert run_source(source)[0] == "a1btrue"
+
+    def test_string_methods(self):
+        body = """
+        String s = "hello";
+        return s.length() + s.charAt(1) + s.indexOf("llo");
+        """
+        assert result_of(body) == 5 + ord("e") + 2
+
+    def test_string_equals(self):
+        assert result_of('String a = "x" + 1; if (a.equals("x1")) return 1; return 0;') == 1
+
+    def test_substring(self):
+        source = """
+        class Main { static String main() { return "abcdef".substring(2, 4); } }
+        """
+        assert run_source(source)[0] == "cd"
+
+
+class TestStatementsAndAssignment:
+    def test_compound_assignment_on_field(self):
+        source = """
+        class C { int v = 10; }
+        class Main { static int main() { C c = new C(); c.v += 5; c.v *= 2; return c.v; } }
+        """
+        assert run_source(source)[0] == 30
+
+    def test_compound_assignment_on_array(self):
+        assert result_of("int[] a = new int[1]; a[0] = 3; a[0] <<= 2; return a[0];") == 12
+
+    def test_assignment_as_expression(self):
+        assert result_of("int a; int b; a = b = 4; return a + b;") == 8
+
+    def test_postfix_increment_value(self):
+        assert result_of("int i = 5; int j = i++; return i * 10 + j;") == 65
+
+    def test_prefix_increment_value(self):
+        assert result_of("int i = 5; int j = ++i; return i * 10 + j;") == 66
+
+    def test_incdec_on_field_value(self):
+        source = """
+        class C { int v = 5; }
+        class Main {
+            static int main() {
+                C c = new C();
+                int post = c.v++;
+                int pre = ++c.v;
+                return post * 100 + pre * 10 + c.v;
+            }
+        }
+        """
+        assert run_source(source)[0] == 500 + 70 + 7
+
+    def test_scoping_shadows(self):
+        body = """
+        int x = 1;
+        { int y = 2; x = x + y; }
+        { int y = 3; x = x + y; }
+        return x;
+        """
+        assert result_of(body) == 6
+
+    def test_duplicate_local_rejected(self):
+        with pytest.raises(CompileError):
+            result_of("int x = 1; int x = 2; return x;")
+
+
+class TestRecursionAndBuiltins:
+    def test_recursion(self):
+        source = """
+        class Main {
+            static int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+            static int main() { return fib(12); }
+        }
+        """
+        assert run_source(source)[0] == 144
+
+    def test_deep_recursion_no_python_overflow(self):
+        source = """
+        class Main {
+            static int down(int n) { if (n == 0) return 0; return down(n - 1); }
+            static int main() { return down(3000); }
+        }
+        """
+        assert run_source(source)[0] == 0
+
+    def test_println_output(self):
+        source = """
+        class Main { static int main() { println("hi"); println(1 + 2); return 0; } }
+        """
+        _, output = run_source(source)
+        assert output == ["hi", "3"]
+
+    def test_sqrt_and_abs(self):
+        source = "class Main { static double main() { return sqrt(16.0) + abs(-2.5); } }"
+        assert run_source(source)[0] == 6.5
+
+    def test_min_max(self):
+        assert result_of("return min(3, 5) + max(3, 5);") == 8
+
+    def test_static_initializers(self):
+        source = """
+        class Config {
+            static int[] table = new int[4];
+            static { for (int i = 0; i < 4; i++) table[i] = i * i; }
+        }
+        class Main { static int main() { return Config.table[3]; } }
+        """
+        assert run_source(source)[0] == 9
+
+    def test_string_cast(self):
+        source = """
+        class Main { static int main() { String s = (String) "ok"; return s.length(); } }
+        """
+        assert run_source(source)[0] == 2
+
+
+class TestThreads:
+    def test_spawn_runs_to_completion(self):
+        source = """
+        class Worker {
+            static int done = 0;
+            static void work() { int s = 0; for (int i = 0; i < 100; i++) s += i; Worker.done = 1; }
+        }
+        class Main {
+            static int main() {
+                spawn("Worker", "work");
+                int guard = 0;
+                while (Worker.done == 0 && guard < 100000) { guard++; yieldThread(); }
+                return Worker.done;
+            }
+        }
+        """
+        assert run_source(source)[0] == 1

@@ -1,0 +1,146 @@
+"""Coverage for String intrinsics and builtin functions."""
+
+import pytest
+
+from repro.vm import VMError
+
+from conftest import run_source
+
+
+def result_of(body: str, prelude: str = ""):
+    source = f"{prelude}\nclass Main {{ static int main() {{ {body} }} }}"
+    return run_source(source)[0]
+
+
+def str_result_of(body: str):
+    source = f"class Main {{ static String main() {{ {body} }} }}"
+    return run_source(source)[0]
+
+
+class TestStringIntrinsics:
+    def test_length_call_and_property(self):
+        assert result_of('return "abc".length() + "abcd".length;') == 7
+
+    def test_char_at_returns_code_point(self):
+        assert result_of('return "A".charAt(0);') == 65
+
+    def test_char_at_out_of_bounds(self):
+        with pytest.raises(VMError):
+            result_of('return "a".charAt(5);')
+
+    def test_starts_ends_with(self):
+        body = """
+        int acc = 0;
+        if ("hello".startsWith("he")) acc += 1;
+        if ("hello".endsWith("lo")) acc += 2;
+        if (!"hello".startsWith("x")) acc += 4;
+        return acc;
+        """
+        assert result_of(body) == 7
+
+    def test_index_of_found_and_missing(self):
+        assert result_of('return "banana".indexOf("na");') == 2
+        assert result_of('return "banana".indexOf("xyz");') == -1
+
+    def test_contains_and_is_empty(self):
+        body = """
+        int acc = 0;
+        if ("abc".contains("b")) acc += 1;
+        if ("".isEmpty()) acc += 2;
+        if (!"x".isEmpty()) acc += 4;
+        return acc;
+        """
+        assert result_of(body) == 7
+
+    def test_concat_method(self):
+        assert str_result_of('return "a".concat("b");') == "ab"
+
+    def test_to_string_identity(self):
+        assert str_result_of('return "x".toString();') == "x"
+
+    def test_hash_code_matches_java(self):
+        # Java's "hello".hashCode() == 99162322
+        assert result_of('return "hello".hashCode();') == 99162322
+
+    def test_string_indexing_via_brackets(self):
+        # s[i] sugar: ALOAD on a string yields the code point
+        assert result_of('String s = "AB"; return s[1];') == 66
+
+    def test_unknown_string_method_raises(self):
+        with pytest.raises(VMError):
+            result_of('return "x".frobnicate();')
+
+    def test_equality_by_value(self):
+        body = """
+        String a = "he" + "llo";
+        String b = "hello";
+        if (a == b) return 1;
+        return 0;
+        """
+        assert result_of(body) == 1
+
+
+class TestBuiltins:
+    def test_math_builtins(self):
+        source = """
+        class Main {
+            static double main() {
+                return sqrt(9.0) + pow(2.0, 3.0) + floor(2.9) + ceil(2.1);
+            }
+        }
+        """
+        assert run_source(source)[0] == 3.0 + 8.0 + 2.0 + 3.0
+
+    def test_abs_int_and_double(self):
+        assert result_of("return abs(-4);") == 4
+        source = "class Main { static double main() { return abs(-2.5); } }"
+        assert run_source(source)[0] == 2.5
+
+    def test_int_of_string_and_double(self):
+        assert result_of('return intOf("42") + intOf(3.9);') == 45
+
+    def test_double_of(self):
+        source = 'class Main { static double main() { return doubleOf("1.5") + doubleOf(2); } }'
+        assert run_source(source)[0] == 3.5
+
+    def test_print_vs_println(self):
+        source = """
+        class Main { static int main() { print("a"); print("b"); println("c"); return 0; } }
+        """
+        _, output = run_source(source)
+        assert output == ["a", "b", "c"]
+
+    def test_spawn_unknown_method_raises(self):
+        source = """
+        class Main { static int main() { spawn("Main", "ghost"); return 0; } }
+        """
+        with pytest.raises(VMError):
+            run_source(source)
+
+    def test_object_identity_equality(self):
+        source = """
+        class Box { }
+        class Main {
+            static int main() {
+                Box a = new Box();
+                Box b = new Box();
+                Box c = a;
+                int acc = 0;
+                if (a == c) acc += 1;
+                if (a != b) acc += 2;
+                return acc;
+            }
+        }
+        """
+        assert run_source(source)[0] == 3
+
+    def test_null_comparisons(self):
+        body = """
+        String s = null;
+        int acc = 0;
+        if (s == null) acc += 1;
+        s = "x";
+        if (s != null) acc += 2;
+        return acc;
+        """
+        assert result_of(body) == 3

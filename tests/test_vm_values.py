@@ -1,0 +1,111 @@
+"""Unit tests for runtime values and display conversion."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.minijava import compile_source
+from repro.vm.values import (
+    ArrayInstance,
+    ObjectInstance,
+    ResourceBlob,
+    StaticsHolder,
+    VMError,
+    default_for_type,
+    to_display,
+    type_name_of,
+)
+
+
+@pytest.fixture(scope="module")
+def point_class():
+    program = compile_source("class Point { int x; double y; boolean b; Point next; }")
+    return program.get_class("Point")
+
+
+class TestObjectInstance:
+    def test_fields_get_java_defaults(self, point_class):
+        obj = ObjectInstance(point_class)
+        assert obj.fields == {"x": 0, "y": 0.0, "b": False, "next": None}
+
+    def test_unknown_field_raises(self, point_class):
+        obj = ObjectInstance(point_class)
+        with pytest.raises(VMError):
+            obj.get_field("ghost")
+        with pytest.raises(VMError):
+            obj.set_field("ghost", 1)
+
+    def test_inherited_fields_included(self):
+        program = compile_source("class A { int a; } class B extends A { int b; }")
+        obj = ObjectInstance(program.get_class("B"))
+        assert set(obj.fields) == {"a", "b"}
+
+
+class TestArrayInstance:
+    def test_defaults_by_elem_type(self):
+        assert ArrayInstance("int", 2).values == [0, 0]
+        assert ArrayInstance("double", 1).values == [0.0]
+        assert ArrayInstance("boolean", 1).values == [False]
+        assert ArrayInstance("Point", 1).values == [None]
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(VMError):
+            ArrayInstance("int", -1)
+
+    @given(st.integers(-5, 15))
+    def test_bounds_checked(self, index):
+        arr = ArrayInstance("int", 10)
+        if 0 <= index < 10:
+            arr.store(index, 1)
+            assert arr.load(index) == 1
+        else:
+            with pytest.raises(VMError):
+                arr.load(index)
+
+    def test_bool_index_rejected(self):
+        arr = ArrayInstance("int", 2)
+        with pytest.raises(VMError):
+            arr.load(True)
+
+
+class TestStaticsHolder:
+    def test_get_set(self):
+        holder = StaticsHolder("C", ["x"], [0])
+        holder.set("x", 9)
+        assert holder.get("x") == 9
+
+    def test_unknown_static_raises(self):
+        holder = StaticsHolder("C", [], [])
+        with pytest.raises(VMError):
+            holder.get("ghost")
+
+
+class TestTypeNames:
+    def test_primitives(self):
+        assert type_name_of(True) == "boolean"
+        assert type_name_of(3) == "int"
+        assert type_name_of(2.5) == "double"
+        assert type_name_of("s") == "String"
+        assert type_name_of(None) == "null"
+
+    def test_composites(self, point_class):
+        assert type_name_of(ObjectInstance(point_class)) == "Point"
+        assert type_name_of(ArrayInstance("int", 0)) == "int[]"
+        assert type_name_of(ResourceBlob("r", 1)) == "Resource"
+
+
+class TestDisplay:
+    def test_java_style_booleans_and_null(self):
+        assert to_display(True) == "true"
+        assert to_display(False) == "false"
+        assert to_display(None) == "null"
+
+    def test_numbers(self):
+        assert to_display(42) == "42"
+        assert to_display(1.5) == "1.5"
+
+    def test_defaults(self):
+        assert default_for_type("int") == 0
+        assert default_for_type("double") == 0.0
+        assert default_for_type("boolean") is False
+        assert default_for_type("Whatever") is None
