@@ -26,6 +26,7 @@ from .eval.pipeline import (
 from .image.binary import NativeImageBinary
 from .image.builder import BuildConfig
 from .image.sections import HEAP_SECTION, TEXT_SECTION
+from .robustness.degradation import DegradationPolicy, DegradationReport
 from .runtime.executor import ExecutionConfig, RunMetrics
 from .util.stats import ratio_factor
 
@@ -67,16 +68,29 @@ class ComparisonReport:
 
 
 class NativeImageToolchain:
-    """One workload's end-to-end toolchain: build, profile, optimize, run."""
+    """One workload's end-to-end toolchain: build, profile, optimize, run.
+
+    Pass ``degradation_policy`` (and optionally ``fault_hook``, e.g. a
+    :class:`repro.robustness.FaultInjector`) to make the PGO workflow
+    crash-tolerant: damaged traces are salvaged, profiling is retried, and
+    builds fall back to the default layout instead of raising.  The
+    resulting :class:`DegradationReport` is available as
+    ``last_degradation_report``.
+    """
 
     def __init__(
         self,
         workload: Workload,
         build_config: Optional[BuildConfig] = None,
         exec_config: Optional[ExecutionConfig] = None,
+        degradation_policy: Optional[DegradationPolicy] = None,
+        fault_hook: Optional[object] = None,
     ) -> None:
         self.workload = workload
-        self._pipeline = WorkloadPipeline(workload, build_config, exec_config)
+        self._pipeline = WorkloadPipeline(
+            workload, build_config, exec_config,
+            degradation_policy=degradation_policy, fault_hook=fault_hook,
+        )
         self._profiles = None
 
     @classmethod
@@ -94,6 +108,11 @@ class NativeImageToolchain:
     @property
     def pipeline(self) -> WorkloadPipeline:
         return self._pipeline
+
+    @property
+    def last_degradation_report(self) -> Optional[DegradationReport]:
+        """What (if anything) degraded during the last profile/build."""
+        return self._pipeline.last_degradation_report
 
     # -- build & run ---------------------------------------------------------
 

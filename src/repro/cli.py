@@ -8,6 +8,8 @@ Commands mirror the paper's artifact scripts:
   heap-snapshot visualization the paper lists as future work);
 * ``compare``  — run every strategy on one workload and print factors;
 * ``emit``     — write a built image as a SNIB file and dump its tables;
+* ``robustness`` — fault-inject a profiling run and show how the pipeline
+  salvages the trace or degrades to the default layout;
 * ``list``     — available workloads.
 """
 
@@ -18,7 +20,7 @@ import sys
 from pathlib import Path
 from typing import Dict, Optional
 
-from .api import STRATEGIES, NativeImageToolchain
+from .api import STRATEGIES, ComparisonReport, NativeImageToolchain
 from .eval.experiments import ExperimentConfig
 from .eval.figures import (
     render_fig2,
@@ -117,6 +119,69 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_fault(text: str):
+    """Parse ``kind[:at[:bit]]`` from the command line into a FaultSpec."""
+    from .robustness import ALL_FAULT_KINDS, FaultSpec
+
+    parts = text.split(":")
+    kind = parts[0]
+    if kind not in ALL_FAULT_KINDS:
+        raise SystemExit(
+            f"unknown fault kind {kind!r}; choose from {', '.join(ALL_FAULT_KINDS)}"
+        )
+    try:
+        at = int(parts[1]) if len(parts) > 1 else 0
+        bit = int(parts[2]) if len(parts) > 2 else 0
+    except ValueError:
+        raise SystemExit(f"bad fault spec {text!r}; expected kind[:at[:bit]]")
+    return FaultSpec(kind=kind, at=at, bit=bit)
+
+
+def cmd_robustness(args: argparse.Namespace) -> int:
+    from .eval.pipeline import WorkloadPipeline as _Pipeline
+    from .robustness import DegradationPolicy, FaultInjector, FaultPlan
+
+    workload = _find_workload(args.workload)
+    spec = STRATEGIES.get(args.strategy)
+    if spec is None:
+        raise SystemExit(f"unknown strategy {args.strategy!r}")
+    if args.faults:
+        plan = FaultPlan(faults=tuple(_parse_fault(text) for text in args.faults))
+    else:
+        plan = FaultPlan.random(args.fault_seed, n_faults=args.n_faults)
+    injector = FaultInjector(plan)
+    policy = DegradationPolicy(
+        max_retries=args.retries, min_match_rate=args.min_match_rate
+    )
+    pipeline = _Pipeline(
+        workload, degradation_policy=policy, fault_hook=injector
+    )
+    print(f"workload: {workload.name}"
+          + (" (microservice, SIGKILLed after first response)"
+             if workload.microservice else ""))
+    print(f"fault plan: {plan.describe()}")
+    print()
+    baseline_runs, optimized_runs = pipeline.run_strategy(spec, seed=args.seed)
+    report = pipeline.last_degradation_report
+    if report is not None:
+        print(report.summary())
+    print()
+    if injector.triggered:
+        print("faults fired:")
+        for line in injector.triggered:
+            print(f"  {line}")
+    else:
+        print("faults fired: none (plan never hit the trace)")
+    print()
+    print(ComparisonReport(
+        workload=workload.name,
+        strategy=spec.name,
+        baseline=baseline_runs[0],
+        optimized=optimized_runs[0],
+    ))
+    return 0
+
+
 def cmd_emit(args: argparse.Namespace) -> int:
     workload = _find_workload(args.workload)
     pipeline = WorkloadPipeline(workload)
@@ -170,6 +235,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument("--strategy", help="a single strategy (default: all)")
     p_compare.add_argument("--seed", type=int, default=1)
     p_compare.set_defaults(func=cmd_compare)
+
+    p_robust = sub.add_parser(
+        "robustness",
+        help="fault-inject a profiling run; show salvage + degradation",
+    )
+    p_robust.add_argument("workload", nargs="?", default="quarkus")
+    p_robust.add_argument("--strategy", default="cu+heap path")
+    p_robust.add_argument("--seed", type=int, default=1)
+    p_robust.add_argument(
+        "--faults", nargs="*",
+        help="explicit faults as kind[:at[:bit]] "
+        "(truncate_at_byte, drop_flush, bit_flip, kill_at_record, "
+        "partial_header); default: a random plan from --fault-seed",
+    )
+    p_robust.add_argument("--fault-seed", type=int, default=1,
+                          help="seed for the random fault plan")
+    p_robust.add_argument("--n-faults", type=int, default=2,
+                          help="faults in the random plan")
+    p_robust.add_argument("--retries", type=int, default=2,
+                          help="profiling retries before default-layout fallback")
+    p_robust.add_argument("--min-match-rate", type=float, default=0.25,
+                          help="heap ID match-rate floor before heap fallback")
+    p_robust.set_defaults(func=cmd_robustness)
 
     p_emit = sub.add_parser("emit", help="write a built image as a SNIB file")
     p_emit.add_argument("workload")

@@ -25,11 +25,16 @@ from ..image.binary import (
 from ..image.builder import BuildConfig, NativeImageBuilder
 from ..minijava.bytecode import Program
 from ..minijava.frontend import compile_source
-from ..ordering.profiles import ProfileBundle
+from ..ordering.profiles import ProfileBundle, ProfileCompleteness
 from ..postproc.framework import build_profiles
 from ..profiling.tracebuf import TraceSession
 from ..profiling.tracefile import MODE_DUMP_ON_FULL, MODE_MMAP
 from ..profiling.tracer import PathTracer
+from ..robustness.degradation import (
+    DegradationPolicy,
+    DegradationReport,
+    ProfilingAttempt,
+)
 from ..runtime.executor import ExecutionConfig, RunMetrics, run_binary
 
 
@@ -93,16 +98,29 @@ class ProfilingOutcome:
     instrumented_metrics: RunMetrics
     trace_bytes: int
     lost_records: int
+    #: salvage accounting (lenient post-processing only; None = strict)
+    completeness: Optional[ProfileCompleteness] = None
 
 
 class WorkloadPipeline:
-    """Builds and measures all binaries of one workload."""
+    """Builds and measures all binaries of one workload.
+
+    ``degradation_policy`` arms graceful degradation: profiling failures
+    are retried with perturbed seeds, damaged traces are salvaged instead
+    of raising, and optimized builds fall back to the default layout when
+    profiles are empty or mismatched.  Every decision lands in
+    ``last_degradation_report``.  ``fault_hook`` (usually a
+    :class:`repro.robustness.faults.FaultInjector`) is threaded into every
+    profiling session's trace buffers.
+    """
 
     def __init__(
         self,
         workload: Workload,
         build_config: Optional[BuildConfig] = None,
         exec_config: Optional[ExecutionConfig] = None,
+        degradation_policy: Optional[DegradationPolicy] = None,
+        fault_hook: Optional[object] = None,
     ) -> None:
         self.workload = workload
         self.build_config = build_config or BuildConfig()
@@ -112,6 +130,9 @@ class WorkloadPipeline:
 
             base_exec = replace(base_exec, stop_on_first_response=True)
         self.exec_config = base_exec
+        self.degradation_policy = degradation_policy
+        self.fault_hook = fault_hook
+        self.last_degradation_report: Optional[DegradationReport] = None
         self._program = workload.compile()
 
     @property
@@ -135,6 +156,8 @@ class WorkloadPipeline:
         strategy: Optional[StrategySpec] = None,
         seed: int = 0,
     ) -> NativeImageBinary:
+        if self.degradation_policy is not None:
+            return self._build_optimized_degraded(profiles, strategy, seed)
         builder = self.builder()
         return builder.build(
             mode=MODE_OPTIMIZED,
@@ -144,23 +167,155 @@ class WorkloadPipeline:
             seed=seed,
         )
 
+    def _build_optimized_degraded(
+        self,
+        profiles: ProfileBundle,
+        strategy: Optional[StrategySpec],
+        seed: int,
+    ) -> NativeImageBinary:
+        """Optimized build that downgrades instead of raising.
+
+        Missing or empty profiles strip the corresponding ordering; a heap
+        ID match rate below the policy floor (profile from a mismatched
+        build) rebuilds with the default traversal layout.
+        """
+        policy = self.degradation_policy
+        report = self._degradation_report()
+        report.strategy = strategy.name if strategy else ""
+        code = strategy.code_ordering if strategy else None
+        heap = strategy.heap_ordering if strategy else None
+        if code is not None:
+            code_profile = profiles.code_profile(code)
+            if code_profile is None or not code_profile.signatures:
+                report.code_fallback = True
+                report.note(
+                    f"no usable {code!r} code profile; "
+                    "keeping default (alphabetical) CU order"
+                )
+                code = None
+        if heap is not None:
+            heap_profile = profiles.heap_profile(heap)
+            if heap_profile is None or not heap_profile.ids:
+                report.heap_fallback = True
+                report.note(
+                    f"no usable {heap!r} heap profile; "
+                    "keeping default (traversal) object order"
+                )
+                heap = None
+        builder = self.builder()
+        binary = builder.build(
+            mode=MODE_OPTIMIZED, profiles=profiles,
+            code_ordering=code, heap_ordering=heap, seed=seed,
+        )
+        match = builder.last_match_report
+        if heap is not None and match is not None:
+            report.heap_match_rate = match.profile_match_rate
+            if match.profile_match_rate < policy.min_match_rate:
+                report.heap_fallback = True
+                report.note(
+                    f"heap ID match rate {match.profile_match_rate:.0%} below "
+                    f"the {policy.min_match_rate:.0%} floor (profile from a "
+                    "mismatched build?); rebuilt with default object order"
+                )
+                binary = self.builder().build(
+                    mode=MODE_OPTIMIZED, profiles=profiles,
+                    code_ordering=code, heap_ordering=None, seed=seed,
+                )
+        return binary
+
+    def _degradation_report(self) -> DegradationReport:
+        if self.last_degradation_report is None:
+            self.last_degradation_report = DegradationReport(
+                workload=self.workload.name
+            )
+        return self.last_degradation_report
+
     # -- profiling -----------------------------------------------------------------
 
     def profile(self, seed: int = 0) -> ProfilingOutcome:
-        """Run the instrumented binary once and post-process its traces."""
+        """Run the instrumented binary once and post-process its traces.
+
+        With a degradation policy armed, failed or damaged profiling runs
+        are retried with perturbed seeds and the traces parsed leniently;
+        this method then never raises on trace damage — worst case it
+        returns an empty profile bundle that the optimized build turns
+        into a default-layout fallback.
+        """
+        if self.degradation_policy is None:
+            return self._profile_once(seed, lenient=self.fault_hook is not None)
+        return self._profile_with_degradation(seed)
+
+    def _profile_once(self, seed: int, lenient: bool) -> ProfilingOutcome:
         instrumented = self.build_instrumented(seed=seed)
         mode = MODE_MMAP if self.workload.microservice else MODE_DUMP_ON_FULL
-        session = TraceSession(mode=mode)
+        session = TraceSession(mode=mode, fault_hook=self.fault_hook)
         tracer = PathTracer(instrumented.manifest, session)
         metrics = run_binary(instrumented, self.exec_config, tracer=tracer)
-        profiles = build_profiles(instrumented.manifest, session.trace_files())
+        profiles = build_profiles(instrumented.manifest, session.trace_files(),
+                                  lenient=lenient)
         stats = session.total_stats()
         return ProfilingOutcome(
             profiles=profiles,
             instrumented_metrics=metrics,
             trace_bytes=stats.bytes_written,
             lost_records=stats.lost_records,
+            completeness=profiles.completeness,
         )
+
+    def _profile_with_degradation(self, seed: int) -> ProfilingOutcome:
+        policy = self.degradation_policy
+        self.last_degradation_report = None
+        report = self._degradation_report()
+        fallback_outcome: Optional[ProfilingOutcome] = None
+        for attempt in range(policy.max_retries + 1):
+            attempt_seed = policy.retry_seed(seed, attempt)
+            try:
+                outcome = self._profile_once(attempt_seed, lenient=True)
+            except Exception as exc:  # a profiling run died; retry
+                report.attempts.append(ProfilingAttempt(
+                    attempt=attempt, seed=attempt_seed, status="error",
+                    detail=f"{type(exc).__name__}: {exc}",
+                ))
+                continue
+            completeness = outcome.completeness
+            usable = completeness.usable_records if completeness else 0
+            if usable >= policy.min_records:
+                status = "ok" if (completeness is None
+                                  or completeness.complete) else "salvaged"
+                report.attempts.append(ProfilingAttempt(
+                    attempt=attempt, seed=attempt_seed, status=status,
+                    records=usable,
+                ))
+                report.completeness = completeness
+                report.profile_source = "profiled" if status == "ok" else "salvaged"
+                if status == "salvaged":
+                    report.note(
+                        f"profile salvaged from damaged trace(s): "
+                        f"{completeness.summary()}"
+                    )
+                return outcome
+            report.attempts.append(ProfilingAttempt(
+                attempt=attempt, seed=attempt_seed, status="empty",
+                records=usable,
+                detail=completeness.summary() if completeness else "",
+            ))
+            fallback_outcome = outcome
+        report.profile_source = "none"
+        report.note(
+            f"profiling produced no usable records after "
+            f"{policy.max_retries + 1} attempt(s); optimized build will "
+            "fall back to the default layout"
+        )
+        if fallback_outcome is None:
+            fallback_outcome = ProfilingOutcome(
+                profiles=ProfileBundle(completeness=ProfileCompleteness()),
+                instrumented_metrics=RunMetrics(),
+                trace_bytes=0,
+                lost_records=0,
+                completeness=ProfileCompleteness(),
+            )
+        report.completeness = fallback_outcome.completeness
+        return fallback_outcome
 
     # -- measurement ------------------------------------------------------------------
 

@@ -48,12 +48,64 @@ class CallCountProfile:
 
 
 @dataclass
+class ProfileCompleteness:
+    """How much of the raw trace data survived into a profile bundle.
+
+    Filled in by :func:`repro.postproc.framework.build_profiles` when it
+    runs in lenient (salvage) mode; ``None`` on a bundle means the traces
+    were parsed strictly, i.e. they were complete by construction.
+    """
+
+    traces: int = 0
+    #: traces that needed salvage (damaged but partially recovered)
+    traces_damaged: int = 0
+    #: traces that yielded nothing at all (unreadable header, total loss)
+    traces_unreadable: int = 0
+    records_recovered: int = 0
+    #: records from torn tail chunks whose CRC could not be verified
+    records_unverified: int = 0
+    #: structurally valid records that contradict the manifest
+    #: (mismatched-build symptom) and were skipped
+    records_undecodable: int = 0
+    corrupt_chunks: int = 0
+    bytes_dropped: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def usable_records(self) -> int:
+        return self.records_recovered - self.records_undecodable
+
+    @property
+    def complete(self) -> bool:
+        return (self.traces_damaged == 0 and self.traces_unreadable == 0
+                and self.records_undecodable == 0 and self.corrupt_chunks == 0
+                and self.bytes_dropped == 0)
+
+    def summary(self) -> str:
+        status = "complete" if self.complete else "partial"
+        return (
+            f"{status}: {self.usable_records} usable records from "
+            f"{self.traces} trace(s); {self.traces_damaged} damaged, "
+            f"{self.traces_unreadable} unreadable, "
+            f"{self.records_undecodable} undecodable record(s), "
+            f"{self.corrupt_chunks} corrupt chunk(s), "
+            f"{self.bytes_dropped} byte(s) dropped"
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.summary()
+
+
+@dataclass
 class ProfileBundle:
     """Everything a profiling run produces for the optimizing build."""
 
     code: Dict[str, CodeOrderProfile] = field(default_factory=dict)
     heap: Dict[str, HeapOrderProfile] = field(default_factory=dict)
     calls: CallCountProfile = field(default_factory=CallCountProfile)
+    #: salvage annotation (lenient post-processing only; None = parsed
+    #: strictly from undamaged traces)
+    completeness: Optional[ProfileCompleteness] = None
 
     def code_profile(self, kind: str) -> Optional[CodeOrderProfile]:
         return self.code.get(kind)

@@ -12,7 +12,7 @@ concatenated, with duplicates removed (Sec. 7.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Union
 
 from ..ordering.ids import ALL_STRATEGIES
@@ -21,14 +21,27 @@ from ..ordering.profiles import (
     CodeOrderProfile,
     HeapOrderProfile,
     ProfileBundle,
+    ProfileCompleteness,
 )
 from ..profiling.instrument import InstrumentationManifest
 from ..profiling.tracefile import (
     CuEntryRecord,
     MethodEntryRecord,
     PathRecord,
+    SalvageReport,
+    TraceDecodeError,
+    TraceRecord,
     parse_trace,
+    parse_trace_lenient,
 )
+
+__all__ = [
+    "MethodEntryEvent", "CuEntryEvent", "HeapAccessEvent", "TraceEvent",
+    "TraceDecodeError", "decode_events", "decode_events_lenient",
+    "LenientDecode", "OrderingAnalysis", "CuOrderAnalysis",
+    "MethodOrderAnalysis", "HeapOrderAnalysis", "CallCountAnalysis",
+    "run_analyses", "build_profiles",
+]
 
 
 # -- events -----------------------------------------------------------------
@@ -52,32 +65,75 @@ class HeapAccessEvent:
 TraceEvent = Union[MethodEntryEvent, CuEntryEvent, HeapAccessEvent]
 
 
-class TraceDecodeError(ValueError):
-    """A trace file contradicts the manifest (path/site count mismatch)."""
+def _record_events(
+    manifest: InstrumentationManifest, record: TraceRecord
+) -> List[TraceEvent]:
+    """Decode one record against the manifest.
+
+    Raises :class:`TraceDecodeError` when the record contradicts the
+    manifest — an out-of-range ID or a path/site count mismatch, the
+    signature of a trace from a different (mismatched) build.
+    """
+    try:
+        if isinstance(record, MethodEntryRecord):
+            return [MethodEntryEvent(manifest.method_signatures[record.method_id])]
+        if isinstance(record, CuEntryRecord):
+            return [CuEntryEvent(manifest.cu_signatures[record.cu_id])]
+        cfg = manifest.cfg_for_id(record.method_id)
+        sites = cfg.heap_sites_on_path(record.start_block, record.path_value)
+    except TraceDecodeError:
+        raise
+    except (IndexError, KeyError, ValueError) as exc:
+        raise TraceDecodeError(f"record contradicts manifest: {exc}") from exc
+    if len(sites) != len(record.object_ids):
+        raise TraceDecodeError(
+            f"{cfg.method.signature}: path ({record.start_block}, "
+            f"{record.path_value}) has {len(sites)} heap-access sites "
+            f"but the record carries {len(record.object_ids)} IDs"
+        )
+    return [
+        HeapAccessEvent(object_index=object_id - 1)
+        for object_id in record.object_ids
+        if object_id != 0  # 0 = runtime-allocated, not in the image
+    ]
 
 
 def decode_events(
     manifest: InstrumentationManifest, trace_data: bytes
 ) -> Iterable[TraceEvent]:
-    """Decode one thread's trace file into its event sequence."""
+    """Decode one thread's trace file into its event sequence (strict)."""
     trace = parse_trace(trace_data)
     for record in trace.records:
-        if isinstance(record, MethodEntryRecord):
-            yield MethodEntryEvent(manifest.method_signatures[record.method_id])
-        elif isinstance(record, CuEntryRecord):
-            yield CuEntryEvent(manifest.cu_signatures[record.cu_id])
-        elif isinstance(record, PathRecord):
-            cfg = manifest.cfg_for_id(record.method_id)
-            sites = cfg.heap_sites_on_path(record.start_block, record.path_value)
-            if len(sites) != len(record.object_ids):
-                raise TraceDecodeError(
-                    f"{cfg.method.signature}: path ({record.start_block}, "
-                    f"{record.path_value}) has {len(sites)} heap-access sites "
-                    f"but the record carries {len(record.object_ids)} IDs"
-                )
-            for object_id in record.object_ids:
-                if object_id != 0:  # 0 = runtime-allocated, not in the image
-                    yield HeapAccessEvent(object_index=object_id - 1)
+        for event in _record_events(manifest, record):
+            yield event
+
+
+@dataclass
+class LenientDecode:
+    """Result of :func:`decode_events_lenient` for one trace file."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+    salvage: SalvageReport = field(default_factory=SalvageReport)
+    records_decoded: int = 0
+    #: structurally fine records the manifest rejects (mismatched build)
+    records_undecodable: int = 0
+
+
+def decode_events_lenient(
+    manifest: InstrumentationManifest, trace_data: bytes
+) -> LenientDecode:
+    """Best-effort decode: salvage the trace, skip undecodable records."""
+    salvaged = parse_trace_lenient(trace_data)
+    outcome = LenientDecode(salvage=salvaged.report)
+    for record in salvaged.trace.records:
+        try:
+            events = _record_events(manifest, record)
+        except TraceDecodeError:
+            outcome.records_undecodable += 1
+            continue
+        outcome.records_decoded += 1
+        outcome.events.extend(events)
+    return outcome
 
 
 # -- analyses ------------------------------------------------------------------
@@ -171,20 +227,53 @@ def run_analyses(
     manifest: InstrumentationManifest,
     trace_files: List[bytes],
     analyses: List[OrderingAnalysis],
-) -> None:
-    """Feed all trace files (thread-creation order) through the analyses."""
+    lenient: bool = False,
+) -> Optional[ProfileCompleteness]:
+    """Feed all trace files (thread-creation order) through the analyses.
+
+    Strict mode raises :class:`TraceDecodeError` on the first damaged trace
+    and returns ``None``.  Lenient mode salvages what it can from every
+    trace and returns a :class:`ProfileCompleteness` accounting of what was
+    recovered vs. dropped.
+    """
+    if not lenient:
+        for trace_data in trace_files:
+            for event in decode_events(manifest, trace_data):
+                for analysis in analyses:
+                    analysis.accept(event)
+        return None
+
+    completeness = ProfileCompleteness(traces=len(trace_files))
     for trace_data in trace_files:
-        for event in decode_events(manifest, trace_data):
+        outcome = decode_events_lenient(manifest, trace_data)
+        report = outcome.salvage
+        completeness.records_recovered += report.records_recovered
+        completeness.records_unverified += report.records_unverified
+        completeness.records_undecodable += outcome.records_undecodable
+        completeness.corrupt_chunks += report.corrupt_chunks
+        completeness.bytes_dropped += report.bytes_dropped
+        completeness.notes.extend(report.notes)
+        if not report.header_ok:
+            completeness.traces_unreadable += 1
+        elif not report.complete or outcome.records_undecodable:
+            completeness.traces_damaged += 1
+        for event in outcome.events:
             for analysis in analyses:
                 analysis.accept(event)
+    return completeness
 
 
 def build_profiles(
     manifest: InstrumentationManifest,
     trace_files: List[bytes],
     strategies: Optional[List[str]] = None,
+    lenient: bool = False,
 ) -> ProfileBundle:
-    """One-stop post-processing: traces -> complete profile bundle."""
+    """One-stop post-processing: traces -> complete profile bundle.
+
+    With ``lenient=True`` damaged traces are salvaged instead of raising,
+    and the bundle's ``completeness`` annotates how much data survived.
+    """
     cu_analysis = CuOrderAnalysis()
     method_analysis = MethodOrderAnalysis()
     call_analysis = CallCountAnalysis()
@@ -194,9 +283,9 @@ def build_profiles(
     ]
     analyses: List[OrderingAnalysis] = [cu_analysis, method_analysis, call_analysis]
     analyses.extend(heap_analyses)
-    run_analyses(manifest, trace_files, analyses)
+    completeness = run_analyses(manifest, trace_files, analyses, lenient=lenient)
 
-    bundle = ProfileBundle()
+    bundle = ProfileBundle(completeness=completeness)
     bundle.code["cu"] = cu_analysis.profile()
     bundle.code["method"] = method_analysis.profile()
     bundle.calls = call_analysis.profile()

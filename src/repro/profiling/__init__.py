@@ -3,13 +3,22 @@
 from .cfg import MethodCfg, build_cfg
 from .instrument import InstrumentationManifest, instrumented_size_fn, plan_instrumentation
 from .tracebuf import ThreadTraceBuffer, TraceSession
-from .tracefile import MODE_DUMP_ON_FULL, MODE_MMAP, parse_trace
+from .tracefile import (
+    MODE_DUMP_ON_FULL,
+    MODE_MMAP,
+    SalvagedTrace,
+    SalvageReport,
+    TraceDecodeError,
+    parse_trace,
+    parse_trace_lenient,
+)
 from .tracer import PathTracer
 
 __all__ = [
     "MethodCfg", "build_cfg",
     "InstrumentationManifest", "instrumented_size_fn", "plan_instrumentation",
     "ThreadTraceBuffer", "TraceSession",
-    "MODE_DUMP_ON_FULL", "MODE_MMAP", "parse_trace",
+    "MODE_DUMP_ON_FULL", "MODE_MMAP", "parse_trace", "parse_trace_lenient",
+    "SalvagedTrace", "SalvageReport", "TraceDecodeError",
     "PathTracer",
 ]

@@ -8,16 +8,45 @@
   kernel persists every written record, so abnormal termination loses
   nothing.  We simulate this by writing through on every append.
 
+Buffers write trace-format **v2** by default: every flush (every record in
+MMAP mode) becomes a framed, CRC32-checksummed chunk, so a trace damaged by
+an abnormal termination or storage fault stays salvageable chunk-by-chunk
+(see :mod:`repro.profiling.tracefile`).  ``format_version=1`` restores the
+bare-record v1 stream.
+
 The buffers also count events and flushed bytes, which feeds the profiling
 overhead model (Sec. 7.4).
+
+Fault injection
+---------------
+
+Every failure mode the robustness test-suite exercises enters through one
+injectable hook object (see :class:`repro.robustness.faults.FaultInjector`)
+with three optional methods, all duck-typed so this module stays free of
+robustness-package imports:
+
+* ``on_record(buffer, record) -> bytes | None`` — observe/replace/drop one
+  encoded record before it is buffered (mid-run kills are triggered here);
+* ``on_flush(buffer, payload) -> bytes | None`` — observe/replace/drop one
+  flush payload before it is framed and written;
+* ``on_emit(buffer, data) -> bytes`` — transform the final file bytes as
+  read back (truncation, bit flips, partial header writes).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
-from .tracefile import MODE_DUMP_ON_FULL, MODE_MMAP, encode_header
+from .tracefile import (
+    MODE_DUMP_ON_FULL,
+    MODE_MMAP,
+    TRACE_VERSION,
+    VERSION_V1,
+    VERSION_V2,
+    encode_chunk,
+    encode_header,
+)
 
 DEFAULT_BUFFER_BYTES = 64 * 1024
 
@@ -30,20 +59,38 @@ class TraceStats:
     bytes_written: int = 0
     dumps: int = 0
     lost_records: int = 0
+    #: records larger than the buffer capacity, written through directly
+    oversized_records: int = 0
+    #: records discarded by an injected fault (dropped flushes etc.)
+    faulted_records: int = 0
+
+    def add(self, other: "TraceStats") -> None:
+        self.records += other.records
+        self.bytes_written += other.bytes_written
+        self.dumps += other.dumps
+        self.lost_records += other.lost_records
+        self.oversized_records += other.oversized_records
+        self.faulted_records += other.faulted_records
 
 
 class ThreadTraceBuffer:
     """One thread's trace buffer backed by an in-memory 'file'."""
 
     def __init__(self, thread_id: int, mode: int,
-                 capacity: int = DEFAULT_BUFFER_BYTES) -> None:
+                 capacity: int = DEFAULT_BUFFER_BYTES,
+                 format_version: int = TRACE_VERSION,
+                 fault_hook: Optional[object] = None) -> None:
         if mode not in (MODE_DUMP_ON_FULL, MODE_MMAP):
             raise ValueError(f"unknown dump mode {mode}")
+        if format_version not in (VERSION_V1, VERSION_V2):
+            raise ValueError(f"unknown trace format version {format_version}")
         self.thread_id = thread_id
         self.mode = mode
         self.capacity = capacity
+        self.format_version = format_version
+        self.fault_hook = fault_hook
         self.stats = TraceStats()
-        self._file = bytearray(encode_header(mode, thread_id))
+        self._file = bytearray(encode_header(mode, thread_id, format_version))
         self._pending: List[bytes] = []
         self._pending_bytes = 0
         self._killed = False
@@ -52,10 +99,25 @@ class ThreadTraceBuffer:
         """Store one encoded record."""
         if self._killed:
             return
+        hook = self.fault_hook
+        if hook is not None and hasattr(hook, "on_record"):
+            record = hook.on_record(self, record)
+            if record is None or self._killed:
+                # The hook swallowed the record or killed the session
+                # (mid-run kill at record N) before it was buffered.
+                return
         self.stats.records += 1
         if self.mode == MODE_MMAP:
-            self._file += record
-            self.stats.bytes_written += len(record)
+            self._write(record)
+            return
+        if len(record) > self.capacity:
+            # An oversized record can never fit the buffer; queueing it
+            # would leave the pending buffer permanently over the limit.
+            # Write it through directly instead (and count it).
+            self.flush()
+            self.stats.oversized_records += 1
+            self.stats.dumps += 1
+            self._write(record)
             return
         if self._pending_bytes + len(record) > self.capacity:
             self.flush()
@@ -66,12 +128,27 @@ class ThreadTraceBuffer:
         """Dump the pending buffer to the file (DUMP_ON_FULL mode)."""
         if not self._pending:
             return
-        chunk = b"".join(self._pending)
-        self._file += chunk
-        self.stats.bytes_written += len(chunk)
-        self.stats.dumps += 1
+        payload = b"".join(self._pending)
+        pending_count = len(self._pending)
         self._pending.clear()
         self._pending_bytes = 0
+        hook = self.fault_hook
+        if hook is not None and hasattr(hook, "on_flush"):
+            payload = hook.on_flush(self, payload)
+            if payload is None:
+                # Injected fault: this flush never reached the file.
+                self.stats.faulted_records += pending_count
+                self.stats.lost_records += pending_count
+                return
+        self.stats.dumps += 1
+        self._write(payload)
+
+    def _write(self, payload: bytes) -> None:
+        """Persist one payload, framed when writing format v2."""
+        if self.format_version == VERSION_V2:
+            payload = encode_chunk(payload)
+        self._file += payload
+        self.stats.bytes_written += len(payload)
 
     def terminate(self) -> None:
         """Normal thread termination: flush remaining records."""
@@ -90,24 +167,46 @@ class ThreadTraceBuffer:
         self._killed = True
 
     @property
+    def pending_records(self) -> int:
+        """Records currently buffered (lost if a kill lands now)."""
+        return len(self._pending)
+
+    @property
     def data(self) -> bytes:
-        """The trace-file contents as persisted so far."""
-        return bytes(self._file)
+        """The trace-file contents as persisted so far.
+
+        An ``on_emit`` fault hook transforms the bytes here — the injection
+        point for storage-level damage (truncation, bit flips, partial
+        header writes) that happens *after* the records were written.
+        """
+        data = bytes(self._file)
+        hook = self.fault_hook
+        if hook is not None and hasattr(hook, "on_emit"):
+            data = hook.on_emit(self, data)
+        return data
 
 
 class TraceSession:
     """All per-thread buffers of one profiling run."""
 
     def __init__(self, mode: int = MODE_DUMP_ON_FULL,
-                 capacity: int = DEFAULT_BUFFER_BYTES) -> None:
+                 capacity: int = DEFAULT_BUFFER_BYTES,
+                 format_version: int = TRACE_VERSION,
+                 fault_hook: Optional[object] = None) -> None:
         self.mode = mode
         self.capacity = capacity
+        self.format_version = format_version
+        self.fault_hook = fault_hook
         self._buffers: Dict[int, ThreadTraceBuffer] = {}
+        if fault_hook is not None and hasattr(fault_hook, "attach"):
+            fault_hook.attach(self)
 
     def buffer_for(self, thread_id: int) -> ThreadTraceBuffer:
         buffer = self._buffers.get(thread_id)
         if buffer is None:
-            buffer = ThreadTraceBuffer(thread_id, self.mode, self.capacity)
+            buffer = ThreadTraceBuffer(thread_id, self.mode, self.capacity,
+                                       format_version=self.format_version,
+                                       fault_hook=self.fault_hook)
             self._buffers[thread_id] = buffer
         return buffer
 
@@ -126,8 +225,5 @@ class TraceSession:
     def total_stats(self) -> TraceStats:
         total = TraceStats()
         for buffer in self._buffers.values():
-            total.records += buffer.stats.records
-            total.bytes_written += buffer.stats.bytes_written
-            total.dumps += buffer.stats.dumps
-            total.lost_records += buffer.stats.lost_records
+            total.add(buffer.stats)
         return total

@@ -1,10 +1,22 @@
 """Binary trace-file format (one file per thread; paper Sec. 6.1).
 
-Layout::
+Two on-disk layouts share the same header::
 
-    magic "NITR" | version u8 | mode u8 | thread_id uvarint | records...
+    magic "NITR" | version u8 | mode u8 | thread_id uvarint | body...
 
-Record kinds::
+* **v1** — the body is a bare record stream.  A single corrupt byte poisons
+  everything after it, and a SIGKILL landing mid-flush leaves a file that a
+  strict parser rejects wholesale.
+* **v2** — the body is a sequence of *framed chunks*, one per buffer flush
+  (one per record in write-through/MMAP mode)::
+
+      marker 0xC5 | payload_len uvarint | crc32 u32 LE | payload (records)
+
+  Framing localizes damage: a corrupt or torn chunk is skipped and the
+  parser resynchronizes on the next marker, so a salvage pass recovers every
+  intact flush around it.
+
+Record kinds (identical in both versions)::
 
     0x01 METHOD_ENTRY  method_id
     0x02 CU_ENTRY      cu_id
@@ -15,17 +27,36 @@ count is redundant with the decoded path (the paper stores only the IDs and
 derives the count from the path); we keep it in the stream and *verify* it
 against the decode, which doubles as an integrity check of the path
 machinery.
+
+:func:`parse_trace` is the strict parser: any structural damage raises
+:class:`TraceDecodeError`.  :func:`parse_trace_lenient` never raises — it
+recovers the longest valid record prefix (v1) or every verifiable chunk
+(v2) and returns a :class:`SalvageReport` describing what was dropped.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import zlib
+from dataclasses import dataclass, field
 from typing import Iterator, List, Tuple, Union
 
-from ..util.varint import decode_uvarint, encode_uvarint
+from ..util.varint import VarintDecodeError, decode_uvarint, encode_uvarint
 
 MAGIC = b"NITR"
-VERSION = 1
+VERSION_V1 = 1
+VERSION_V2 = 2
+#: version written by :class:`repro.profiling.tracebuf.ThreadTraceBuffer`
+TRACE_VERSION = VERSION_V2
+#: kept for backward compatibility: the bare-record header version
+VERSION = VERSION_V1
+
+#: minimum bytes before the thread-id varint can even start
+HEADER_FIXED_BYTES = 6
+
+#: start-of-chunk marker (v2); deliberately not a valid record tag
+CHUNK_MARKER = 0xC5
+#: marker + 4 CRC bytes + at least 1 length byte
+CHUNK_MIN_OVERHEAD = 6
 
 MODE_DUMP_ON_FULL = 1
 MODE_MMAP = 2
@@ -33,6 +64,11 @@ MODE_MMAP = 2
 TAG_METHOD_ENTRY = 0x01
 TAG_CU_ENTRY = 0x02
 TAG_PATH = 0x03
+
+
+class TraceDecodeError(ValueError):
+    """A trace file is structurally invalid (truncated, corrupt, or it
+    contradicts the instrumentation manifest)."""
 
 
 @dataclass(frozen=True)
@@ -76,8 +112,17 @@ def encode_path(method_id: int, start_block: int, path_value: int,
     return bytes(out)
 
 
-def encode_header(mode: int, thread_id: int) -> bytes:
-    return MAGIC + bytes([VERSION, mode]) + encode_uvarint(thread_id)
+def encode_header(mode: int, thread_id: int, version: int = VERSION_V1) -> bytes:
+    return MAGIC + bytes([version, mode]) + encode_uvarint(thread_id)
+
+
+def encode_chunk(payload: bytes) -> bytes:
+    """Frame one flush payload as a v2 chunk (marker, length, CRC32)."""
+    out = bytearray([CHUNK_MARKER])
+    out += encode_uvarint(len(payload))
+    out += zlib.crc32(payload).to_bytes(4, "little")
+    out += payload
+    return bytes(out)
 
 
 @dataclass
@@ -87,30 +132,166 @@ class TraceFile:
     mode: int
     thread_id: int
     records: List[TraceRecord]
+    version: int = VERSION_V1
+
+
+# ---------------------------------------------------------------------------
+# strict parsing
+# ---------------------------------------------------------------------------
+
+
+def _parse_header(data: bytes) -> Tuple[int, int, int, int]:
+    """Validate the header; return ``(version, mode, thread_id, body_pos)``."""
+    if len(data) < HEADER_FIXED_BYTES:
+        raise TraceDecodeError(
+            f"truncated trace header: {len(data)} bytes, need at least "
+            f"{HEADER_FIXED_BYTES}"
+        )
+    if data[:4] != MAGIC:
+        raise TraceDecodeError("bad trace magic")
+    version = data[4]
+    if version not in (VERSION_V1, VERSION_V2):
+        raise TraceDecodeError(f"unsupported trace version {version}")
+    mode = data[5]
+    try:
+        thread_id, pos = decode_uvarint(data, HEADER_FIXED_BYTES)
+    except VarintDecodeError as exc:
+        raise TraceDecodeError(f"truncated trace header: {exc}") from exc
+    return version, mode, thread_id, pos
 
 
 def parse_trace(data: bytes) -> TraceFile:
-    """Parse a complete per-thread trace file."""
-    if data[:4] != MAGIC:
-        raise ValueError("bad trace magic")
-    if data[4] != VERSION:
-        raise ValueError(f"unsupported trace version {data[4]}")
-    mode = data[5]
-    thread_id, pos = decode_uvarint(data, 6)
-    records = list(_iter_records(data, pos))
-    return TraceFile(mode=mode, thread_id=thread_id, records=records)
+    """Parse a complete per-thread trace file (v1 or v2), strictly.
+
+    Raises :class:`TraceDecodeError` (a :class:`ValueError`) on any
+    truncation or corruption.
+    """
+    version, mode, thread_id, pos = _parse_header(data)
+    if version == VERSION_V1:
+        records = list(_iter_records(data, pos, len(data)))
+    else:
+        records = []
+        while pos < len(data):
+            payload, pos = _read_chunk(data, pos)
+            records.extend(_iter_records(payload, 0, len(payload)))
+    return TraceFile(mode=mode, thread_id=thread_id, records=records,
+                     version=version)
 
 
-def _iter_records(data: bytes, pos: int) -> Iterator[TraceRecord]:
-    while pos < len(data):
+def _read_chunk(data: bytes, pos: int) -> Tuple[bytes, int]:
+    """Strictly read one framed chunk at ``pos``; return ``(payload, next)``."""
+    if data[pos] != CHUNK_MARKER:
+        raise TraceDecodeError(
+            f"expected chunk marker {CHUNK_MARKER:#x} at offset {pos}, "
+            f"found {data[pos]:#x}"
+        )
+    try:
+        payload_len, p = decode_uvarint(data, pos + 1)
+    except VarintDecodeError as exc:
+        raise TraceDecodeError(f"truncated chunk length at offset {pos}") from exc
+    if p + 4 + payload_len > len(data):
+        raise TraceDecodeError(
+            f"truncated chunk at offset {pos}: need {payload_len} payload "
+            f"bytes, file ends after {len(data) - p - 4}"
+        )
+    crc_stored = int.from_bytes(data[p:p + 4], "little")
+    payload = bytes(data[p + 4:p + 4 + payload_len])
+    if zlib.crc32(payload) != crc_stored:
+        raise TraceDecodeError(f"chunk CRC mismatch at offset {pos}")
+    return payload, p + 4 + payload_len
+
+
+def _iter_records(data: bytes, pos: int, end: int) -> Iterator[TraceRecord]:
+    while pos < end:
+        try:
+            record, pos = _parse_one_record(data, pos, end)
+        except TraceDecodeError as exc:
+            raise TraceDecodeError(f"{exc} (at offset {pos})") from exc
+        yield record
+
+
+# ---------------------------------------------------------------------------
+# lenient parsing (salvage)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SalvageReport:
+    """What a lenient parse recovered — and what it had to give up."""
+
+    version: int = 0
+    header_ok: bool = False
+    records_recovered: int = 0
+    #: records recovered from a torn tail chunk whose CRC could not be
+    #: verified (a kill landed mid-flush)
+    records_unverified: int = 0
+    chunks_ok: int = 0
+    corrupt_chunks: int = 0
+    bytes_dropped: int = 0
+    truncated: bool = False
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True when nothing at all was lost (identical to a strict parse)."""
+        return (self.header_ok and self.corrupt_chunks == 0
+                and not self.truncated and self.bytes_dropped == 0)
+
+    def summary(self) -> str:
+        status = "complete" if self.complete else "salvaged"
+        parts = [
+            f"{status}: {self.records_recovered} records recovered",
+            f"{self.corrupt_chunks} corrupt chunks",
+            f"{self.bytes_dropped} bytes dropped",
+        ]
+        if self.records_unverified:
+            parts.append(f"{self.records_unverified} unverified (torn flush)")
+        if self.truncated:
+            parts.append("truncated")
+        return ", ".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.summary()
+
+
+@dataclass
+class SalvagedTrace:
+    """Result of :func:`parse_trace_lenient`."""
+
+    trace: TraceFile
+    report: SalvageReport
+
+
+def _recover_record_prefix(data: bytes, pos: int, end: int
+                           ) -> Tuple[List[TraceRecord], int]:
+    """Parse records until the first error; return ``(records, stop_pos)``.
+
+    ``stop_pos`` is the offset of the first byte that did not decode as the
+    start of a complete, valid record (``end`` when everything decoded).
+    """
+    records: List[TraceRecord] = []
+    while pos < end:
+        try:
+            record, nxt = _parse_one_record(data, pos, end)
+        except TraceDecodeError:
+            return records, pos
+        records.append(record)
+        pos = nxt
+    return records, end
+
+
+def _parse_one_record(data: bytes, pos: int, end: int
+                      ) -> Tuple[TraceRecord, int]:
+    """Parse exactly one record at ``pos``; return ``(record, next_pos)``."""
+    try:
         tag = data[pos]
         pos += 1
         if tag == TAG_METHOD_ENTRY:
             method_id, pos = decode_uvarint(data, pos)
-            yield MethodEntryRecord(method_id)
+            record: TraceRecord = MethodEntryRecord(method_id)
         elif tag == TAG_CU_ENTRY:
             cu_id, pos = decode_uvarint(data, pos)
-            yield CuEntryRecord(cu_id)
+            record = CuEntryRecord(cu_id)
         elif tag == TAG_PATH:
             method_id, pos = decode_uvarint(data, pos)
             start_block, pos = decode_uvarint(data, pos)
@@ -120,6 +301,138 @@ def _iter_records(data: bytes, pos: int) -> Iterator[TraceRecord]:
             for _ in range(count):
                 object_id, pos = decode_uvarint(data, pos)
                 ids.append(object_id)
-            yield PathRecord(method_id, start_block, path_value, tuple(ids))
+            record = PathRecord(method_id, start_block, path_value, tuple(ids))
         else:
-            raise ValueError(f"unknown trace record tag {tag:#x} at offset {pos - 1}")
+            raise TraceDecodeError(f"unknown trace record tag {tag:#x}")
+    except VarintDecodeError as exc:
+        raise TraceDecodeError(f"truncated record: {exc}") from exc
+    if pos > end:
+        raise TraceDecodeError(f"record overruns its frame by {pos - end} bytes")
+    return record, pos
+
+
+def parse_trace_lenient(data: bytes) -> SalvagedTrace:
+    """Best-effort parse that never raises.
+
+    * v1 bodies: recover the longest valid record prefix.
+    * v2 bodies: keep every chunk whose CRC verifies, skip corrupt ones and
+      resynchronize on the next chunk marker; a torn *tail* chunk (mid-flush
+      kill) contributes its record prefix as *unverified* records.
+    * Unreadable headers yield an empty trace and a report saying why.
+
+    On an uncorrupted input the recovered trace is identical to
+    :func:`parse_trace` output and ``report.complete`` is True.
+    """
+    report = SalvageReport()
+    empty = TraceFile(mode=0, thread_id=0, records=[], version=0)
+    if isinstance(data, (bytearray, memoryview)):
+        data = bytes(data)
+    if not isinstance(data, bytes):
+        report.notes.append(f"not a byte string: {type(data).__name__}")
+        return SalvagedTrace(empty, report)
+    try:
+        version, mode, thread_id, pos = _parse_header(data)
+    except TraceDecodeError as exc:
+        report.notes.append(f"unreadable header: {exc}")
+        report.bytes_dropped = len(data)
+        # Distinguish a partial header write (truncation) from corruption.
+        report.truncated = (len(data) < HEADER_FIXED_BYTES
+                            or "truncated" in str(exc))
+        return SalvagedTrace(empty, report)
+
+    report.version = version
+    report.header_ok = True
+    trace = TraceFile(mode=mode, thread_id=thread_id, records=[],
+                      version=version)
+    if version == VERSION_V1:
+        _salvage_v1(data, pos, trace, report)
+    else:
+        _salvage_v2(data, pos, trace, report)
+    report.records_recovered = len(trace.records)
+    return SalvagedTrace(trace, report)
+
+
+def _salvage_v1(data: bytes, pos: int, trace: TraceFile,
+                report: SalvageReport) -> None:
+    records, stop = _recover_record_prefix(data, pos, len(data))
+    trace.records.extend(records)
+    if stop < len(data):
+        report.truncated = True
+        report.bytes_dropped += len(data) - stop
+        report.notes.append(
+            f"v1 body damaged at offset {stop}; dropped {len(data) - stop} "
+            "trailing bytes"
+        )
+
+
+def _salvage_v2(data: bytes, pos: int, trace: TraceFile,
+                report: SalvageReport) -> None:
+    end = len(data)
+    while pos < end:
+        if data[pos] != CHUNK_MARKER:
+            pos = _resync(data, pos, report, "stray bytes between chunks")
+            continue
+        try:
+            payload_len, p = decode_uvarint(data, pos + 1)
+        except VarintDecodeError:
+            report.truncated = True
+            report.bytes_dropped += end - pos
+            report.notes.append(f"torn chunk header at offset {pos}")
+            return
+        if p + 4 > end:
+            report.truncated = True
+            report.bytes_dropped += end - pos
+            report.notes.append(f"torn chunk header at offset {pos}")
+            return
+        crc_stored = int.from_bytes(data[p:p + 4], "little")
+        if p + 4 + payload_len > end:
+            # Torn tail chunk: a kill landed mid-flush.  The CRC covers the
+            # full payload, so it cannot be verified — salvage the record
+            # prefix of what did reach the file, flagged as unverified.
+            partial = data[p + 4:end]
+            records, stop = _recover_record_prefix(partial, 0, len(partial))
+            trace.records.extend(records)
+            report.records_unverified += len(records)
+            report.truncated = True
+            report.bytes_dropped += len(partial) - stop
+            report.notes.append(
+                f"torn tail chunk at offset {pos}: recovered "
+                f"{len(records)} unverified records"
+            )
+            return
+        payload = bytes(data[p + 4:p + 4 + payload_len])
+        if zlib.crc32(payload) != crc_stored:
+            report.corrupt_chunks += 1
+            report.notes.append(f"chunk CRC mismatch at offset {pos}")
+            pos = _resync(data, pos + 1, report, None)
+            continue
+        try:
+            records = list(_iter_records(payload, 0, len(payload)))
+        except TraceDecodeError:
+            # CRC-valid but malformed payload (writer bug or marker-aligned
+            # corruption): keep the valid prefix.
+            records, _stop = _recover_record_prefix(payload, 0, len(payload))
+            report.corrupt_chunks += 1
+            report.notes.append(
+                f"malformed payload in chunk at offset {pos}; kept "
+                f"{len(records)} records"
+            )
+        else:
+            report.chunks_ok += 1
+        trace.records.extend(records)
+        pos = p + 4 + payload_len
+
+
+def _resync(data: bytes, pos: int, report: SalvageReport,
+            note: "str | None") -> int:
+    """Skip forward to the next chunk marker; account skipped bytes."""
+    nxt = data.find(bytes([CHUNK_MARKER]), pos)
+    if nxt == -1:
+        report.bytes_dropped += len(data) - pos
+        if note:
+            report.notes.append(f"{note} at offset {pos} (to end of file)")
+        return len(data)
+    report.bytes_dropped += nxt - pos
+    if note and nxt > pos:
+        report.notes.append(f"{note} at offsets {pos}..{nxt}")
+    return nxt

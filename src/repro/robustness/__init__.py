@@ -1,0 +1,50 @@
+"""Fault injection and degraded operation.
+
+The paper's profiling methodology (Sec. 6.1) lives with abnormal
+termination: microservice workloads are SIGKILLed after the first response,
+and buffered trace records die with the process.  This package makes every
+such failure mode *reproducible* and gives the pipeline a principled answer
+when it happens anyway:
+
+* :mod:`repro.robustness.faults` — a deterministic, seed-driven
+  :class:`FaultInjector` that plugs into the trace buffers and damages
+  traces in controlled ways (truncation, dropped flushes, bit flips,
+  mid-run kills, partial header writes);
+* :mod:`repro.robustness.degradation` — the
+  :class:`DegradationPolicy`/:class:`DegradationReport` pair that lets
+  :class:`repro.eval.pipeline.WorkloadPipeline` retry, salvage, and fall
+  back to the default layout instead of raising;
+* the salvage parser itself lives next to the format in
+  :mod:`repro.profiling.tracefile` and is re-exported here.
+"""
+
+from ..profiling.tracefile import (
+    SalvagedTrace,
+    SalvageReport,
+    TraceDecodeError,
+    parse_trace_lenient,
+)
+from .degradation import (
+    DegradationPolicy,
+    DegradationReport,
+    ProfilingAttempt,
+)
+from .faults import (
+    ALL_FAULT_KINDS,
+    FAULT_BIT_FLIP,
+    FAULT_DROP_FLUSH,
+    FAULT_KILL_AT_RECORD,
+    FAULT_PARTIAL_HEADER,
+    FAULT_TRUNCATE,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+
+__all__ = [
+    "SalvagedTrace", "SalvageReport", "TraceDecodeError", "parse_trace_lenient",
+    "DegradationPolicy", "DegradationReport", "ProfilingAttempt",
+    "ALL_FAULT_KINDS", "FAULT_BIT_FLIP", "FAULT_DROP_FLUSH",
+    "FAULT_KILL_AT_RECORD", "FAULT_PARTIAL_HEADER", "FAULT_TRUNCATE",
+    "FaultInjector", "FaultPlan", "FaultSpec",
+]

@@ -10,6 +10,14 @@ from __future__ import annotations
 from typing import Iterable, List, Tuple
 
 
+class VarintDecodeError(ValueError):
+    """A varint could not be decoded (truncated or overlong input).
+
+    Subclasses :class:`ValueError` so existing ``except ValueError`` callers
+    keep working; trace-level code re-wraps it into ``TraceDecodeError``.
+    """
+
+
 def encode_uvarint(value: int) -> bytes:
     """Encode a non-negative integer as unsigned LEB128."""
     if value < 0:
@@ -30,12 +38,14 @@ def decode_uvarint(data: bytes, offset: int = 0) -> Tuple[int, int]:
 
     Returns ``(value, next_offset)``.
     """
+    if offset < 0 or offset > len(data):
+        raise VarintDecodeError(f"uvarint offset {offset} out of range")
     result = 0
     shift = 0
     pos = offset
     while True:
         if pos >= len(data):
-            raise ValueError("truncated uvarint")
+            raise VarintDecodeError("truncated uvarint")
         byte = data[pos]
         pos += 1
         result |= (byte & 0x7F) << shift
@@ -43,7 +53,7 @@ def decode_uvarint(data: bytes, offset: int = 0) -> Tuple[int, int]:
             return result, pos
         shift += 7
         if shift > 70:
-            raise ValueError("uvarint too long")
+            raise VarintDecodeError("uvarint too long")
 
 
 def zigzag_encode(value: int) -> int:

@@ -1,0 +1,177 @@
+"""Fault injector determinism and the kill-during-profiling data-loss story.
+
+The paper's microservice methodology (Sec. 6.1) SIGKILLs workloads after
+the first response; these tests pin down exactly what each dump mode loses
+at arbitrary kill points, driven by the deterministic fault injector.
+"""
+
+import pytest
+
+from repro.eval.pipeline import Workload, WorkloadPipeline
+from repro.profiling.tracebuf import TraceSession
+from repro.profiling.tracefile import (
+    MODE_DUMP_ON_FULL,
+    MODE_MMAP,
+    parse_trace,
+    parse_trace_lenient,
+)
+from repro.profiling.tracer import PathTracer
+from repro.robustness import (
+    FAULT_BIT_FLIP,
+    FAULT_DROP_FLUSH,
+    FAULT_KILL_AT_RECORD,
+    FAULT_PARTIAL_HEADER,
+    FAULT_TRUNCATE,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.runtime.executor import run_binary
+
+SOURCE = """
+class S { static int x; }
+class Main {
+    static int main() {
+        for (int i = 0; i < 40; i++) S.x = S.x + i;
+        respond("done " + S.x);
+        for (int i = 0; i < 3000; i++) S.x = S.x + 1;
+        return S.x;
+    }
+}
+"""
+
+
+def profile_with(mode, fault_hook=None, capacity=256):
+    pipeline = WorkloadPipeline(Workload(name="faulty", source=SOURCE))
+    instrumented = pipeline.build_instrumented(seed=1)
+    session = TraceSession(mode, capacity=capacity, fault_hook=fault_hook)
+    tracer = PathTracer(instrumented.manifest, session)
+    run_binary(instrumented, pipeline.exec_config, tracer=tracer)
+    session.terminate_all()
+    return instrumented.manifest, session
+
+
+class TestPlanDeterminism:
+    def test_random_plans_reproducible(self):
+        assert FaultPlan.random(42) == FaultPlan.random(42)
+        assert FaultPlan.random(42, n_faults=4) == FaultPlan.random(42, n_faults=4)
+        assert FaultPlan.random(42) != FaultPlan.random(43)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="meteor_strike")
+
+    def test_injected_damage_is_reproducible(self):
+        def run():
+            injector = FaultInjector(FaultPlan.random(7, n_faults=3))
+            _manifest, session = profile_with(MODE_DUMP_ON_FULL, injector)
+            return session.trace_files()
+
+        assert run() == run()
+
+
+class TestKillDuringProfiling:
+    """MMAP loses zero records; DUMP_ON_FULL loses exactly the pending tail."""
+
+    @pytest.mark.parametrize("kill_at", [1, 10, 60, 300])
+    def test_mmap_loses_nothing(self, kill_at):
+        injector = FaultInjector(FaultPlan.of(
+            FaultSpec(FAULT_KILL_AT_RECORD, at=kill_at)))
+        _manifest, session = profile_with(MODE_MMAP, injector)
+        stats = session.total_stats()
+        assert stats.lost_records == 0
+        persisted = sum(len(parse_trace(f).records)
+                        for f in session.trace_files())
+        assert persisted == stats.records
+        # kill_at_record N drops the Nth record itself, so N-1 were appended
+        assert persisted == kill_at - 1
+
+    @pytest.mark.parametrize("kill_at", [1, 10, 60, 300])
+    def test_dump_on_full_loses_exactly_the_pending_tail(self, kill_at):
+        injector = FaultInjector(FaultPlan.of(
+            FaultSpec(FAULT_KILL_AT_RECORD, at=kill_at)))
+        _manifest, session = profile_with(MODE_DUMP_ON_FULL, injector,
+                                          capacity=128)
+        stats = session.total_stats()
+        persisted = sum(len(parse_trace(f).records)
+                        for f in session.trace_files())
+        # Every appended record is either in the file or counted lost.
+        assert persisted + stats.lost_records == stats.records
+        assert persisted <= stats.records == kill_at - 1
+
+    def test_dump_on_full_kill_before_any_flush_loses_all(self):
+        injector = FaultInjector(FaultPlan.of(
+            FaultSpec(FAULT_KILL_AT_RECORD, at=20)))
+        _manifest, session = profile_with(MODE_DUMP_ON_FULL, injector,
+                                          capacity=1 << 20)
+        stats = session.total_stats()
+        assert stats.lost_records == stats.records == 19
+        assert all(parse_trace(f).records == [] for f in session.trace_files())
+
+    def test_kill_mid_flush_leaves_salvageable_file(self):
+        """Truncation landing inside the last chunk == a torn flush."""
+        _manifest, session = profile_with(MODE_DUMP_ON_FULL, capacity=128)
+        clean = session.trace_files()[0]
+        total = len(parse_trace(clean).records)
+        torn = clean[:len(clean) - 5]  # the final flush only half-persisted
+        with pytest.raises(ValueError):
+            parse_trace(torn)
+        salvaged = parse_trace_lenient(torn)
+        assert salvaged.report.truncated
+        assert 0 < len(salvaged.trace.records) < total
+        # Earlier flushes survive intact and CRC-verified.
+        assert salvaged.report.chunks_ok >= 1
+
+
+class TestFaultKinds:
+    def test_drop_flush_loses_one_chunk_cleanly(self):
+        injector = FaultInjector(FaultPlan.of(
+            FaultSpec(FAULT_DROP_FLUSH, at=1)))
+        _manifest, session = profile_with(MODE_DUMP_ON_FULL, injector,
+                                          capacity=128)
+        stats = session.total_stats()
+        assert stats.faulted_records > 0
+        # A whole dropped flush leaves a structurally valid file...
+        records = [r for f in session.trace_files()
+                   for r in parse_trace(f).records]
+        # ...that is just missing the dropped records.
+        assert len(records) == stats.records - stats.lost_records
+
+    def test_bit_flip_is_contained_to_one_chunk(self):
+        injector = FaultInjector(FaultPlan.of(
+            FaultSpec(FAULT_BIT_FLIP, at=400, bit=5)))
+        _manifest, session = profile_with(MODE_DUMP_ON_FULL, injector,
+                                          capacity=128)
+        data = session.trace_files()[0]
+        salvaged = parse_trace_lenient(data)
+        assert salvaged.report.corrupt_chunks <= 1
+        assert salvaged.report.records_recovered > 0
+
+    def test_truncate_fault_fires(self):
+        injector = FaultInjector(FaultPlan.of(
+            FaultSpec(FAULT_TRUNCATE, at=64)))
+        _manifest, session = profile_with(MODE_DUMP_ON_FULL, injector,
+                                          capacity=128)
+        data = session.trace_files()[0]
+        assert len(data) == 64
+        assert injector.triggered
+
+    def test_partial_header_leaves_unreadable_trace(self):
+        injector = FaultInjector(FaultPlan.of(
+            FaultSpec(FAULT_PARTIAL_HEADER, at=3)))
+        _manifest, session = profile_with(MODE_DUMP_ON_FULL, injector,
+                                          capacity=128)
+        data = session.trace_files()[0]
+        assert len(data) == 3
+        report = parse_trace_lenient(data).report
+        assert not report.header_ok
+
+    def test_thread_filter_spares_other_threads(self):
+        injector = FaultInjector(FaultPlan.of(
+            FaultSpec(FAULT_TRUNCATE, at=6, thread_id=999)))
+        _manifest, session = profile_with(MODE_DUMP_ON_FULL, injector,
+                                          capacity=128)
+        # No thread 999 exists, so nothing fires and everything parses.
+        for data in session.trace_files():
+            parse_trace(data)
+        assert injector.triggered == []

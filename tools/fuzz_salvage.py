@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Fuzz the salvage parser: feed seeded random/mutated byte strings through
+``parse_trace_lenient`` and assert it never raises.
+
+Run:  python tools/fuzz_salvage.py [--count 500] [--seed 1]
+
+Used by the CI fuzz job; exits non-zero on the first crash, printing the
+offending seed/case so the failure is reproducible with
+``--count 1 --only <case>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.profiling.tracebuf import ThreadTraceBuffer  # noqa: E402
+from repro.profiling.tracefile import (  # noqa: E402
+    MODE_DUMP_ON_FULL,
+    VERSION_V1,
+    VERSION_V2,
+    encode_method_entry,
+    encode_path,
+    parse_trace_lenient,
+)
+
+
+def reference_trace(version: int) -> bytes:
+    buffer = ThreadTraceBuffer(thread_id=1, mode=MODE_DUMP_ON_FULL,
+                               capacity=96, format_version=version)
+    for index in range(40):
+        buffer.append(encode_method_entry(index))
+        if index % 4 == 0:
+            buffer.append(encode_path(index, 0, 2, [index, 0, index + 1]))
+    buffer.terminate()
+    return buffer.data
+
+
+def make_case(rng: random.Random, bases) -> bytes:
+    kind = rng.randrange(3)
+    if kind == 0:  # pure noise
+        return bytes(rng.randrange(256) for _ in range(rng.randrange(0, 600)))
+    blob = bytearray(rng.choice(bases))
+    for _ in range(rng.randrange(1, 10)):
+        action = rng.randrange(4)
+        if action == 0 and blob:
+            blob[rng.randrange(len(blob))] ^= 1 << rng.randrange(8)
+        elif action == 1 and blob:
+            del blob[rng.randrange(len(blob)):]
+        elif action == 2 and blob:
+            start = rng.randrange(len(blob))
+            del blob[start:start + rng.randrange(1, 12)]
+        else:
+            pos = rng.randrange(len(blob) + 1)
+            noise = bytes(rng.randrange(256)
+                          for _ in range(rng.randrange(1, 16)))
+            blob[pos:pos] = noise
+    return bytes(blob)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--count", type=int, default=500)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--only", type=int, help="run a single case index")
+    args = parser.parse_args()
+
+    bases = [reference_trace(VERSION_V1), reference_trace(VERSION_V2)]
+    failures = 0
+    recovered_total = 0
+    for case in range(args.count):
+        rng = random.Random((args.seed << 20) | case)
+        blob = make_case(rng, bases)
+        if args.only is not None and case != args.only:
+            continue
+        try:
+            salvaged = parse_trace_lenient(blob)
+        except Exception as exc:  # the one thing that must never happen
+            failures += 1
+            print(f"FAIL case {case} (seed {args.seed}, {len(blob)} bytes): "
+                  f"{type(exc).__name__}: {exc}")
+            continue
+        assert salvaged.report.records_recovered == len(salvaged.trace.records)
+        recovered_total += salvaged.report.records_recovered
+    if failures:
+        print(f"{failures}/{args.count} cases raised")
+        return 1
+    print(f"ok: {args.count} cases, 0 crashes, "
+          f"{recovered_total} records salvaged in total")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
