@@ -29,6 +29,14 @@ from .image.sections import HEAP_SECTION, TEXT_SECTION
 from .robustness.degradation import DegradationPolicy, DegradationReport
 from .runtime.executor import ExecutionConfig, RunMetrics
 from .util.stats import ratio_factor
+from .validation.invariants import LayoutVerificationReport, verify_layout
+from .validation.oracle import (
+    VerificationOutcome,
+    VerificationPolicy,
+    verify_strategy,
+)
+from .validation.quarantine import QuarantineRegistry
+from .validation.watchdog import WatchdogBudget
 
 STRATEGIES: Dict[str, StrategySpec] = {spec.name: spec for spec in ALL_STRATEGY_SPECS}
 
@@ -76,6 +84,12 @@ class NativeImageToolchain:
     builds fall back to the default layout instead of raising.  The
     resulting :class:`DegradationReport` is available as
     ``last_degradation_report``.
+
+    Pass ``verification`` (a :class:`repro.validation.VerificationPolicy`)
+    to arm the layout-verification rung: every optimized build is
+    structurally checked, violations quarantine the ordering profile and
+    roll back to the default layout, and :meth:`verify` runs the full
+    oracle (invariants + differential execution + watchdogs).
     """
 
     def __init__(
@@ -85,11 +99,13 @@ class NativeImageToolchain:
         exec_config: Optional[ExecutionConfig] = None,
         degradation_policy: Optional[DegradationPolicy] = None,
         fault_hook: Optional[object] = None,
+        verification: Optional[VerificationPolicy] = None,
     ) -> None:
         self.workload = workload
         self._pipeline = WorkloadPipeline(
             workload, build_config, exec_config,
             degradation_policy=degradation_policy, fault_hook=fault_hook,
+            verification=verification,
         )
         self._profiles = None
 
@@ -113,6 +129,16 @@ class NativeImageToolchain:
     def last_degradation_report(self) -> Optional[DegradationReport]:
         """What (if anything) degraded during the last profile/build."""
         return self._pipeline.last_degradation_report
+
+    @property
+    def last_verification_report(self) -> Optional[LayoutVerificationReport]:
+        """Structural report of the last optimized build (rung armed)."""
+        return self._pipeline.last_verification_report
+
+    @property
+    def quarantine(self) -> QuarantineRegistry:
+        """Ordering profiles convicted by the verification rung."""
+        return self._pipeline.quarantine
 
     # -- build & run ---------------------------------------------------------
 
@@ -144,6 +170,34 @@ class NativeImageToolchain:
         if self._profiles is None:
             self.profile(seed=seed)
         return self._pipeline.build_optimized(self._profiles, spec, seed=seed)
+
+    # -- verification -----------------------------------------------------------
+
+    def verify(
+        self,
+        strategy: str = "cu+heap path",
+        seed: int = 0,
+        differential: bool = True,
+        watchdog: Optional[WatchdogBudget] = None,
+    ) -> VerificationOutcome:
+        """Run the layout-verification oracle for one strategy.
+
+        Structurally verifies baseline and optimized builds, mirrors any
+        quarantine/rollback decision of the pipeline's verification rung,
+        and (by default) differentially executes both binaries under the
+        given watchdog budgets.
+        """
+        spec = STRATEGIES.get(strategy)
+        if spec is None:
+            raise KeyError(
+                f"unknown strategy {strategy!r}; choose from {sorted(STRATEGIES)}"
+            )
+        return verify_strategy(self._pipeline, spec, seed=seed,
+                               differential=differential, watchdog=watchdog)
+
+    def verify_build(self, binary: NativeImageBinary) -> LayoutVerificationReport:
+        """Structural invariant check of any built image."""
+        return verify_layout(binary)
 
     def optimize_and_compare(
         self, strategy: str = "cu+heap path", seed: int = 0

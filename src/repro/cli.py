@@ -10,6 +10,10 @@ Commands mirror the paper's artifact scripts:
 * ``emit``     — write a built image as a SNIB file and dump its tables;
 * ``robustness`` — fault-inject a profiling run and show how the pipeline
   salvages the trace or degrades to the default layout;
+* ``verify``   — run the layout-verification oracle (structural invariants
+  + differential execution under watchdog budgets) for workload × strategy
+  combinations; ``--mutate`` injects a layout violation to demonstrate the
+  quarantine-and-rollback rung end to end;
 * ``list``     — available workloads.
 """
 
@@ -182,6 +186,61 @@ def cmd_robustness(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    from .validation import (
+        ALL_MUTATION_KINDS,
+        LayoutMutationPlan,
+        LayoutMutator,
+        VerificationPolicy,
+        WatchdogBudget,
+        verify_strategy,
+    )
+
+    names = args.strategy or sorted(STRATEGIES)
+    for name in names:
+        if name not in STRATEGIES:
+            raise SystemExit(
+                f"unknown strategy {name!r}; choose from {sorted(STRATEGIES)}"
+            )
+    budget = None
+    if args.max_ops is not None or args.deadline is not None:
+        budget = WatchdogBudget(max_ops=args.max_ops, deadline_s=args.deadline)
+    failures = 0
+    for workload_name in args.workloads:
+        workload = _find_workload(workload_name)
+        mutator = None
+        if args.mutate:
+            if args.mutate not in ALL_MUTATION_KINDS:
+                raise SystemExit(
+                    f"unknown mutation {args.mutate!r}; choose from "
+                    + ", ".join(ALL_MUTATION_KINDS)
+                )
+            mutator = LayoutMutator(
+                LayoutMutationPlan.single(args.mutate, pick=args.mutate_seed)
+            )
+        policy = VerificationPolicy(watchdog=budget, mutator=mutator)
+        pipeline = WorkloadPipeline(workload, verification=policy)
+        for name in names:
+            outcome = verify_strategy(
+                pipeline, STRATEGIES[name], seed=args.seed,
+                differential=not args.no_differential, watchdog=budget,
+            )
+            if not outcome.ok:
+                failures += 1
+            print(outcome.summary())
+            print()
+        if mutator is not None and mutator.applied:
+            print("injected mutations:")
+            for line in mutator.applied:
+                print(f"  {line}")
+            print(pipeline.quarantine.describe())
+            print()
+    total = len(args.workloads) * len(names)
+    print(f"verified {total} combination(s): "
+          f"{total - failures} ok, {failures} failed")
+    return 1 if failures else 0
+
+
 def cmd_emit(args: argparse.Namespace) -> int:
     workload = _find_workload(args.workload)
     pipeline = WorkloadPipeline(workload)
@@ -258,6 +317,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_robust.add_argument("--min-match-rate", type=float, default=0.25,
                           help="heap ID match-rate floor before heap fallback")
     p_robust.set_defaults(func=cmd_robustness)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="layout-verification oracle: invariants + differential runs",
+    )
+    p_verify.add_argument("workloads", nargs="+",
+                          help="workload names (AWFY or microservice)")
+    p_verify.add_argument("--strategy", action="append",
+                          help="a strategy to verify (repeatable; default: all)")
+    p_verify.add_argument("--seed", type=int, default=1)
+    p_verify.add_argument("--max-ops", type=int, default=None,
+                          help="watchdog instruction budget per run")
+    p_verify.add_argument("--deadline", type=float, default=None,
+                          help="watchdog wall-clock budget per run (seconds)")
+    p_verify.add_argument("--no-differential", action="store_true",
+                          help="skip the differential execution oracle")
+    p_verify.add_argument("--mutate",
+                          help="inject a layout mutation after each optimized "
+                          "build to demo quarantine-and-rollback")
+    p_verify.add_argument("--mutate-seed", type=int, default=1,
+                          help="target pick for --mutate")
+    p_verify.set_defaults(func=cmd_verify)
 
     p_emit = sub.add_parser("emit", help="write a built image as a SNIB file")
     p_emit.add_argument("workload")

@@ -36,6 +36,14 @@ from ..robustness.degradation import (
     ProfilingAttempt,
 )
 from ..runtime.executor import ExecutionConfig, RunMetrics, run_binary
+from ..validation.invariants import (
+    LayoutVerificationError,
+    LayoutVerificationReport,
+    verify_layout,
+)
+from ..validation.oracle import VerificationPolicy
+from ..validation.quarantine import QuarantineRegistry
+from ..validation.watchdog import WatchdogReport, run_with_watchdog
 
 
 @dataclass(frozen=True)
@@ -112,6 +120,13 @@ class WorkloadPipeline:
     ``last_degradation_report``.  ``fault_hook`` (usually a
     :class:`repro.robustness.faults.FaultInjector`) is threaded into every
     profiling session's trace buffers.
+
+    ``verification`` arms the layout-verification rung: every optimized
+    build is structurally checked; a violation quarantines the (workload,
+    strategy) ordering in ``self.quarantine`` and rolls the build back to
+    the default layout.  When the policy carries watchdog budgets, all
+    ``measure`` runs are bounded by them; trips land in
+    ``last_watchdog_reports`` and the degradation report.
     """
 
     def __init__(
@@ -121,6 +136,7 @@ class WorkloadPipeline:
         exec_config: Optional[ExecutionConfig] = None,
         degradation_policy: Optional[DegradationPolicy] = None,
         fault_hook: Optional[object] = None,
+        verification: Optional[VerificationPolicy] = None,
     ) -> None:
         self.workload = workload
         self.build_config = build_config or BuildConfig()
@@ -132,7 +148,11 @@ class WorkloadPipeline:
         self.exec_config = base_exec
         self.degradation_policy = degradation_policy
         self.fault_hook = fault_hook
+        self.verification = verification
+        self.quarantine = QuarantineRegistry()
         self.last_degradation_report: Optional[DegradationReport] = None
+        self.last_verification_report: Optional[LayoutVerificationReport] = None
+        self.last_watchdog_reports: List[WatchdogReport] = []
         self._program = workload.compile()
 
     @property
@@ -156,16 +176,105 @@ class WorkloadPipeline:
         strategy: Optional[StrategySpec] = None,
         seed: int = 0,
     ) -> NativeImageBinary:
+        self.last_verification_report = None
+        if self._quarantine_applies(strategy):
+            return self._build_quarantined(profiles, strategy, seed)
         if self.degradation_policy is not None:
-            return self._build_optimized_degraded(profiles, strategy, seed)
-        builder = self.builder()
-        return builder.build(
+            binary = self._build_optimized_degraded(profiles, strategy, seed)
+        else:
+            binary = self._build_plain(profiles, strategy, seed)
+        if self.verification is not None:
+            binary = self._verification_rung(binary, profiles, strategy, seed)
+        return binary
+
+    def _build_plain(
+        self,
+        profiles: ProfileBundle,
+        strategy: Optional[StrategySpec],
+        seed: int,
+    ) -> NativeImageBinary:
+        return self.builder().build(
             mode=MODE_OPTIMIZED,
             profiles=profiles,
             code_ordering=strategy.code_ordering if strategy else None,
             heap_ordering=strategy.heap_ordering if strategy else None,
             seed=seed,
         )
+
+    # -- layout verification rung (quarantine-and-rollback) ----------------
+
+    def _quarantine_applies(self, strategy: Optional[StrategySpec]) -> bool:
+        return (self.verification is not None and strategy is not None
+                and (strategy.is_code or strategy.is_heap)
+                and self.quarantine.is_quarantined(self.workload.name,
+                                                   strategy.name))
+
+    def _build_quarantined(
+        self, profiles: ProfileBundle, strategy: StrategySpec, seed: int
+    ) -> NativeImageBinary:
+        """Default-layout build for a quarantined ordering profile."""
+        entry = self.quarantine.entry_for(self.workload.name, strategy.name)
+        report = self._degradation_report()
+        report.strategy = strategy.name
+        report.quarantined = True
+        report.layout_fallback = True
+        report.note(f"ordering profile quarantined ({entry.reason}); "
+                    "building the default layout")
+        binary = self._build_plain(profiles, None, seed)
+        if self.verification.verify_structure:
+            self.last_verification_report = verify_layout(binary)
+        return binary
+
+    def _verification_rung(
+        self,
+        binary: NativeImageBinary,
+        profiles: ProfileBundle,
+        strategy: Optional[StrategySpec],
+        seed: int,
+    ) -> NativeImageBinary:
+        """Structurally verify an optimized build; quarantine + roll back.
+
+        A violation on an ordered build convicts the ordering profile: the
+        (workload, strategy) pair is quarantined (policy permitting) and
+        the binary replaced by a default-layout rebuild, which must verify
+        clean — if even that fails, the builder itself is broken and
+        :class:`LayoutVerificationError` propagates.
+        """
+        policy = self.verification
+        if not policy.verify_structure:
+            return binary
+        has_ordering = (binary.code_ordering is not None
+                        or binary.heap_ordering is not None)
+        if policy.mutator is not None and has_ordering:
+            policy.mutator.mutate(binary)
+        report = verify_layout(binary)
+        self.last_verification_report = report
+        if report.ok:
+            return binary
+        if not has_ordering:
+            # Default layouts have nothing to roll back to.
+            raise LayoutVerificationError(report)
+        degradation = self._degradation_report()
+        if strategy is not None:
+            degradation.strategy = strategy.name
+        degradation.layout_fallback = True
+        degradation.verification = report
+        codes = ", ".join(sorted(report.codes()))
+        degradation.note(f"layout verification failed ({codes}); "
+                         "rolled back to the default layout")
+        if policy.quarantine and strategy is not None:
+            self.quarantine.quarantine(
+                self.workload.name, strategy.name,
+                f"layout verification failed: {codes}",
+                layout_digest=report.layout_digest,
+            )
+            degradation.quarantined = True
+        rollback = self._build_plain(profiles, None, seed)
+        rollback_report = verify_layout(rollback)
+        self.last_verification_report = rollback_report
+        if not rollback_report.ok:
+            raise LayoutVerificationError(rollback_report)
+        return rollback
 
     def _build_optimized_degraded(
         self,
@@ -322,11 +431,35 @@ class WorkloadPipeline:
     def measure(
         self, binary: NativeImageBinary, iterations: int = 1, seed: int = 0
     ) -> List[RunMetrics]:
-        """Cold-cache runs of ``binary`` (each run drops all caches)."""
-        return [
-            run_binary(binary, self.exec_config, run_index=(seed << 8) | index)
-            for index in range(iterations)
-        ]
+        """Cold-cache runs of ``binary`` (each run drops all caches).
+
+        With watchdog budgets armed (``verification.watchdog``), every run
+        is bounded; a tripped run contributes empty metrics and a note in
+        the degradation report rather than wedging the measurement loop.
+        """
+        budget = self.verification.watchdog if self.verification else None
+        if budget is None:
+            return [
+                run_binary(binary, self.exec_config,
+                           run_index=(seed << 8) | index)
+                for index in range(iterations)
+            ]
+        self.last_watchdog_reports = []
+        results: List[RunMetrics] = []
+        for index in range(iterations):
+            watchdog = run_with_watchdog(
+                binary, self.exec_config, budget,
+                run_index=(seed << 8) | index,
+            )
+            self.last_watchdog_reports.append(watchdog)
+            if watchdog.metrics is not None:
+                results.append(watchdog.metrics)
+            else:
+                self._degradation_report().note(
+                    f"{watchdog.describe()} (run {index}, {binary.mode} binary)"
+                )
+                results.append(RunMetrics())
+        return results
 
     # -- one-shot convenience ------------------------------------------------------------
 

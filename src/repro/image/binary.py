@@ -101,6 +101,21 @@ class NativeImageBinary:
 
     # -- binary facts ----------------------------------------------------------
 
+    def layout_digest(self) -> int:
+        """Stable 64-bit fingerprint of the final layout.
+
+        Hashes every (CU name, offset) and (object index, address) pair, so
+        two binaries share a digest iff their sections place the same things
+        at the same offsets — the identity quarantine entries and
+        verification reports use to name a layout.
+        """
+        from ..util.murmur3 import murmur3_64
+
+        parts: List[str] = [self.mode, str(self.text.size), str(self.heap.size)]
+        parts.extend(f"{p.cu.name}@{p.offset}" for p in self.text.placed)
+        parts.extend(f"#{o.index}@{o.address}" for o in self.heap.ordered)
+        return murmur3_64("|".join(parts).encode("utf-8"))
+
     @property
     def text_size(self) -> int:
         return self.text.size

@@ -14,8 +14,11 @@ from ..graal.cunits import CompilationUnit, CuMember
 from .heap import HeapObject
 
 PAGE_SIZE = 4096
-_CU_ALIGN = 16
-_OBJ_ALIGN = 8
+CU_ALIGN = 16
+OBJ_ALIGN = 8
+# Historical private aliases; the validation package reads the public names.
+_CU_ALIGN = CU_ALIGN
+_OBJ_ALIGN = OBJ_ALIGN
 
 TEXT_SECTION = ".text"
 HEAP_SECTION = ".svm_heap"
@@ -102,6 +105,22 @@ def layout_heap(ordered_objects: List[HeapObject]) -> HeapSection:
 
 def _align(value: int, alignment: int) -> int:
     return (value + alignment - 1) // alignment * alignment
+
+
+def expected_text_size(cus: List[CompilationUnit], native_blob_size: int) -> int:
+    """The ``.text`` byte size any permutation of ``cus`` must produce.
+
+    Both the packed CU area and the page-aligned native blob offset are
+    permutation-invariant, so reordering never changes the section size —
+    the invariant the layout verifier checks.
+    """
+    packed = sum(_align(cu.size, CU_ALIGN) for cu in cus)
+    return _align(packed, PAGE_SIZE) + native_blob_size
+
+
+def expected_heap_size(objects: List[HeapObject]) -> int:
+    """The ``.svm_heap`` byte size any permutation of ``objects`` must produce."""
+    return sum(_align(obj.size, OBJ_ALIGN) for obj in objects)
 
 
 def pages_spanned(offset: int, size: int, page_size: int = PAGE_SIZE) -> range:

@@ -1,6 +1,7 @@
 """Ordering strategies: object identities, code order, heap order."""
 
 from .code_order import default_order, order_compilation_units
+from .errors import OrderingError
 from .heap_order import MatchReport, match_and_order, order_heap_objects
 from .ids import (
     ALL_STRATEGIES,
@@ -24,7 +25,7 @@ from .profiles import (
 )
 
 __all__ = [
-    "default_order", "order_compilation_units",
+    "default_order", "order_compilation_units", "OrderingError",
     "MatchReport", "match_and_order", "order_heap_objects",
     "ALL_STRATEGIES", "HEAP_PATH", "INCREMENTAL_ID", "STRUCTURAL_HASH",
     "StructuralHasher", "assign_all_ids", "assign_heap_path_hashes",

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..graal.cunits import CompilationUnit
+from .errors import OrderingError
 from .profiles import CodeOrderProfile
 
 CU_ORDERING = "cu"
@@ -34,21 +35,39 @@ def default_order(cus: List[CompilationUnit]) -> List[CompilationUnit]:
 def order_compilation_units(
     cus: List[CompilationUnit],
     profile: Optional[CodeOrderProfile] = None,
+    strict: bool = False,
 ) -> List[CompilationUnit]:
     """Order CUs for the ``.text`` section.
 
     Without a profile this is the default alphabetical order.  With a
     profile, matched CUs come first in profile order, then unmatched CUs
-    alphabetically.
+    alphabetically.  With ``strict=True``, profile signatures that resolve
+    to no CU (root nor inlined member, per the profile kind) raise
+    :class:`OrderingError` instead of being skipped.
     """
     if profile is None:
         return default_order(cus)
     if profile.kind == CU_ORDERING:
         ranks = _rank_by_root(cus, profile)
+        known = {cu.name for cu in cus}
     elif profile.kind == METHOD_ORDERING:
         ranks = _rank_by_members(cus, profile)
+        known = {member.signature for cu in cus for member in cu.members}
     else:
-        raise ValueError(f"unknown code-ordering kind {profile.kind!r}")
+        raise OrderingError(
+            f"unknown code-ordering kind {profile.kind!r}", kind=profile.kind
+        )
+
+    if strict:
+        missing = [sig for sig in profile.signatures if sig not in known]
+        if missing:
+            raise OrderingError(
+                f"{len(missing)} profile signature(s) resolve to no "
+                f"compilation unit in this build (first: {missing[0]!r}); "
+                "the profile is from a different build",
+                kind=profile.kind,
+                missing=missing,
+            )
 
     matched = [cu for cu in cus if cu.name in ranks]
     unmatched = [cu for cu in cus if cu.name not in ranks]

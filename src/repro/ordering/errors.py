@@ -1,0 +1,36 @@
+"""Typed errors of the ordering subsystem.
+
+Ordering is best-effort by design (profiles from a mismatched build are the
+norm, not the exception — Sec. 5), so the order functions silently skip
+unknown profile entries by default.  When callers *do* want to know that a
+profile references methods, types, or object IDs absent from the optimized
+build — the verification oracle does — they pass ``strict=True`` and get an
+:class:`OrderingError` instead of a raw ``KeyError``/``AssertionError``
+escaping from some lookup deep inside the matcher.
+
+``OrderingError`` subclasses :class:`ValueError` so call sites written
+against the old ad-hoc raises keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+class OrderingError(ValueError):
+    """A profile cannot be applied to this build.
+
+    Carries the profile ``kind`` (code-order kind or heap ID strategy) and
+    the profile entries that failed to resolve against the build, so
+    degradation and verification reports can name exactly what was missing.
+    """
+
+    def __init__(self, message: str, kind: str = "",
+                 missing: Optional[Sequence] = None) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.missing = tuple(missing or ())
+
+    def describe(self) -> str:
+        label = f"[{self.kind}] " if self.kind else ""
+        return f"{label}{self.args[0]}"

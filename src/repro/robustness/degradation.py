@@ -14,18 +14,26 @@ descends when a profiling run goes wrong:
    below ``min_match_rate`` (the profile is from a mismatched build —
    exactly what the paper's three ID strategies of Sec. 5 try to prevent),
    drop the heap ordering and keep the default traversal layout;
-4. as the last rung, build with the default (build-order) layout.
+4. if the built layout fails structural verification
+   (:func:`repro.validation.verify_layout`), quarantine the (workload,
+   strategy) combination and roll back to the default layout — a proven-bad
+   ordering must never be measured;
+5. as the last rung, build with the default (build-order) layout.
 
 Every decision is recorded in a :class:`DegradationReport`, surfaced
-through :mod:`repro.api` and the ``repro robustness`` CLI subcommand.
+through :mod:`repro.api` and the ``repro robustness``/``repro verify`` CLI
+subcommands.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from ..ordering.profiles import ProfileCompleteness
+
+if TYPE_CHECKING:  # type-only: validation must stay importable on its own
+    from ..validation.invariants import LayoutVerificationReport
 
 
 @dataclass(frozen=True)
@@ -81,13 +89,21 @@ class DegradationReport:
     code_fallback: bool = False
     heap_fallback: bool = False
     heap_match_rate: Optional[float] = None
+    #: the built layout failed structural verification and was replaced by
+    #: a default-layout rebuild (quarantine-and-rollback rung)
+    layout_fallback: bool = False
+    #: the (workload, strategy) ordering profile is now quarantined
+    quarantined: bool = False
+    #: the convicting verification report, when the rung fired
+    verification: Optional["LayoutVerificationReport"] = None
     degraded: bool = False
     reasons: List[str] = field(default_factory=list)
 
     @property
     def fallback_used(self) -> bool:
         """True when any part of the build fell back to the default layout."""
-        return self.code_fallback or self.heap_fallback or self.profile_source == "none"
+        return (self.code_fallback or self.heap_fallback
+                or self.layout_fallback or self.profile_source == "none")
 
     def note(self, reason: str) -> None:
         self.degraded = True
@@ -107,6 +123,14 @@ class DegradationReport:
             lines.append("  code ordering: fell back to default (alphabetical)")
         if self.heap_fallback:
             lines.append("  heap ordering: fell back to default (traversal)")
+        if self.layout_fallback:
+            lines.append("  layout verification: FAILED; rolled back to the "
+                         "default layout"
+                         + (" and quarantined the ordering profile"
+                            if self.quarantined else ""))
+        if self.verification is not None and not self.verification.ok:
+            for line in self.verification.summary().splitlines():
+                lines.append(f"    {line}")
         for reason in self.reasons:
             lines.append(f"  - {reason}")
         if not self.degraded:

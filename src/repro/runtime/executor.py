@@ -177,6 +177,9 @@ class ExecHooks(RuntimeHooks):
             self.response_snapshot = self._cache.snapshot_counts()
             assert self.interpreter is not None
             self.response_ops = self.interpreter.ops_executed
+            on_respond = getattr(self._tracer, "on_respond", None)
+            if on_respond is not None:
+                on_respond(value)
         if self._config.stop_on_first_response:
             assert self.interpreter is not None
             self.interpreter.stop_requested = True

@@ -1,0 +1,316 @@
+"""Structural invariant checks over laid-out binaries.
+
+The reordering strategies are only allowed to *permute* sections — never to
+grow, shrink, drop, duplicate, or overlap anything (paper Sec. 3 treats the
+transformation as semantics-preserving by construction; Hoag et al. and
+Newell & Pupyrev treat layout validity as a precondition for trusting any
+measured gain).  :func:`verify_layout` re-derives every one of those
+guarantees from the finished :class:`~repro.image.binary.NativeImageBinary`
+and reports each breach as a typed :class:`LayoutViolation`:
+
+``.text`` invariants
+    every CU placed exactly once; placements aligned to ``CU_ALIGN``; no
+    two CU byte ranges overlap; every member range inside its CU's bounds;
+    CUs below the native blob; section size equal to what *any* permutation
+    of these CUs must produce.
+
+``.svm_heap`` invariants
+    every snapshot object placed exactly once; addresses assigned, aligned
+    to ``OBJ_ALIGN``, non-overlapping; section size permutation-invariant;
+    every heap reference resolvable — string-literal and fold-constant
+    table entries point at placed snapshot objects, parents are snapshot
+    members, and non-string values link back to their own entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..image.binary import NativeImageBinary
+from ..image.sections import (
+    CU_ALIGN,
+    HEAP_SECTION,
+    OBJ_ALIGN,
+    TEXT_SECTION,
+    expected_heap_size,
+    expected_text_size,
+)
+
+# Violation codes, one per seeded-mutation class in the test matrix.
+V_CU_MISSING = "text.cu.missing"
+V_CU_DUPLICATE = "text.cu.duplicate"
+V_CU_OVERLAP = "text.cu.overlap"
+V_CU_MISALIGNED = "text.cu.misaligned"
+V_CU_BLOB_CLASH = "text.cu.blob-clash"
+V_MEMBER_BOUNDS = "text.member.out-of-bounds"
+V_TEXT_SIZE = "text.size.mismatch"
+V_OBJ_MISSING = "heap.object.missing"
+V_OBJ_DUPLICATE = "heap.object.duplicate"
+V_OBJ_OVERLAP = "heap.object.overlap"
+V_OBJ_MISALIGNED = "heap.object.misaligned"
+V_OBJ_UNPLACED = "heap.object.unplaced"
+V_HEAP_SIZE = "heap.size.mismatch"
+V_REF_UNRESOLVED = "heap.ref.unresolved"
+
+ALL_VIOLATION_CODES = (
+    V_CU_MISSING, V_CU_DUPLICATE, V_CU_OVERLAP, V_CU_MISALIGNED,
+    V_CU_BLOB_CLASH, V_MEMBER_BOUNDS, V_TEXT_SIZE,
+    V_OBJ_MISSING, V_OBJ_DUPLICATE, V_OBJ_OVERLAP, V_OBJ_MISALIGNED,
+    V_OBJ_UNPLACED, V_HEAP_SIZE, V_REF_UNRESOLVED,
+)
+
+
+@dataclass(frozen=True)
+class LayoutViolation:
+    """One broken invariant."""
+
+    code: str
+    section: str  # TEXT_SECTION or HEAP_SECTION
+    subject: str  # CU name, object label, or table key
+    detail: str
+
+    def describe(self) -> str:
+        return f"{self.code} [{self.section}] {self.subject}: {self.detail}"
+
+
+@dataclass
+class LayoutVerificationReport:
+    """The outcome of one :func:`verify_layout` pass."""
+
+    mode: str = ""
+    code_ordering: Optional[str] = None
+    heap_ordering: Optional[str] = None
+    layout_digest: int = 0
+    checks_run: int = 0
+    violations: List[LayoutViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def codes(self) -> Dict[str, int]:
+        """Violation counts keyed by code."""
+        counts: Dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.code] = counts.get(violation.code, 0) + 1
+        return counts
+
+    def has(self, code: str) -> bool:
+        return any(v.code == code for v in self.violations)
+
+    def summary(self) -> str:
+        ordering = (f"code={self.code_ordering or 'default'}, "
+                    f"heap={self.heap_ordering or 'default'}")
+        head = (f"layout verification [{self.mode}; {ordering}; "
+                f"digest {self.layout_digest:#018x}]: "
+                f"{self.checks_run} checks, ")
+        if self.ok:
+            return head + "all invariants hold"
+        lines = [head + f"{len(self.violations)} violation(s)"]
+        for violation in self.violations:
+            lines.append(f"  - {violation.describe()}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.summary()
+
+
+class LayoutVerificationError(Exception):
+    """Raised when a layout that must be valid (e.g. a rollback build) is not."""
+
+    def __init__(self, report: LayoutVerificationReport) -> None:
+        super().__init__(report.summary())
+        self.report = report
+
+
+def verify_layout(binary: NativeImageBinary) -> LayoutVerificationReport:
+    """Check every structural layout invariant of ``binary``."""
+    report = LayoutVerificationReport(
+        mode=binary.mode,
+        code_ordering=binary.code_ordering,
+        heap_ordering=binary.heap_ordering,
+        layout_digest=binary.layout_digest(),
+    )
+    _check_text(binary, report)
+    _check_heap(binary, report)
+    _check_references(binary, report)
+    return report
+
+
+# -- .text ------------------------------------------------------------------
+
+
+def _check_text(binary: NativeImageBinary, report: LayoutVerificationReport) -> None:
+    text = binary.text
+    built = [cu.name for cu in binary.cus]
+    placed_names = [placed.cu.name for placed in text.placed]
+
+    # Placed exactly once: no CU dropped, none placed twice.
+    placed_counts: Dict[str, int] = {}
+    for name in placed_names:
+        placed_counts[name] = placed_counts.get(name, 0) + 1
+    report.checks_run += 1
+    for name in built:
+        if name not in placed_counts:
+            report.violations.append(LayoutViolation(
+                V_CU_MISSING, TEXT_SECTION, name,
+                "compilation unit missing from the .text placement"))
+    report.checks_run += 1
+    for name, count in placed_counts.items():
+        if count > 1:
+            report.violations.append(LayoutViolation(
+                V_CU_DUPLICATE, TEXT_SECTION, name,
+                f"placed {count} times"))
+        if name not in set(built):
+            report.violations.append(LayoutViolation(
+                V_CU_DUPLICATE, TEXT_SECTION, name,
+                "placed CU does not belong to this build"))
+
+    # Alignment and member bounds.
+    for placed in text.placed:
+        report.checks_run += 1
+        if placed.offset < 0 or placed.offset % CU_ALIGN != 0:
+            report.violations.append(LayoutViolation(
+                V_CU_MISALIGNED, TEXT_SECTION, placed.cu.name,
+                f"offset {placed.offset} not {CU_ALIGN}-byte aligned"))
+        for member in placed.cu.members:
+            report.checks_run += 1
+            if member.offset < 0 or member.size < 0 \
+                    or member.offset + member.size > placed.cu.size:
+                report.violations.append(LayoutViolation(
+                    V_MEMBER_BOUNDS, TEXT_SECTION,
+                    f"{placed.cu.name}::{member.signature}",
+                    f"member range [{member.offset}, "
+                    f"{member.offset + member.size}) outside CU size "
+                    f"{placed.cu.size}"))
+
+    # Overlaps (CU vs CU, and CU vs native blob).
+    spans = sorted(text.placed, key=lambda p: p.offset)
+    for left, right in zip(spans, spans[1:]):
+        report.checks_run += 1
+        if left.end > right.offset:
+            report.violations.append(LayoutViolation(
+                V_CU_OVERLAP, TEXT_SECTION,
+                f"{left.cu.name} / {right.cu.name}",
+                f"[{left.offset}, {left.end}) overlaps "
+                f"[{right.offset}, {right.end})"))
+    if text.native_blob_size > 0:
+        for placed in spans:
+            report.checks_run += 1
+            if placed.end > text.native_blob_offset:
+                report.violations.append(LayoutViolation(
+                    V_CU_BLOB_CLASH, TEXT_SECTION, placed.cu.name,
+                    f"CU end {placed.end} reaches into the native blob at "
+                    f"{text.native_blob_offset}"))
+
+    # Permutation-invariant section size.
+    report.checks_run += 1
+    expected = expected_text_size(binary.cus, text.native_blob_size)
+    if text.size != expected:
+        report.violations.append(LayoutViolation(
+            V_TEXT_SIZE, TEXT_SECTION, ".text",
+            f"section size {text.size} != expected {expected} "
+            "(a permutation cannot change the size)"))
+
+
+# -- .svm_heap --------------------------------------------------------------
+
+
+def _check_heap(binary: NativeImageBinary, report: LayoutVerificationReport) -> None:
+    heap = binary.heap
+    snapshot_indices = {obj.index for obj in binary.snapshot}
+
+    placed_counts: Dict[int, int] = {}
+    for obj in heap.ordered:
+        placed_counts[obj.index] = placed_counts.get(obj.index, 0) + 1
+
+    report.checks_run += 1
+    for index in sorted(snapshot_indices - placed_counts.keys()):
+        report.violations.append(LayoutViolation(
+            V_OBJ_MISSING, HEAP_SECTION, f"object #{index}",
+            "snapshot object missing from the .svm_heap placement"))
+    report.checks_run += 1
+    for index, count in placed_counts.items():
+        if count > 1:
+            report.violations.append(LayoutViolation(
+                V_OBJ_DUPLICATE, HEAP_SECTION, f"object #{index}",
+                f"placed {count} times"))
+        if index not in snapshot_indices:
+            report.violations.append(LayoutViolation(
+                V_OBJ_DUPLICATE, HEAP_SECTION, f"object #{index}",
+                "placed object does not belong to this snapshot"))
+
+    for obj in heap.ordered:
+        report.checks_run += 1
+        if obj.address < 0:
+            report.violations.append(LayoutViolation(
+                V_OBJ_UNPLACED, HEAP_SECTION, f"object #{obj.index}",
+                "no address assigned"))
+        elif obj.address % OBJ_ALIGN != 0:
+            report.violations.append(LayoutViolation(
+                V_OBJ_MISALIGNED, HEAP_SECTION, f"object #{obj.index}",
+                f"address {obj.address} not {OBJ_ALIGN}-byte aligned"))
+
+    spans = sorted((o for o in heap.ordered if o.address >= 0),
+                   key=lambda o: o.address)
+    for left, right in zip(spans, spans[1:]):
+        report.checks_run += 1
+        if left.address + left.size > right.address:
+            report.violations.append(LayoutViolation(
+                V_OBJ_OVERLAP, HEAP_SECTION,
+                f"object #{left.index} / object #{right.index}",
+                f"[{left.address}, {left.address + left.size}) overlaps "
+                f"[{right.address}, {right.address + right.size})"))
+
+    report.checks_run += 1
+    expected = expected_heap_size(list(binary.snapshot))
+    if heap.size != expected:
+        report.violations.append(LayoutViolation(
+            V_HEAP_SIZE, HEAP_SECTION, ".svm_heap",
+            f"section size {heap.size} != expected {expected} "
+            "(a permutation cannot change the size)"))
+
+
+# -- reference resolvability -------------------------------------------------
+
+
+def _check_references(binary: NativeImageBinary,
+                      report: LayoutVerificationReport) -> None:
+    heap = binary.heap
+    placed = {id(obj) for obj in heap.ordered}
+    snapshot_entries = {id(obj) for obj in binary.snapshot}
+
+    def check_entry(label: str, entry) -> None:
+        report.checks_run += 1
+        if id(entry) not in placed:
+            report.violations.append(LayoutViolation(
+                V_REF_UNRESOLVED, HEAP_SECTION, label,
+                "table entry points at an object absent from the layout"))
+        elif entry.address < 0 or entry.address + entry.size > heap.size:
+            report.violations.append(LayoutViolation(
+                V_REF_UNRESOLVED, HEAP_SECTION, label,
+                f"table entry resolves outside the section "
+                f"([{entry.address}, {entry.address + entry.size}) vs size "
+                f"{heap.size})"))
+
+    for sid, entry in binary.literal_objects.items():
+        check_entry(f"literal[{sid}]", entry)
+    for token, entry in binary.fold_objects.items():
+        check_entry(f"fold[{token}]", entry)
+
+    for obj in heap.ordered:
+        if obj.parent is not None:
+            report.checks_run += 1
+            if id(obj.parent) not in snapshot_entries:
+                report.violations.append(LayoutViolation(
+                    V_REF_UNRESOLVED, HEAP_SECTION, f"object #{obj.index}",
+                    "parent link points outside the snapshot"))
+        if not isinstance(obj.value, str):
+            report.checks_run += 1
+            back = getattr(obj.value, "image_ref", None)
+            if back is not obj:
+                report.violations.append(LayoutViolation(
+                    V_REF_UNRESOLVED, HEAP_SECTION, f"object #{obj.index}",
+                    "value does not link back to its snapshot entry "
+                    "(page-touch accounting would miss it)"))

@@ -1,0 +1,288 @@
+"""Seeded layout mutations: controlled damage for the invariant checker.
+
+The :class:`LayoutMutator` is the layout-level sibling of
+:class:`repro.robustness.faults.FaultInjector`: a plain-data, seed-labelled
+:class:`LayoutMutationPlan` describes *what* goes wrong with a finished
+binary's sections, and the mutator applies it in place.  All randomness is
+confined to :meth:`LayoutMutationPlan.random`, so every mutation — and
+therefore every violation the checker must catch — is exactly reproducible
+from a seed.  The mutation classes map one-to-one onto the checker's
+violation codes (see the table in each kind's docstring line below).
+
+``snapshot_layout``/``restore_layout`` bracket a mutation so the fuzz tool
+can reuse one expensive build across hundreds of cases.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..image.binary import NativeImageBinary
+from ..image.heap import HeapObject
+from .invariants import (
+    V_CU_DUPLICATE,
+    V_CU_MISALIGNED,
+    V_CU_MISSING,
+    V_CU_OVERLAP,
+    V_HEAP_SIZE,
+    V_MEMBER_BOUNDS,
+    V_OBJ_DUPLICATE,
+    V_OBJ_MISALIGNED,
+    V_OBJ_MISSING,
+    V_OBJ_OVERLAP,
+    V_REF_UNRESOLVED,
+    V_TEXT_SIZE,
+)
+
+MUTATE_SWAP_CU_OFFSETS = "swap_cu_offsets"      # -> overlap (sizes differ)
+MUTATE_DROP_CU = "drop_cu"                      # -> missing CU
+MUTATE_DUPLICATE_CU = "duplicate_cu"            # -> duplicate CU
+MUTATE_MISALIGN_CU = "misalign_cu"              # -> misaligned CU
+MUTATE_GROW_MEMBER = "grow_member"              # -> member out of bounds
+MUTATE_SHRINK_TEXT = "shrink_text"              # -> .text size mismatch
+MUTATE_DROP_OBJECT = "drop_object"              # -> missing object
+MUTATE_DUPLICATE_OBJECT = "duplicate_object"    # -> duplicate object
+MUTATE_MISALIGN_OBJECT = "misalign_object"      # -> misaligned object
+MUTATE_OVERLAP_OBJECTS = "overlap_objects"      # -> object overlap
+MUTATE_SHRINK_HEAP = "shrink_heap"              # -> .svm_heap size mismatch
+MUTATE_BREAK_REF = "break_ref"                  # -> unresolved reference
+
+ALL_MUTATION_KINDS = (
+    MUTATE_SWAP_CU_OFFSETS, MUTATE_DROP_CU, MUTATE_DUPLICATE_CU,
+    MUTATE_MISALIGN_CU, MUTATE_GROW_MEMBER, MUTATE_SHRINK_TEXT,
+    MUTATE_DROP_OBJECT, MUTATE_DUPLICATE_OBJECT, MUTATE_MISALIGN_OBJECT,
+    MUTATE_OVERLAP_OBJECTS, MUTATE_SHRINK_HEAP, MUTATE_BREAK_REF,
+)
+
+#: violation codes a mutation of each kind must produce at least one of
+EXPECTED_VIOLATIONS: Dict[str, Tuple[str, ...]] = {
+    MUTATE_SWAP_CU_OFFSETS: (V_CU_OVERLAP,),
+    MUTATE_DROP_CU: (V_CU_MISSING,),
+    MUTATE_DUPLICATE_CU: (V_CU_DUPLICATE,),
+    MUTATE_MISALIGN_CU: (V_CU_MISALIGNED,),
+    MUTATE_GROW_MEMBER: (V_MEMBER_BOUNDS,),
+    MUTATE_SHRINK_TEXT: (V_TEXT_SIZE,),
+    MUTATE_DROP_OBJECT: (V_OBJ_MISSING,),
+    MUTATE_DUPLICATE_OBJECT: (V_OBJ_DUPLICATE,),
+    MUTATE_MISALIGN_OBJECT: (V_OBJ_MISALIGNED,),
+    MUTATE_OVERLAP_OBJECTS: (V_OBJ_OVERLAP,),
+    MUTATE_SHRINK_HEAP: (V_HEAP_SIZE,),
+    MUTATE_BREAK_REF: (V_REF_UNRESOLVED,),
+}
+
+
+@dataclass(frozen=True)
+class LayoutMutation:
+    """One planned mutation; ``pick`` seeds the target selection."""
+
+    kind: str
+    pick: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_MUTATION_KINDS:
+            raise ValueError(f"unknown mutation kind {self.kind!r}")
+
+    def describe(self) -> str:
+        return f"{self.kind}(pick={self.pick})"
+
+
+@dataclass(frozen=True)
+class LayoutMutationPlan:
+    """An immutable, seed-labelled list of layout mutations."""
+
+    mutations: Tuple[LayoutMutation, ...] = ()
+    seed: Optional[int] = None
+
+    @classmethod
+    def of(cls, *mutations: LayoutMutation) -> "LayoutMutationPlan":
+        return cls(mutations=tuple(mutations))
+
+    @classmethod
+    def single(cls, kind: str, pick: int = 0) -> "LayoutMutationPlan":
+        return cls(mutations=(LayoutMutation(kind, pick),))
+
+    @classmethod
+    def random(cls, seed: int, n_mutations: int = 1,
+               kinds: Optional[Sequence[str]] = None) -> "LayoutMutationPlan":
+        """A reproducible plan: same seed, same mutations, forever."""
+        rng = random.Random(seed)
+        kinds = tuple(kinds or ALL_MUTATION_KINDS)
+        mutations = tuple(
+            LayoutMutation(rng.choice(kinds), pick=rng.randint(0, 1 << 30))
+            for _ in range(max(1, n_mutations))
+        )
+        return cls(mutations=mutations, seed=seed)
+
+    def expected_codes(self) -> Tuple[str, ...]:
+        """Union of violation codes this plan's kinds must trigger."""
+        codes: List[str] = []
+        for mutation in self.mutations:
+            codes.extend(EXPECTED_VIOLATIONS[mutation.kind])
+        return tuple(dict.fromkeys(codes))
+
+    def describe(self) -> str:
+        label = "" if self.seed is None else f" (seed {self.seed})"
+        if not self.mutations:
+            return f"no mutations{label}"
+        return "; ".join(m.describe() for m in self.mutations) + label
+
+
+class LayoutMutator:
+    """Applies a :class:`LayoutMutationPlan` to a built binary, in place."""
+
+    def __init__(self, plan: LayoutMutationPlan) -> None:
+        self.plan = plan
+        #: human-readable log of mutations that actually landed
+        self.applied: List[str] = []
+
+    def mutate(self, binary: NativeImageBinary) -> List[str]:
+        """Damage ``binary``'s sections per the plan; returns the log."""
+        for mutation in self.plan.mutations:
+            detail = self._apply(binary, mutation)
+            self.applied.append(f"{mutation.describe()}: {detail}")
+        return self.applied
+
+    def _apply(self, binary: NativeImageBinary, mutation: LayoutMutation) -> str:
+        placed = binary.text.placed
+        ordered = binary.heap.ordered
+        pick = mutation.pick
+        kind = mutation.kind
+
+        if kind == MUTATE_SWAP_CU_OFFSETS:
+            pair = _pick_swap_pair(placed, pick)
+            if pair is None:
+                return "skipped: no CU pair with differing footprints"
+            first, second = pair
+            first.offset, second.offset = second.offset, first.offset
+            return (f"swapped offsets of {first.cu.name} and "
+                    f"{second.cu.name}")
+        if kind == MUTATE_DROP_CU:
+            victim = placed.pop(pick % len(placed))
+            return f"dropped {victim.cu.name}"
+        if kind == MUTATE_DUPLICATE_CU:
+            victim = placed[pick % len(placed)]
+            placed.append(victim)
+            return f"duplicated {victim.cu.name}"
+        if kind == MUTATE_MISALIGN_CU:
+            victim = placed[pick % len(placed)]
+            victim.offset += 1 + pick % 7  # off any 16-byte boundary
+            return f"nudged {victim.cu.name} to offset {victim.offset}"
+        if kind == MUTATE_GROW_MEMBER:
+            # A non-last member, since the last member's range defines
+            # ``cu.size`` and moving it would shift the bound itself.
+            multi = [p.cu for p in placed if len(p.cu.members) > 1]
+            if multi:
+                cu = multi[pick % len(multi)]
+                member = cu.members[pick % (len(cu.members) - 1)]
+                member.offset = cu.size  # pushes the range past the CU end
+            else:
+                cu = placed[pick % len(placed)].cu
+                member = cu.members[0]
+                member.offset = -1 - member.size  # negative range
+            return f"pushed {member.signature} in {cu.name} out of bounds"
+        if kind == MUTATE_SHRINK_TEXT:
+            delta = 1 + pick % 4096
+            binary.text.size -= delta
+            return f"shrank .text by {delta} bytes"
+        if kind == MUTATE_DROP_OBJECT:
+            victim = ordered.pop(pick % len(ordered))
+            return f"dropped object #{victim.index}"
+        if kind == MUTATE_DUPLICATE_OBJECT:
+            victim = ordered[pick % len(ordered)]
+            ordered.append(victim)
+            return f"duplicated object #{victim.index}"
+        if kind == MUTATE_MISALIGN_OBJECT:
+            victim = ordered[pick % len(ordered)]
+            victim.address += 1 + pick % 7  # off any 8-byte boundary
+            return f"nudged object #{victim.index} to {victim.address}"
+        if kind == MUTATE_OVERLAP_OBJECTS:
+            if len(ordered) < 2:
+                return "skipped: fewer than two objects"
+            index = pick % (len(ordered) - 1)
+            left, right = ordered[index], ordered[index + 1]
+            right.address = left.address  # two objects at one address
+            return (f"collapsed object #{right.index} onto object "
+                    f"#{left.index}")
+        if kind == MUTATE_SHRINK_HEAP:
+            delta = 1 + pick % 4096
+            binary.heap.size -= delta
+            return f"shrank .svm_heap by {delta} bytes"
+        if kind == MUTATE_BREAK_REF:
+            phantom = HeapObject(value="phantom", index=-1,
+                                 type_name="String", size=32)
+            if binary.literal_objects:
+                sid = sorted(binary.literal_objects)[
+                    pick % len(binary.literal_objects)]
+                binary.literal_objects[sid] = phantom
+                return f"pointed literal[{sid}] at a phantom object"
+            victim = ordered[pick % len(ordered)]
+            victim.parent = phantom
+            return f"pointed object #{victim.index}'s parent at a phantom"
+        raise AssertionError(f"unhandled mutation kind {kind!r}")
+
+
+def _pick_swap_pair(placed, pick: int):
+    """A (bigger, smaller) CU pair whose offset swap must break the layout.
+
+    Swapping equal-footprint CUs yields a *valid* layout, and moving a
+    bigger CU into the last slot may hide in the native blob's page
+    padding; so the bigger CU must land in a slot that has a CU after it.
+    Returns ``None`` when no such pair exists (degenerate layouts).
+    """
+    from ..image.sections import CU_ALIGN
+
+    def footprint(entry) -> int:
+        return (entry.cu.size + CU_ALIGN - 1) // CU_ALIGN * CU_ALIGN
+
+    by_offset = sorted(placed, key=lambda p: p.offset)
+    n = len(by_offset)
+    for step in range(n):
+        smaller = by_offset[(pick + step) % n]
+        if smaller is by_offset[-1]:
+            continue  # bigger CU would land in the last slot
+        for bigger in by_offset:
+            if footprint(bigger) > footprint(smaller):
+                return bigger, smaller
+    return None
+
+
+# -- snapshot/restore (fuzz-tool support) ------------------------------------
+
+
+def snapshot_layout(binary: NativeImageBinary) -> dict:
+    """Capture everything a mutation may touch, for later restore."""
+    return {
+        "placed": list(binary.text.placed),
+        "offsets": [p.offset for p in binary.text.placed],
+        "members": [
+            (member, member.offset, member.size)
+            for p in binary.text.placed for member in p.cu.members
+        ],
+        "text_size": binary.text.size,
+        "ordered": list(binary.heap.ordered),
+        "addresses": [o.address for o in binary.heap.ordered],
+        "heap_size": binary.heap.size,
+        "literals": dict(binary.literal_objects),
+        "parents": [(o, o.parent) for o in binary.heap.ordered],
+    }
+
+
+def restore_layout(binary: NativeImageBinary, saved: dict) -> None:
+    """Undo any plan's damage recorded by :func:`snapshot_layout`."""
+    binary.text.placed[:] = saved["placed"]
+    for placed, offset in zip(saved["placed"], saved["offsets"]):
+        placed.offset = offset
+    for member, offset, size in saved["members"]:
+        member.offset = offset
+        member.size = size
+    binary.text.size = saved["text_size"]
+    binary.heap.ordered[:] = saved["ordered"]
+    for obj, address in zip(saved["ordered"], saved["addresses"]):
+        obj.address = address
+    binary.heap.size = saved["heap_size"]
+    binary.literal_objects.clear()
+    binary.literal_objects.update(saved["literals"])
+    for obj, parent in saved["parents"]:
+        obj.parent = parent

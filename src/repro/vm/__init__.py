@@ -4,6 +4,7 @@ from .interpreter import Frame, Interpreter, RuntimeHooks, ThreadState, make_sta
 from .values import (
     ArrayInstance,
     ObjectInstance,
+    OpsBudgetError,
     ResourceBlob,
     StaticsHolder,
     VMError,
@@ -20,6 +21,7 @@ __all__ = [
     "make_statics",
     "ArrayInstance",
     "ObjectInstance",
+    "OpsBudgetError",
     "ResourceBlob",
     "StaticsHolder",
     "VMError",

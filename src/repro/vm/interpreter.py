@@ -24,6 +24,7 @@ from ..minijava.bytecode import ClassInfo, CompiledMethod, Program
 from .values import (
     ArrayInstance,
     ObjectInstance,
+    OpsBudgetError,
     ResourceBlob,
     StaticsHolder,
     VMError,
@@ -218,7 +219,7 @@ class Interpreter:
         self._yield_requested = False
         while budget > 0 and not thread.done and not self._yield_requested:
             if self.ops_executed >= self.max_ops:
-                raise VMError(f"op budget exceeded ({self.max_ops})")
+                raise OpsBudgetError(self.max_ops)
             frame = thread.frames[-1]
             code = frame.code
             pc = frame.pc

@@ -18,6 +18,18 @@ class VMError(Exception):
     """Raised for runtime errors (null deref, bad index, bad dispatch...)."""
 
 
+class OpsBudgetError(VMError):
+    """The interpreter exceeded its instruction budget (``max_ops``).
+
+    A distinct type so watchdogs can tell a bounded-run trip from a genuine
+    runtime error without parsing the message.
+    """
+
+    def __init__(self, max_ops: int) -> None:
+        super().__init__(f"op budget exceeded ({max_ops})")
+        self.max_ops = max_ops
+
+
 def default_for_type(type_name: str) -> Any:
     """The default value for a declared type name (Java zero-values)."""
     if type_name == "int":

@@ -8,6 +8,7 @@ from repro.graal.cunits import layout_members
 from repro.image.heap import HeapObject, HeapSnapshot
 from repro.minijava.bytecode import CompiledMethod, Instr
 from repro.ordering.code_order import default_order, order_compilation_units
+from repro.ordering.errors import OrderingError
 from repro.ordering.heap_order import match_and_order
 from repro.ordering.profiles import CodeOrderProfile, HeapOrderProfile
 
@@ -152,3 +153,108 @@ class TestHeapOrderMatching:
         profile = HeapOrderProfile(strategy="test", ids=profile_ids)
         ordered, _ = match_and_order(snapshot, profile)
         assert sorted(o.index for o in ordered) == list(range(len(object_ids)))
+
+
+class TestCollisionAccounting:
+    """colliding_ids must cover the whole snapshot, not just matched IDs."""
+
+    def test_unmatched_collisions_counted(self):
+        # ID 7 collides but no profile entry references it: it still counts,
+        # because it will degrade the *next* profiling run's match quality.
+        snapshot = make_snapshot([("A", 7), ("B", 7), ("C", 1)])
+        profile = HeapOrderProfile(strategy="test", ids=[1])
+        _, report = match_and_order(snapshot, profile)
+        assert report.colliding_ids == 1
+        assert report.colliding_matched_ids == 0
+        assert report.colliding_unmatched_ids == 1
+        assert report.colliding_objects == 2
+
+    def test_matched_and_unmatched_collisions_split(self):
+        snapshot = make_snapshot(
+            [("A", 7), ("B", 7), ("C", 9), ("D", 9), ("E", 9), ("F", 1)]
+        )
+        profile = HeapOrderProfile(strategy="test", ids=[9, 1])
+        _, report = match_and_order(snapshot, profile)
+        assert report.colliding_ids == 2
+        assert report.colliding_matched_ids == 1  # 9 matched, 7 did not
+        assert report.colliding_unmatched_ids == 1
+        assert report.colliding_objects == 5
+
+    def test_no_collisions(self):
+        snapshot = make_snapshot([("A", 1), ("B", 2)])
+        profile = HeapOrderProfile(strategy="test", ids=[2])
+        _, report = match_and_order(snapshot, profile)
+        assert report.colliding_ids == 0
+        assert report.colliding_objects == 0
+
+    def test_colliding_bucket_tie_break_is_snapshot_index_order(self):
+        # All four objects share one ID; whatever the profile says, the
+        # bucket lands in ascending snapshot-index order (deterministic
+        # default-order tie-break), never in dict/insertion order.
+        snapshot = make_snapshot([("A", 5), ("B", 5), ("C", 5), ("D", 5)])
+        profile = HeapOrderProfile(strategy="test", ids=[5, 5])
+        ordered, report = match_and_order(snapshot, profile)
+        assert [o.index for o in ordered] == [0, 1, 2, 3]
+        assert report.matched_objects == 4
+        assert report.colliding_objects == 4
+
+    def test_tie_break_stable_across_runs(self):
+        entries = [("T", 3)] * 6 + [("U", 8)] * 2
+        profile = HeapOrderProfile(strategy="test", ids=[8, 3])
+        orders = []
+        for _ in range(3):
+            ordered, _ = match_and_order(make_snapshot(entries), profile)
+            orders.append([o.index for o in ordered])
+        assert orders[0] == orders[1] == orders[2] == [6, 7, 0, 1, 2, 3, 4, 5]
+
+
+class TestOrderingErrors:
+    """Profiles referencing things absent from the build raise typed errors."""
+
+    def test_heap_missing_strategy_id_is_ordering_error(self):
+        snapshot = make_snapshot([("A", 1)])
+        profile = HeapOrderProfile(strategy="other", ids=[1])
+        with pytest.raises(OrderingError) as excinfo:
+            match_and_order(snapshot, profile)
+        assert excinfo.value.kind == "other"
+        # still a ValueError, so pre-existing handlers keep working
+        assert isinstance(excinfo.value, ValueError)
+
+    def test_heap_strict_unmatched_profile_ids_raise(self):
+        snapshot = make_snapshot([("A", 1), ("B", 2)])
+        profile = HeapOrderProfile(strategy="test", ids=[1, 99, 77])
+        with pytest.raises(OrderingError) as excinfo:
+            match_and_order(snapshot, profile, strict=True)
+        assert sorted(excinfo.value.missing) == [77, 99]
+        assert "different build" in str(excinfo.value)
+
+    def test_heap_lenient_default_skips_unmatched(self):
+        snapshot = make_snapshot([("A", 1), ("B", 2)])
+        profile = HeapOrderProfile(strategy="test", ids=[1, 99])
+        ordered, report = match_and_order(snapshot, profile)
+        assert [o.index for o in ordered] == [0, 1]
+        assert report.matched_profile_entries == 1
+
+    def test_code_strict_unknown_signatures_raise(self):
+        cus = [make_cu("Alpha", "boot"), make_cu("Beta", "run")]
+        profile = CodeOrderProfile(
+            kind="cu", signatures=["Alpha.boot()", "Ghost.vanish()"]
+        )
+        with pytest.raises(OrderingError) as excinfo:
+            order_compilation_units(cus, profile, strict=True)
+        assert excinfo.value.missing == ("Ghost.vanish()",)
+        assert excinfo.value.kind == "cu"
+
+    def test_code_strict_method_kind_accepts_inlined_members(self):
+        cus = [make_cu("Alpha", "boot", inlined=[("Util", "mix")])]
+        profile = CodeOrderProfile(kind="method", signatures=["Util.mix()"])
+        ordered = order_compilation_units(cus, profile, strict=True)
+        assert [cu.name for cu in ordered] == ["Alpha.boot()"]
+
+    def test_code_lenient_default_ignores_unknown(self):
+        cus = [make_cu("Alpha", "boot"), make_cu("Beta", "run")]
+        profile = CodeOrderProfile(
+            kind="cu", signatures=["Ghost.vanish()", "Beta.run()"]
+        )
+        names = [cu.name for cu in order_compilation_units(cus, profile)]
+        assert names == ["Beta.run()", "Alpha.boot()"]

@@ -1,0 +1,100 @@
+"""Mutation matrix for the structural invariant checker.
+
+Every mutation class in :mod:`repro.validation.mutate` must be caught by
+:func:`repro.validation.verify_layout` with (at least) the violation code
+the class maps to — and a snapshot/restore round-trip must leave the
+binary verifying clean again, which is what lets the fuzz tool reuse one
+build across hundreds of cases.
+"""
+
+import pytest
+
+from repro.eval.pipeline import STRATEGY_COMBINED, WorkloadPipeline
+from repro.validation import (
+    ALL_MUTATION_KINDS,
+    EXPECTED_VIOLATIONS,
+    LayoutMutationPlan,
+    LayoutMutator,
+    restore_layout,
+    snapshot_layout,
+    verify_layout,
+)
+from repro.workloads.awfy.suite import awfy_workload
+
+
+@pytest.fixture(scope="module")
+def built():
+    """One ordered optimized build, shared (and restored) across cases."""
+    pipeline = WorkloadPipeline(
+        awfy_workload("Bounce", ballast_subsystems=4)
+    )
+    outcome = pipeline.profile(seed=1)
+    return pipeline.build_optimized(outcome.profiles, STRATEGY_COMBINED, seed=1)
+
+
+class TestCleanBinaries:
+    def test_ordered_build_verifies(self, built):
+        report = verify_layout(built)
+        assert report.ok
+        assert report.checks_run > 0
+        assert report.codes() == {}
+        assert report.layout_digest != 0
+
+    def test_baseline_verifies(self):
+        pipeline = WorkloadPipeline(
+            awfy_workload("Queens", ballast_subsystems=4)
+        )
+        assert verify_layout(pipeline.build_baseline(seed=1)).ok
+
+    def test_digest_differs_between_layouts(self, built):
+        pipeline = WorkloadPipeline(
+            awfy_workload("Bounce", ballast_subsystems=4)
+        )
+        baseline = pipeline.build_baseline(seed=1)
+        assert (verify_layout(baseline).layout_digest
+                != verify_layout(built).layout_digest)
+
+
+@pytest.mark.parametrize("pick", (0, 5))
+@pytest.mark.parametrize("kind", ALL_MUTATION_KINDS)
+def test_mutation_caught_with_expected_code(built, kind, pick):
+    saved = snapshot_layout(built)
+    try:
+        mutator = LayoutMutator(LayoutMutationPlan.single(kind, pick=pick))
+        log = mutator.mutate(built)
+        if "skipped:" in log[0]:
+            pytest.skip(log[0])
+        report = verify_layout(built)
+        assert not report.ok, f"{kind} went undetected"
+        expected = EXPECTED_VIOLATIONS[kind]
+        assert any(report.has(code) for code in expected), (
+            f"{kind}: got {sorted(report.codes())}, expected one of {expected}"
+        )
+    finally:
+        restore_layout(built, saved)
+    # the round-trip is lossless: the same build verifies clean again
+    assert verify_layout(built).ok
+
+
+def test_every_mutation_kind_has_expected_codes():
+    assert set(EXPECTED_VIOLATIONS) == set(ALL_MUTATION_KINDS)
+    for codes in EXPECTED_VIOLATIONS.values():
+        assert codes
+
+
+def test_random_plans_are_reproducible():
+    plan_a = LayoutMutationPlan.random(42, n_mutations=3)
+    plan_b = LayoutMutationPlan.random(42, n_mutations=3)
+    assert plan_a == plan_b
+    assert plan_a.expected_codes()
+
+
+def test_violation_summary_names_codes(built):
+    saved = snapshot_layout(built)
+    try:
+        LayoutMutator(LayoutMutationPlan.single("shrink_text")).mutate(built)
+        report = verify_layout(built)
+        assert not report.ok
+        assert "text.size.mismatch" in report.summary()
+    finally:
+        restore_layout(built, saved)

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Fuzz the layout invariant checker with seeded random mutations.
+
+Builds one ordered optimized binary, then for each case snapshots the
+layout, applies a random :class:`LayoutMutationPlan`, and asserts that
+``verify_layout`` flags at least one of the plan's expected violation
+codes; the layout is then restored and must verify clean again.
+
+Run:  python tools/fuzz_layout.py [--count 200] [--seed 1]
+
+Used by the CI ``verify-layouts`` job; exits non-zero on the first miss,
+printing the offending case seed so it is reproducible with
+``--count 1 --seed <case-seed>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.eval.pipeline import STRATEGY_COMBINED, WorkloadPipeline  # noqa: E402
+from repro.validation import (  # noqa: E402
+    LayoutMutationPlan,
+    LayoutMutator,
+    restore_layout,
+    snapshot_layout,
+    verify_layout,
+)
+from repro.workloads.awfy.suite import awfy_workload  # noqa: E402
+
+
+def build_subject():
+    pipeline = WorkloadPipeline(awfy_workload("Bounce", ballast_subsystems=4))
+    outcome = pipeline.profile(seed=1)
+    binary = pipeline.build_optimized(outcome.profiles, STRATEGY_COMBINED,
+                                      seed=1)
+    report = verify_layout(binary)
+    if not report.ok:
+        print("pristine build failed verification?!")
+        print(report.summary())
+        sys.exit(2)
+    return binary
+
+
+def run_case(binary, case_seed: int) -> str:
+    """Returns "caught" | "skipped", or exits on a checker miss."""
+    plan = LayoutMutationPlan.random(case_seed,
+                                     n_mutations=1 + case_seed % 3)
+    saved = snapshot_layout(binary)
+    mutator = LayoutMutator(plan)
+    log = mutator.mutate(binary)
+    applied = [line for line in log if "skipped:" not in line]
+    report = verify_layout(binary)
+    try:
+        if not applied:
+            if not report.ok:
+                fail(case_seed, plan, log, report,
+                     "all mutations skipped but verification failed")
+            return "skipped"
+        if report.ok:
+            fail(case_seed, plan, log, report,
+                 "mutated layout passed verification")
+        expected = plan.expected_codes()
+        # a multi-mutation plan may have some members skipped; require a hit
+        # from the union of the applied kinds' codes
+        if not any(report.has(code) for code in expected):
+            fail(case_seed, plan, log, report,
+                 f"no expected code hit (expected any of {expected})")
+        return "caught"
+    finally:
+        restore_layout(binary, saved)
+        clean = verify_layout(binary)
+        if not clean.ok:
+            print(f"case {case_seed}: restore_layout left damage!")
+            print(clean.summary())
+            sys.exit(2)
+
+
+def fail(case_seed, plan, log, report, why: str) -> None:
+    print(f"case {case_seed}: CHECKER MISS — {why}")
+    print(f"  plan: {plan.describe()}")
+    for line in log:
+        print(f"  applied: {line}")
+    print("  " + report.summary().replace("\n", "\n  "))
+    print(f"reproduce with: python tools/fuzz_layout.py --count 1 "
+          f"--seed {case_seed}")
+    sys.exit(1)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--count", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    binary = build_subject()
+    caught = skipped = 0
+    for case in range(args.count):
+        outcome = run_case(binary, args.seed + case)
+        if outcome == "caught":
+            caught += 1
+        else:
+            skipped += 1
+    print(f"fuzzed {args.count} layout mutation plans: "
+          f"{caught} caught, {skipped} degenerate-skipped, 0 missed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
