@@ -14,10 +14,12 @@ Entry points:
 * :mod:`repro.workloads` — the AWFY suite and microservice workloads.
 """
 
+# defined before the imports below: repro.cache.keys reads it while this
+# module is still initializing (version is part of every cache key)
+__version__ = "1.1.0"
+
 from .api import STRATEGIES, ComparisonReport, NativeImageToolchain, compare_all_strategies
 from .eval.pipeline import Workload
-
-__version__ = "1.0.0"
 
 __all__ = [
     "STRATEGIES",

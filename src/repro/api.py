@@ -15,8 +15,10 @@ or run whole paper experiments via :mod:`repro.eval.figures`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
+from .cache import ArtifactCache, CacheStats
 from .eval.pipeline import (
     ALL_STRATEGY_SPECS,
     StrategySpec,
@@ -43,7 +45,12 @@ STRATEGIES: Dict[str, StrategySpec] = {spec.name: spec for spec in ALL_STRATEGY_
 
 @dataclass
 class ComparisonReport:
-    """Baseline-vs-optimized outcome of one strategy on one workload."""
+    """Baseline-vs-optimized outcome of one strategy on one workload.
+
+    Factors follow the paper's convention (baseline / optimized, higher is
+    better); time is end-to-end for run-to-completion workloads and
+    time-to-first-response when the run recorded one (microservices).
+    """
 
     workload: str
     strategy: str
@@ -52,14 +59,17 @@ class ComparisonReport:
 
     @property
     def text_fault_factor(self) -> float:
+        """``.text`` page-fault reduction factor (1.0 = unchanged)."""
         return ratio_factor(self.baseline.text_faults, self.optimized.text_faults)
 
     @property
     def heap_fault_factor(self) -> float:
+        """``.svm_heap`` page-fault reduction factor (1.0 = unchanged)."""
         return ratio_factor(self.baseline.heap_faults, self.optimized.heap_faults)
 
     @property
     def speedup(self) -> float:
+        """Execution-time speedup factor (baseline time / optimized time)."""
         base = self.baseline.first_response_time_s or self.baseline.time_s
         opt = self.optimized.first_response_time_s or self.optimized.time_s
         return base / opt
@@ -90,6 +100,12 @@ class NativeImageToolchain:
     structurally checked, violations quarantine the ordering profile and
     roll back to the default layout, and :meth:`verify` runs the full
     oracle (invariants + differential execution + watchdogs).
+
+    Pass ``cache`` (an :class:`repro.cache.ArtifactCache` or a directory
+    path) to make every stage content-addressed: builds, profiling runs,
+    and measurements whose inputs did not change are loaded from the cache
+    instead of recomputed.  :attr:`cache_stats` reports the session's
+    hit/miss accounting.
     """
 
     def __init__(
@@ -100,12 +116,15 @@ class NativeImageToolchain:
         degradation_policy: Optional[DegradationPolicy] = None,
         fault_hook: Optional[object] = None,
         verification: Optional[VerificationPolicy] = None,
+        cache: Union[ArtifactCache, Path, str, None] = None,
     ) -> None:
         self.workload = workload
+        if isinstance(cache, (str, Path)):
+            cache = ArtifactCache(Path(cache))
         self._pipeline = WorkloadPipeline(
             workload, build_config, exec_config,
             degradation_policy=degradation_policy, fault_hook=fault_hook,
-            verification=verification,
+            verification=verification, cache=cache,
         )
         self._profiles = None
 
@@ -140,20 +159,41 @@ class NativeImageToolchain:
         """Ordering profiles convicted by the verification rung."""
         return self._pipeline.quarantine
 
+    @property
+    def cache(self) -> Optional[ArtifactCache]:
+        """The armed artifact cache, or ``None`` when uncached."""
+        return self._pipeline.cache
+
+    @property
+    def cache_stats(self) -> Optional[CacheStats]:
+        """Hit/miss accounting of the armed cache (``None`` when uncached)."""
+        return self._pipeline.cache.stats if self._pipeline.cache else None
+
     # -- build & run ---------------------------------------------------------
 
     def build(self, seed: int = 0) -> NativeImageBinary:
-        """Build the regular (baseline) image."""
+        """Build (or cache-load) the regular baseline image for ``seed``."""
         return self._pipeline.build_baseline(seed=seed)
 
     def run(self, binary: NativeImageBinary, iterations: int = 1) -> List[RunMetrics]:
-        """Cold-cache runs of a built image."""
+        """Cold-cache runs of a built image; one :class:`RunMetrics` each.
+
+        With watchdog budgets armed on the verification policy, tripped
+        runs yield empty metrics plus a degradation-report note instead of
+        raising (see :meth:`WorkloadPipeline.measure`).
+        """
         return self._pipeline.measure(binary, iterations)
 
     # -- PGO workflow -----------------------------------------------------------
 
     def profile(self, seed: int = 0):
-        """Run the instrumented image and keep the resulting profiles."""
+        """Run the instrumented image and keep the resulting profiles.
+
+        Returns the :class:`ProfilingOutcome`; raises the typed
+        :class:`TraceDecodeError` on damaged traces unless a degradation
+        policy is armed (then the traces are salvaged and the outcome
+        annotated via ``last_degradation_report``).
+        """
         outcome = self._pipeline.profile(seed=seed)
         self._profiles = outcome.profiles
         return outcome
@@ -161,7 +201,13 @@ class NativeImageToolchain:
     def build_optimized(
         self, strategy: str = "cu+heap path", seed: int = 0
     ) -> NativeImageBinary:
-        """Build the profile-guided image with the named ordering strategy."""
+        """Build the profile-guided image with the named ordering strategy.
+
+        Profiles from the last :meth:`profile` call are reused (one is run
+        on demand otherwise).  Raises :class:`KeyError` for unknown
+        strategy names and :class:`LayoutVerificationError` when even the
+        rollback build fails structural verification.
+        """
         spec = STRATEGIES.get(strategy)
         if spec is None:
             raise KeyError(
@@ -202,7 +248,11 @@ class NativeImageToolchain:
     def optimize_and_compare(
         self, strategy: str = "cu+heap path", seed: int = 0
     ) -> ComparisonReport:
-        """One-shot: profile, optimize, and compare against the baseline."""
+        """One-shot: profile, optimize, and compare against the baseline.
+
+        Raises :class:`KeyError` for unknown strategy names; measurement
+        itself cannot fail (watchdog trips degrade to empty metrics).
+        """
         baseline = self.build(seed=seed)
         optimized = self.build_optimized(strategy, seed=seed)
         return ComparisonReport(
@@ -214,10 +264,16 @@ class NativeImageToolchain:
 
 
 def compare_all_strategies(
-    workload: Workload, seed: int = 0
+    workload: Workload, seed: int = 0,
+    cache: Union[ArtifactCache, Path, str, None] = None,
 ) -> Dict[str, ComparisonReport]:
-    """Run every paper strategy on one workload."""
-    toolchain = NativeImageToolchain(workload)
+    """Run every paper strategy on one workload.
+
+    One profiling run is shared across all six strategies; pass ``cache``
+    to also share builds and measurements with previous invocations.
+    Returns ``{strategy name: ComparisonReport}`` in strategy-table order.
+    """
+    toolchain = NativeImageToolchain(workload, cache=cache)
     toolchain.profile(seed=seed)
     return {
         name: ComparisonReport(

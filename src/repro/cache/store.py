@@ -1,0 +1,287 @@
+"""Content-addressed on-disk artifact store.
+
+Layout::
+
+    <root>/
+      trace/ab/abcdef....pkl      artifact payload (pickle)
+      trace/ab/abcdef....json     sidecar metadata (toolchain, created, note)
+      profile/..., image/..., metrics/..., program/...
+
+Entries are immutable: a key fully determines the payload, so a ``put`` of
+an existing key is a no-op and a ``get`` needs no validation beyond the
+toolchain check.  Writes go through a temporary file and ``os.replace`` so
+concurrent writers (the parallel scheduler's worker processes) can race on
+the same key without ever exposing a torn file.
+
+Failure modes are non-fatal by design: an unreadable or stale payload is
+treated as a miss and the entry is deleted (self-healing), never raised to
+the pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from .keys import TOOLCHAIN_VERSION
+
+#: artifact namespaces (subdirectories of the cache root)
+KIND_PROGRAM = "program"
+KIND_TRACE = "trace"
+KIND_PROFILE = "profile"
+KIND_IMAGE = "image"
+KIND_METRICS = "metrics"
+#: small rung-decision records (verification/degradation/quarantine) stored
+#: beside each optimized image, loadable without the image payload itself
+KIND_REPORT = "report"
+ALL_KINDS = (KIND_PROGRAM, KIND_TRACE, KIND_PROFILE, KIND_IMAGE,
+             KIND_METRICS, KIND_REPORT)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one :class:`ArtifactCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    #: per-kind breakdown of hits/misses, e.g. ``{"image": [3, 1]}``
+    by_kind: Dict[str, List[int]] = field(default_factory=dict)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when none)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def record(self, kind: str, hit: bool) -> None:
+        slot = self.by_kind.setdefault(kind, [0, 0])
+        if hit:
+            self.hits += 1
+            slot[0] += 1
+        else:
+            self.misses += 1
+            slot[1] += 1
+
+    def snapshot(self) -> Tuple[int, int]:
+        """(hits, misses) — for delta accounting around a task."""
+        return (self.hits, self.misses)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+            "by_kind": {k: {"hits": v[0], "misses": v[1]}
+                        for k, v in sorted(self.by_kind.items())},
+        }
+
+
+class ArtifactCache:
+    """Content-addressed pickle store with stale and size-bound eviction.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created on demand).  Safe to share between
+        processes; all writes are atomic renames.
+    toolchain:
+        Identity recorded with every entry; entries recorded under a
+        different toolchain are treated as misses and evicted lazily
+        (or eagerly via :meth:`evict_stale`).
+    max_entries_per_kind:
+        Optional ceiling per namespace; the oldest entries (by creation
+        stamp) are evicted once a ``put`` exceeds it.
+    """
+
+    def __init__(self, root: Path, toolchain: str = TOOLCHAIN_VERSION,
+                 max_entries_per_kind: Optional[int] = None,
+                 memo_entries: int = 64) -> None:
+        self.root = Path(root)
+        self.toolchain = toolchain
+        self.max_entries_per_kind = max_entries_per_kind
+        self.stats = CacheStats()
+        # In-memory LRU over disk loads: repeat lookups of the same key
+        # (six strategies sharing one baseline image / profile) skip the
+        # unpickle, which dominates warm-path wall-clock.  Entries are
+        # immutable by contract, so handing out the same object is safe;
+        # only successful *disk* loads are memoized, keeping the disk the
+        # source of truth right after a put.
+        self._memo: "OrderedDict[Tuple[str, str], Any]" = OrderedDict()
+        self._memo_entries = memo_entries
+
+    # -- paths -----------------------------------------------------------------
+
+    def _entry_path(self, kind: str, key: str) -> Path:
+        return self.root / kind / key[:2] / f"{key}.pkl"
+
+    def _meta_path(self, kind: str, key: str) -> Path:
+        return self._entry_path(kind, key).with_suffix(".json")
+
+    # -- lookup ----------------------------------------------------------------
+
+    def contains(self, kind: str, key: str) -> bool:
+        """Whether an entry exists (without counting a hit or a miss)."""
+        return self._entry_path(kind, key).exists()
+
+    def get(self, kind: str, key: str) -> Optional[Any]:
+        """Load an artifact; ``None`` on miss.
+
+        A stale (different-toolchain) or unreadable entry counts as a miss
+        and is deleted so the caller's rebuild replaces it.
+        """
+        memo_key = (kind, key)
+        if memo_key in self._memo:
+            self._memo.move_to_end(memo_key)
+            self.stats.record(kind, hit=True)
+            return self._memo[memo_key]
+        path = self._entry_path(kind, key)
+        try:
+            meta = json.loads(self._meta_path(kind, key).read_text())
+            if meta.get("toolchain") != self.toolchain:
+                self._delete(kind, key)
+                self.stats.record(kind, hit=False)
+                return None
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, ValueError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError):
+            # missing, torn, or undecodable entry: miss + self-heal
+            self._delete(kind, key)
+            self.stats.record(kind, hit=False)
+            return None
+        self.stats.record(kind, hit=True)
+        if self._memo_entries > 0:
+            self._memo[memo_key] = value
+            while len(self._memo) > self._memo_entries:
+                self._memo.popitem(last=False)
+        return value
+
+    def put(self, kind: str, key: str, value: Any,
+            note: str = "") -> bool:
+        """Store an artifact; returns whether a new entry was written.
+
+        A value that cannot be pickled is skipped (``False``) rather than
+        raised — caching is an accelerator, never a correctness gate.
+        """
+        path = self._entry_path(kind, key)
+        if path.exists():
+            return False
+        try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except (TypeError, AttributeError, pickle.PicklingError):
+            return False
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(path, payload)
+        meta = {
+            "toolchain": self.toolchain,
+            "created": time.time(),
+            "kind": kind,
+            "key": key,
+            "note": note,
+        }
+        self._atomic_write(self._meta_path(kind, key),
+                           json.dumps(meta, sort_keys=True).encode("utf-8"))
+        self.stats.puts += 1
+        if self.max_entries_per_kind is not None:
+            self._evict_over_limit(kind)
+        return True
+
+    @staticmethod
+    def _atomic_write(path: Path, payload: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- eviction ----------------------------------------------------------------
+
+    def _delete(self, kind: str, key: str) -> None:
+        self._memo.pop((kind, key), None)
+        for path in (self._entry_path(kind, key), self._meta_path(kind, key)):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def entries(self, kind: str) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """All (key, metadata) pairs of one namespace."""
+        base = self.root / kind
+        if not base.exists():
+            return
+        for meta_path in sorted(base.glob("*/*.json")):
+            try:
+                meta = json.loads(meta_path.read_text())
+            except (OSError, ValueError):
+                continue
+            yield meta_path.stem, meta
+
+    def entry_count(self, kind: str) -> int:
+        base = self.root / kind
+        return sum(1 for _ in base.glob("*/*.pkl")) if base.exists() else 0
+
+    def evict_stale(self) -> int:
+        """Delete every entry recorded under a different toolchain.
+
+        Returns the number of entries evicted.  Run this after upgrading
+        the repo (or switching Python versions) to reclaim dead space;
+        lookups already skip stale entries lazily either way.
+        """
+        evicted = 0
+        for kind in ALL_KINDS:
+            for key, meta in list(self.entries(kind)):
+                if meta.get("toolchain") != self.toolchain:
+                    self._delete(kind, key)
+                    evicted += 1
+        self.stats.evictions += evicted
+        return evicted
+
+    def _evict_over_limit(self, kind: str) -> None:
+        limit = self.max_entries_per_kind
+        assert limit is not None
+        aged = sorted(self.entries(kind),
+                      key=lambda item: item[1].get("created", 0.0))
+        excess = len(aged) - limit
+        for key, _meta in aged[:max(excess, 0)]:
+            self._delete(kind, key)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Delete every entry (the directory tree stays in place)."""
+        for kind in ALL_KINDS:
+            for key, _meta in list(self.entries(kind)):
+                self._delete(kind, key)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def describe(self) -> str:
+        lines = [f"artifact cache at {self.root} ({self.toolchain})"]
+        for kind in ALL_KINDS:
+            count = self.entry_count(kind)
+            if count:
+                lines.append(f"  {kind}: {count} entries")
+        stats = self.stats
+        lines.append(f"  session: {stats.hits} hits / {stats.misses} misses "
+                     f"({stats.hit_rate:.0%}), {stats.puts} puts, "
+                     f"{stats.evictions} evictions")
+        return "\n".join(lines)

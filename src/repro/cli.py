@@ -14,12 +14,20 @@ Commands mirror the paper's artifact scripts:
   + differential execution under watchdog budgets) for workload × strategy
   combinations; ``--mutate`` injects a layout violation to demonstrate the
   quarantine-and-rollback rung end to end;
+* ``bench``    — benchmark the evaluation pipeline itself: serial reference
+  vs parallel scheduler vs warm artifact cache, written to
+  ``BENCH_pipeline.json``;
 * ``list``     — available workloads.
+
+Option defaults that mirror a config dataclass are read from that
+dataclass (see :func:`_field_default`) so ``--help`` can never drift from
+the code again.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 from typing import Dict, Optional
@@ -43,6 +51,24 @@ from .eval.textmap import compare_page_maps, text_page_map
 from .image.fileformat import read_snib, write_snib
 from .workloads.awfy.suite import AWFY_NAMES, awfy_workload
 from .workloads.microservices.suite import MICROSERVICE_NAMES, microservice_workload
+
+
+def _field_default(cls: type, field_name: str):
+    """The default of one dataclass field (the single source of truth).
+
+    CLI options whose semantics come from a config dataclass
+    (:class:`ExperimentConfig`, :class:`DegradationPolicy`,
+    :class:`BenchConfig`, ...) must take their ``default=`` from here so
+    ``--help`` output always matches what the code actually does.
+    """
+    for field in dataclasses.fields(cls):
+        if field.name == field_name:
+            if field.default is not dataclasses.MISSING:
+                return field.default
+            if field.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+                return field.default_factory()  # type: ignore[misc]
+            break
+    raise AttributeError(f"{cls.__name__} has no defaulted field {field_name!r}")
 
 
 def _find_workload(name: str) -> Workload:
@@ -241,6 +267,44 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .eval.bench import (
+        BenchConfig,
+        check_payload,
+        format_summary,
+        run_bench,
+        write_payload,
+    )
+
+    kwargs = dict(
+        iterations=args.iterations,
+        base_seed=args.seed,
+        max_workers=args.workers,
+        cache_dir=args.cache_dir,
+        output=args.output,
+        skip_serial=args.skip_serial,
+    )
+    if args.only:
+        kwargs["workloads"] = tuple(args.only)
+    if args.strategy:
+        kwargs["strategies"] = tuple(args.strategy)
+    config = BenchConfig.quick(**kwargs) if args.quick else BenchConfig(**kwargs)
+    try:
+        payload = run_bench(config, log=print)
+    except KeyError as exc:
+        raise SystemExit(str(exc))
+    path = write_payload(payload, config.output)
+    print()
+    print(format_summary(payload))
+    print(f"wrote {path}")
+    if args.check:
+        failures = check_payload(payload)
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}")
+        return 1 if failures else 0
+    return 0
+
+
 def cmd_emit(args: argparse.Namespace) -> int:
     workload = _find_workload(args.workload)
     pipeline = WorkloadPipeline(workload)
@@ -274,8 +338,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_figures = sub.add_parser("figures", help="regenerate Figures 2-5")
     p_figures.add_argument("--suite", choices=("awfy", "micro", "all"),
                            default="all")
-    p_figures.add_argument("--builds", type=int, default=2)
-    p_figures.add_argument("--runs", type=int, default=2)
+    p_figures.add_argument("--builds", type=int,
+                           default=_field_default(ExperimentConfig, "n_builds"),
+                           help="image builds per configuration "
+                           "(default: %(default)s)")
+    p_figures.add_argument("--runs", type=int,
+                           default=_field_default(ExperimentConfig, "n_runs"),
+                           help="cold-cache runs per build (default: %(default)s)")
     p_figures.add_argument("--only", nargs="*", help="restrict to workloads")
     p_figures.set_defaults(func=cmd_figures)
 
@@ -312,10 +381,17 @@ def build_parser() -> argparse.ArgumentParser:
                           help="seed for the random fault plan")
     p_robust.add_argument("--n-faults", type=int, default=2,
                           help="faults in the random plan")
-    p_robust.add_argument("--retries", type=int, default=2,
-                          help="profiling retries before default-layout fallback")
-    p_robust.add_argument("--min-match-rate", type=float, default=0.25,
-                          help="heap ID match-rate floor before heap fallback")
+    from .robustness.degradation import DegradationPolicy as _DegradationPolicy
+
+    p_robust.add_argument("--retries", type=int,
+                          default=_field_default(_DegradationPolicy, "max_retries"),
+                          help="profiling retries before default-layout "
+                          "fallback (default: %(default)s)")
+    p_robust.add_argument("--min-match-rate", type=float,
+                          default=_field_default(_DegradationPolicy,
+                                                 "min_match_rate"),
+                          help="heap ID match-rate floor before heap fallback "
+                          "(default: %(default)s)")
     p_robust.set_defaults(func=cmd_robustness)
 
     p_verify = sub.add_parser(
@@ -339,6 +415,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--mutate-seed", type=int, default=1,
                           help="target pick for --mutate")
     p_verify.set_defaults(func=cmd_verify)
+
+    from .eval.bench import BenchConfig as _BenchConfig
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="benchmark the evaluation pipeline: serial vs parallel vs "
+        "warm cache",
+    )
+    p_bench.add_argument("--quick", action="store_true",
+                         help="CI smoke matrix (3 workloads x 2 strategies)")
+    p_bench.add_argument("--only", nargs="*",
+                         help="restrict to these workloads (default: all)")
+    p_bench.add_argument("--strategy", action="append",
+                         help="a strategy to bench (repeatable; default: all)")
+    p_bench.add_argument("--iterations", type=int,
+                         default=_field_default(_BenchConfig, "iterations"),
+                         help="measurement runs per binary "
+                         "(default: %(default)s)")
+    p_bench.add_argument("--seed", type=int,
+                         default=_field_default(_BenchConfig, "base_seed"),
+                         help="base seed for per-task seeding "
+                         "(default: %(default)s)")
+    p_bench.add_argument("--workers", type=int,
+                         default=_field_default(_BenchConfig, "max_workers"),
+                         help="worker processes; 0 = one per core "
+                         "(default: %(default)s)")
+    p_bench.add_argument("--cache-dir",
+                         default=_field_default(_BenchConfig, "cache_dir"),
+                         help="persistent cache directory (default: a fresh "
+                         "temporary directory, deleted afterwards)")
+    p_bench.add_argument("-o", "--output",
+                         default=_field_default(_BenchConfig, "output"),
+                         help="result JSON path (default: %(default)s)")
+    p_bench.add_argument("--skip-serial", action="store_true",
+                         help="skip the slow serial reference phase")
+    p_bench.add_argument("--check", action="store_true",
+                         help="exit non-zero unless warm hit rate is 100%% "
+                         "and all phases agree (CI mode)")
+    p_bench.set_defaults(func=cmd_bench)
 
     p_emit = sub.add_parser("emit", help="write a built image as a SNIB file")
     p_emit.add_argument("workload")

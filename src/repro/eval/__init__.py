@@ -5,6 +5,16 @@ from .heapmap import compare_heap_maps, heap_page_map
 from .sweeps import ballast_sweep, page_size_sweep, render_sweep
 from .textmap import compare_page_maps, front_density, text_page_map
 
+from .bench import BenchConfig, run_bench
+from .scheduler import (
+    EvalTask,
+    SchedulerConfig,
+    SweepResult,
+    SweepScheduler,
+    TaskResult,
+    task_seed,
+)
+
 from .pipeline import (
     ALL_STRATEGY_SPECS,
     STRATEGY_COMBINED,
@@ -20,6 +30,9 @@ from .pipeline import (
 
 __all__ = [
     "ExperimentConfig", "evaluate_suite", "evaluate_workload", "profiling_overhead",
+    "BenchConfig", "run_bench",
+    "EvalTask", "SchedulerConfig", "SweepResult", "SweepScheduler",
+    "TaskResult", "task_seed",
     "compare_heap_maps", "heap_page_map",
     "ballast_sweep", "page_size_sweep", "render_sweep",
     "compare_page_maps", "front_density", "text_page_map",

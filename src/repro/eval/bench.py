@@ -1,0 +1,262 @@
+"""Benchmark harness for the evaluation pipeline itself.
+
+Not a paper experiment: this measures *the reproduction's own* evaluation
+machinery — how much wall-clock the parallel scheduler and the
+content-addressed artifact cache save over the naive serial sweep.  Three
+phases run the identical workload × strategy matrix:
+
+``serial``
+    The legacy path: a fresh uncached :class:`WorkloadPipeline` per matrix
+    cell, exactly what ``repro compare`` in a shell loop would cost.
+``cold``
+    The :class:`SweepScheduler` against an empty cache — artifact sharing
+    (one compile/baseline/profile per workload) plus process fan-out.
+``warm``
+    The scheduler again over the now-populated cache — every artifact
+    should load instead of rebuild (100% hit rate).
+
+Because the simulated toolchain is deterministic and per-task seeds are
+content-derived, all three phases must agree on every metric; the harness
+checks that and reports any divergence as a benchmark failure.  Results are
+written to ``BENCH_pipeline.json`` (schema below) for CI trend tracking.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..cache import ArtifactCache
+from ..cache.keys import TOOLCHAIN_VERSION
+from ..workloads.awfy.suite import AWFY_NAMES, awfy_suite
+from ..workloads.microservices.suite import MICROSERVICE_NAMES, microservice_suite
+from .pipeline import ALL_STRATEGY_SPECS, StrategySpec, Workload, WorkloadPipeline
+from .scheduler import (
+    STRATEGY_BY_NAME,
+    SchedulerConfig,
+    SweepResult,
+    SweepScheduler,
+    run_task,
+    task_seed,
+)
+
+BENCH_SCHEMA = 1
+DEFAULT_OUTPUT = "BENCH_pipeline.json"
+
+#: the ``--quick`` matrix: small-but-representative (two AWFY benchmarks
+#: plus one microservice, one code and one heap strategy)
+QUICK_WORKLOADS: Tuple[str, ...] = ("Bounce", "Queens", "quarkus")
+QUICK_STRATEGIES: Tuple[str, ...] = ("cu", "heap path")
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """What to benchmark and how.
+
+    Empty ``workloads``/``strategies`` mean the full paper matrix
+    (14 AWFY + 3 microservices × all six strategies).
+    """
+
+    workloads: Tuple[str, ...] = ()
+    strategies: Tuple[str, ...] = ()
+    iterations: int = 1
+    base_seed: int = 1
+    #: worker processes for the cold/warm phases; 0 = one per core
+    max_workers: int = 0
+    cache_dir: Optional[str] = None
+    output: str = DEFAULT_OUTPUT
+    #: skip the serial reference phase (it dominates runtime on big matrices)
+    skip_serial: bool = False
+
+    @classmethod
+    def quick(cls, **overrides: Any) -> "BenchConfig":
+        """The CI smoke matrix (3 workloads × 2 strategies)."""
+        overrides.setdefault("workloads", QUICK_WORKLOADS)
+        overrides.setdefault("strategies", QUICK_STRATEGIES)
+        return cls(**overrides)
+
+
+def resolve_matrix(config: BenchConfig) -> Tuple[List[Workload], List[StrategySpec]]:
+    """Materialize the workload and strategy lists a config names.
+
+    Raises :class:`KeyError` for unknown workload or strategy names so a
+    typo fails before any benchmarking starts.
+    """
+    suite: Dict[str, Workload] = dict(awfy_suite())
+    suite.update(microservice_suite())
+    names = list(config.workloads) or AWFY_NAMES + MICROSERVICE_NAMES
+    unknown = [n for n in names if n not in suite]
+    if unknown:
+        raise KeyError(f"unknown workload(s) {unknown}; choose from {sorted(suite)}")
+    strategy_names = list(config.strategies) or [s.name for s in ALL_STRATEGY_SPECS]
+    unknown = [n for n in strategy_names if n not in STRATEGY_BY_NAME]
+    if unknown:
+        raise KeyError(
+            f"unknown strateg(ies) {unknown}; choose from {sorted(STRATEGY_BY_NAME)}"
+        )
+    return ([suite[n] for n in names],
+            [STRATEGY_BY_NAME[n] for n in strategy_names])
+
+
+def _scheduler_config(config: BenchConfig, cache_dir: Optional[str],
+                      max_workers: int) -> SchedulerConfig:
+    return SchedulerConfig(
+        cache_dir=cache_dir,
+        max_workers=max_workers,
+        iterations=config.iterations,
+        base_seed=config.base_seed,
+    )
+
+
+def _phase_dict(sweep: SweepResult) -> Dict[str, Any]:
+    return {
+        "wall_s": round(sweep.wall_s, 4),
+        "tasks": len(sweep.tasks),
+        "workers": sweep.workers,
+        "ok": sweep.ok,
+        "total_ops": sweep.total_ops,
+        "cache_hits": sweep.cache_hits,
+        "cache_misses": sweep.cache_misses,
+        "cache_hit_rate": round(sweep.cache_hit_rate, 4),
+    }
+
+
+def _run_serial_legacy(workloads: Sequence[Workload],
+                       strategies: Sequence[StrategySpec],
+                       config: BenchConfig) -> SweepResult:
+    """The reference cost: fresh uncached pipeline per matrix cell.
+
+    Implemented via :func:`run_task` on single-cell scheduler configs so
+    the metrics are extracted identically to the scheduler phases — but a
+    brand-new :class:`WorkloadPipeline` (new compile, new baseline build,
+    new profiling run) is forced for every cell, matching what N separate
+    ``repro compare`` invocations would pay.
+    """
+    from . import scheduler as _sched
+
+    results = []
+    start = time.perf_counter()
+    for workload in workloads:
+        for spec in strategies:
+            _sched._WORKER_PIPELINES.clear()  # force the from-scratch path
+            task = _sched.EvalTask(
+                workload=workload,
+                strategy_name=spec.name,
+                seed=task_seed(config.base_seed, workload.name),
+                iterations=config.iterations,
+            )
+            results.append(run_task(task, _scheduler_config(config, None, 1)))
+    _sched._WORKER_PIPELINES.clear()
+    return SweepResult(tasks=results, wall_s=time.perf_counter() - start,
+                       workers=1)
+
+
+def run_bench(config: BenchConfig,
+              log=lambda message: None) -> Dict[str, Any]:
+    """Run all phases and return the ``BENCH_pipeline.json`` payload."""
+    workloads, strategies = resolve_matrix(config)
+    cells = len(workloads) * len(strategies)
+    payload: Dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "toolchain": TOOLCHAIN_VERSION,
+        "config": {
+            "workloads": [w.name for w in workloads],
+            "strategies": [s.name for s in strategies],
+            "iterations": config.iterations,
+            "base_seed": config.base_seed,
+            "max_workers": config.max_workers,
+            "cells": cells,
+        },
+        "phases": {},
+    }
+
+    serial: Optional[SweepResult] = None
+    if not config.skip_serial:
+        log(f"phase serial: {cells} cells, fresh uncached pipeline each")
+        serial = _run_serial_legacy(workloads, strategies, config)
+        payload["phases"]["serial"] = _phase_dict(serial)
+        log(f"  {serial.wall_s:.2f}s")
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as scratch:
+        cache_dir = config.cache_dir or str(Path(scratch) / "cache")
+        ArtifactCache(Path(cache_dir)).clear()  # cold means cold
+
+        log(f"phase cold: scheduler + empty cache at {cache_dir}")
+        cold = SweepScheduler(
+            _scheduler_config(config, cache_dir, config.max_workers)
+        ).run(workloads, strategies)
+        payload["phases"]["cold"] = _phase_dict(cold)
+        log(f"  {cold.wall_s:.2f}s on {cold.workers} worker(s)")
+
+        log("phase warm: scheduler + populated cache")
+        warm = SweepScheduler(
+            _scheduler_config(config, cache_dir, config.max_workers)
+        ).run(workloads, strategies)
+        payload["phases"]["warm"] = _phase_dict(warm)
+        log(f"  {warm.wall_s:.2f}s, hit rate {warm.cache_hit_rate:.0%}")
+
+    if serial is not None and cold.wall_s:
+        payload["speedup_parallel"] = round(serial.wall_s / cold.wall_s, 2)
+    if warm.wall_s:
+        payload["speedup_warm"] = round(cold.wall_s / warm.wall_s, 2)
+
+    canonical = cold.canonical()
+    deterministic = canonical == warm.canonical()
+    if serial is not None:
+        deterministic = deterministic and canonical == serial.canonical()
+    payload["deterministic"] = deterministic
+    payload["ok"] = (cold.ok and warm.ok and (serial is None or serial.ok)
+                     and deterministic)
+    payload["results"] = canonical
+    return payload
+
+
+def check_payload(payload: Dict[str, Any]) -> List[str]:
+    """CI assertions; returns a list of human-readable failures (empty = pass)."""
+    failures = []
+    if not payload.get("ok"):
+        failures.append("bench reported ok=false (task errors or divergence)")
+    if not payload.get("deterministic"):
+        failures.append("phases disagreed on metrics (determinism violation)")
+    warm = payload.get("phases", {}).get("warm", {})
+    if warm.get("cache_misses", 1) != 0:
+        failures.append(
+            f"warm phase had {warm.get('cache_misses')} cache misses (want 0)"
+        )
+    if warm.get("cache_hit_rate", 0.0) != 1.0:
+        failures.append(
+            f"warm cache hit rate {warm.get('cache_hit_rate')} (want 1.0)"
+        )
+    return failures
+
+
+def write_payload(payload: Dict[str, Any], output: str) -> Path:
+    path = Path(output)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def format_summary(payload: Dict[str, Any]) -> str:
+    lines = [f"pipeline bench: {payload['config']['cells']} matrix cells, "
+             f"toolchain {payload['toolchain']}"]
+    for name in ("serial", "cold", "warm"):
+        phase = payload["phases"].get(name)
+        if phase:
+            lines.append(
+                f"  {name:<6} {phase['wall_s']:>8.2f}s  "
+                f"workers={phase['workers']}  "
+                f"cache {phase['cache_hits']}h/{phase['cache_misses']}m"
+            )
+    if "speedup_parallel" in payload:
+        lines.append(f"  parallel+share speedup over serial: "
+                     f"{payload['speedup_parallel']:.2f}x")
+    if "speedup_warm" in payload:
+        lines.append(f"  warm-cache speedup over cold: "
+                     f"{payload['speedup_warm']:.2f}x")
+    lines.append(f"  deterministic: {payload['deterministic']}")
+    return "\n".join(lines)

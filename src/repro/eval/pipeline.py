@@ -9,6 +9,13 @@ Implements the methodology of Fig. 1 for one workload:
 3. build the **optimized** binary with the requested code/heap ordering;
 4. run baseline and optimized binaries with cold caches and report
    page faults per section and the simulated execution time.
+
+With an :class:`~repro.cache.ArtifactCache` armed, every stage is
+content-addressed: compiled programs, raw traces, post-processed profiles,
+built images, and run metrics are keyed by digests of (workload source,
+strategy, build/execution/policy configuration, toolchain version, seed)
+and loaded instead of rebuilt when nothing they depend on changed.  See
+:mod:`repro.cache.keys` for the exact key derivations.
 """
 
 from __future__ import annotations
@@ -16,6 +23,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..cache import (
+    KIND_IMAGE,
+    KIND_METRICS,
+    KIND_PROFILE,
+    KIND_PROGRAM,
+    KIND_REPORT,
+    KIND_TRACE,
+    ArtifactCache,
+    fingerprint,
+    image_key,
+    metrics_key,
+    profile_key,
+    program_key,
+    source_digest,
+    trace_key,
+)
 from ..image.binary import (
     MODE_INSTRUMENTED,
     MODE_OPTIMIZED,
@@ -28,7 +51,12 @@ from ..minijava.frontend import compile_source
 from ..ordering.profiles import ProfileBundle, ProfileCompleteness
 from ..postproc.framework import build_profiles
 from ..profiling.tracebuf import TraceSession
-from ..profiling.tracefile import MODE_DUMP_ON_FULL, MODE_MMAP
+from ..profiling.tracefile import (
+    MODE_DUMP_ON_FULL,
+    MODE_MMAP,
+    pack_traces,
+    unpack_traces,
+)
 from ..profiling.tracer import PathTracer
 from ..robustness.degradation import (
     DegradationPolicy,
@@ -48,7 +76,13 @@ from ..validation.watchdog import WatchdogReport, run_with_watchdog
 
 @dataclass(frozen=True)
 class Workload:
-    """A benchmark program plus how to run/measure it."""
+    """A benchmark program plus how to run/measure it.
+
+    Frozen and picklable by construction, so workloads travel unchanged
+    into the parallel scheduler's worker processes; ``source`` is the full
+    MiniJava text and its byte-exact digest addresses every cached artifact
+    derived from it.
+    """
 
     name: str
     source: str
@@ -59,6 +93,14 @@ class Workload:
     description: str = ""
 
     def compile(self) -> Program:
+        """Compile ``source`` to bytecode.
+
+        Raises the front-end's typed errors (:class:`LexError`,
+        :class:`ParseError`, :class:`SemanticError`, :class:`CompileError`,
+        all :class:`MiniJavaError`) on malformed source; the pipeline does
+        not catch them — a workload that does not compile is a programming
+        error, not a degradation.
+        """
         return compile_source(self.source, main_class=self.main_class)
 
 
@@ -127,6 +169,16 @@ class WorkloadPipeline:
     the default layout.  When the policy carries watchdog budgets, all
     ``measure`` runs are bounded by them; trips land in
     ``last_watchdog_reports`` and the degradation report.
+
+    ``cache`` (an :class:`~repro.cache.ArtifactCache`) makes every stage
+    content-addressed: unchanged (source, strategy, config, seed)
+    combinations load their compiled program, traces, profiles, images,
+    and metrics instead of recomputing them.  Caching is bypassed whenever
+    a non-pure hook is armed (``fault_hook``, ``verification.mutator``) —
+    injected faults and mutations must never be replayed from disk.  A
+    cache hit restores the associated verification report and re-registers
+    any quarantine conviction recorded by the building run, so the
+    verification rung survives the cache.
     """
 
     def __init__(
@@ -137,6 +189,7 @@ class WorkloadPipeline:
         degradation_policy: Optional[DegradationPolicy] = None,
         fault_hook: Optional[object] = None,
         verification: Optional[VerificationPolicy] = None,
+        cache: Optional[ArtifactCache] = None,
     ) -> None:
         self.workload = workload
         self.build_config = build_config or BuildConfig()
@@ -149,26 +202,77 @@ class WorkloadPipeline:
         self.degradation_policy = degradation_policy
         self.fault_hook = fault_hook
         self.verification = verification
+        self.cache = cache
         self.quarantine = QuarantineRegistry()
         self.last_degradation_report: Optional[DegradationReport] = None
         self.last_verification_report: Optional[LayoutVerificationReport] = None
         self.last_watchdog_reports: List[WatchdogReport] = []
-        self._program = workload.compile()
+        #: compiled lazily (a fully cache-hit sweep never needs it)
+        self._program: Optional[Program] = None
+        self._src_digest = source_digest(workload.source)
+        self._build_fp = self.build_config.fingerprint()
+        self._exec_fp = self.exec_config.fingerprint()
+        self._policy_fp = (
+            fingerprint(degradation_policy) if degradation_policy else ""
+        )
+        self._watchdog_fp = (
+            fingerprint(verification.watchdog)
+            if verification is not None and verification.watchdog is not None
+            else ""
+        )
+
+    @property
+    def _cache_armed(self) -> bool:
+        """Whether lookups/stores may be served for this configuration."""
+        return (
+            self.cache is not None
+            and self.fault_hook is None
+            and (self.verification is None or self.verification.mutator is None)
+        )
 
     @property
     def program(self) -> Program:
+        """The workload's compiled bytecode (compiled or cache-loaded lazily)."""
+        if self._program is None:
+            key = program_key(self._src_digest)
+            if self._cache_armed:
+                self._program = self.cache.get(KIND_PROGRAM, key)
+            if self._program is None:
+                self._program = self.workload.compile()
+                if self._cache_armed:
+                    self.cache.put(KIND_PROGRAM, key, self._program,
+                                   note=self.workload.name)
         return self._program
 
     def builder(self) -> NativeImageBuilder:
-        return NativeImageBuilder(self._program, self.build_config)
+        """A fresh builder over the compiled program (one per build)."""
+        return NativeImageBuilder(self.program, self.build_config)
 
     # -- builds ------------------------------------------------------------------
 
+    def _cached_build(self, mode: str, seed: int) -> NativeImageBinary:
+        """Regular/instrumented build, served content-addressed if possible."""
+        key = image_key(self._src_digest, self._build_fp, mode,
+                        None, None, "", seed)
+        if self._cache_armed:
+            binary = self.cache.get(KIND_IMAGE, key)
+            if binary is not None:
+                binary._cache_key = key
+                return binary
+        binary = self.builder().build(mode=mode, seed=seed)
+        binary._cache_key = key
+        if self._cache_armed:
+            self.cache.put(KIND_IMAGE, key, binary,
+                           note=f"{self.workload.name} {mode}")
+        return binary
+
     def build_baseline(self, seed: int = 0) -> NativeImageBinary:
-        return self.builder().build(mode=MODE_REGULAR, seed=seed)
+        """Build (or cache-load) the regular image for ``seed``."""
+        return self._cached_build(MODE_REGULAR, seed)
 
     def build_instrumented(self, seed: int = 0) -> NativeImageBinary:
-        return self.builder().build(mode=MODE_INSTRUMENTED, seed=seed)
+        """Build (or cache-load) the instrumented image for ``seed``."""
+        return self._cached_build(MODE_INSTRUMENTED, seed)
 
     def build_optimized(
         self,
@@ -176,16 +280,91 @@ class WorkloadPipeline:
         strategy: Optional[StrategySpec] = None,
         seed: int = 0,
     ) -> NativeImageBinary:
+        """Profile-guided build with the degradation + verification rungs.
+
+        Inputs: the profile bundle of :meth:`profile`, an ordering
+        ``strategy`` (``None`` = default layout with PGO inlining only),
+        and the build ``seed``.  Returns the final (possibly rolled-back)
+        binary.  Raises :class:`ValueError` from the builder when profiles
+        lack a requested ordering and no degradation policy is armed, and
+        :class:`LayoutVerificationError` when even a default-layout rebuild
+        fails structural verification (a broken builder, not a broken
+        profile).
+
+        With a cache armed, the key binds the strategy, the *content
+        digest* of ``profiles``, both policies, and the seed; a hit
+        restores the built image, its verification report, the degradation
+        report, and any quarantine conviction of the building run.
+        """
         self.last_verification_report = None
         if self._quarantine_applies(strategy):
             return self._build_quarantined(profiles, strategy, seed)
+        key = self._optimized_key(profiles, strategy, seed)
+        if key is not None:
+            binary = self.cache.get(KIND_IMAGE, key)
+            if binary is not None:
+                binary._cache_key = key
+                self._restore_rung(self.cache.get(KIND_REPORT, key), strategy)
+                return binary
         if self.degradation_policy is not None:
             binary = self._build_optimized_degraded(profiles, strategy, seed)
         else:
             binary = self._build_plain(profiles, strategy, seed)
         if self.verification is not None:
             binary = self._verification_rung(binary, profiles, strategy, seed)
+        binary._cache_key = key
+        if key is not None:
+            entry = (self.quarantine.entry_for(self.workload.name, strategy.name)
+                     if strategy is not None else None)
+            note = (f"{self.workload.name} optimized "
+                    f"({strategy.name if strategy else 'default'})")
+            # image payload and rung decisions live in separate entries so
+            # the warm fast path (cached_strategy_runs) can restore the
+            # rung without unpickling the image
+            self.cache.put(KIND_IMAGE, key, binary, note=note)
+            self.cache.put(KIND_REPORT, key, {
+                "verification": self.last_verification_report,
+                "degradation": self.last_degradation_report,
+                "quarantine": entry,
+            }, note=note)
         return binary
+
+    def _optimized_key(self, profiles: ProfileBundle,
+                       strategy: Optional[StrategySpec],
+                       seed: int) -> Optional[str]:
+        """Cache key of one optimized build; ``None`` = do not cache."""
+        if not self._cache_armed:
+            return None
+        # The final binary depends on the degradation ladder (fallbacks)
+        # and the verification rung (rollback), so both policies join the
+        # profile digest in the key material.
+        verif_fp = fingerprint({
+            "verify_structure": self.verification.verify_structure,
+            "quarantine": self.verification.quarantine,
+        }) if self.verification is not None else ""
+        return image_key(
+            self._src_digest, self._build_fp, MODE_OPTIMIZED,
+            strategy.code_ordering if strategy else None,
+            strategy.heap_ordering if strategy else None,
+            f"{profiles.digest()}/{self._policy_fp}/{verif_fp}", seed,
+        )
+
+    def _restore_rung(self, rung: Optional[Dict[str, object]],
+                      strategy: Optional[StrategySpec]) -> None:
+        """Replay a cached build's rung decisions (reports + quarantine)."""
+        if rung is None:
+            return
+        self.last_verification_report = rung.get("verification")
+        report = rung.get("degradation")
+        if report is not None:
+            self.last_degradation_report = report
+        entry = rung.get("quarantine")
+        if (entry is not None and strategy is not None
+                and self.verification is not None
+                and self.verification.quarantine):
+            self.quarantine.quarantine(entry.workload, entry.strategy,
+                                       entry.reason,
+                                       layout_digest=entry.layout_digest)
 
     def _build_plain(
         self,
@@ -344,30 +523,91 @@ class WorkloadPipeline:
     def profile(self, seed: int = 0) -> ProfilingOutcome:
         """Run the instrumented binary once and post-process its traces.
 
-        With a degradation policy armed, failed or damaged profiling runs
-        are retried with perturbed seeds and the traces parsed leniently;
-        this method then never raises on trace damage — worst case it
-        returns an empty profile bundle that the optimized build turns
-        into a default-layout fallback.
+        Input: the build/run ``seed``.  Returns a :class:`ProfilingOutcome`
+        carrying the ordering profiles, the instrumented run's metrics, and
+        salvage accounting.  Without a degradation policy, trace damage
+        raises the typed :class:`TraceDecodeError`; with one armed, failed
+        or damaged profiling runs are retried with perturbed seeds and the
+        traces parsed leniently — this method then never raises on trace
+        damage, worst case returning an empty bundle that the optimized
+        build turns into a default-layout fallback.
+
+        Caching is layered: a *profile* hit returns the post-processed
+        outcome outright; otherwise a *trace* hit replays the raw trace
+        bytes through post-processing without re-running the instrumented
+        binary; only a double miss runs the profiler.  Fault-injected
+        sessions (``fault_hook``) are never cached.
         """
+        if not self._cache_armed:
+            return self._profile_uncached(seed)
+        key = profile_key(self._src_digest, self._build_fp,
+                          self._profiler_fp(), seed, self._policy_fp)
+        cached = self.cache.get(KIND_PROFILE, key)
+        if cached is not None:
+            outcome, report = cached
+            if report is not None:
+                self.last_degradation_report = report
+            return outcome
+        outcome = self._profile_uncached(seed)
+        self.cache.put(KIND_PROFILE, key,
+                       (outcome, self.last_degradation_report),
+                       note=self.workload.name)
+        return outcome
+
+    def _profile_uncached(self, seed: int) -> ProfilingOutcome:
         if self.degradation_policy is None:
             return self._profile_once(seed, lenient=self.fault_hook is not None)
         return self._profile_with_degradation(seed)
 
+    def _profiler_fp(self) -> str:
+        """Fingerprint of everything shaping trace content beyond the build."""
+        mode = MODE_MMAP if self.workload.microservice else MODE_DUMP_ON_FULL
+        return f"{self._exec_fp}/mode{mode}"
+
     def _profile_once(self, seed: int, lenient: bool) -> ProfilingOutcome:
+        tkey = None
+        if self._cache_armed:
+            tkey = trace_key(self._src_digest, self._build_fp,
+                             self._profiler_fp(), seed)
+            packed = self.cache.get(KIND_TRACE, tkey)
+            if packed is not None:
+                return self._postprocess_traces(packed, seed, lenient)
         instrumented = self.build_instrumented(seed=seed)
         mode = MODE_MMAP if self.workload.microservice else MODE_DUMP_ON_FULL
         session = TraceSession(mode=mode, fault_hook=self.fault_hook)
         tracer = PathTracer(instrumented.manifest, session)
         metrics = run_binary(instrumented, self.exec_config, tracer=tracer)
-        profiles = build_profiles(instrumented.manifest, session.trace_files(),
+        trace_files = session.trace_files()
+        profiles = build_profiles(instrumented.manifest, trace_files,
                                   lenient=lenient)
         stats = session.total_stats()
+        if tkey is not None:
+            self.cache.put(KIND_TRACE, tkey, {
+                "traces": pack_traces(trace_files),
+                "metrics": metrics,
+                "trace_bytes": stats.bytes_written,
+                "lost_records": stats.lost_records,
+            }, note=self.workload.name)
         return ProfilingOutcome(
             profiles=profiles,
             instrumented_metrics=metrics,
             trace_bytes=stats.bytes_written,
             lost_records=stats.lost_records,
+            completeness=profiles.completeness,
+        )
+
+    def _postprocess_traces(self, packed: Dict[str, object], seed: int,
+                            lenient: bool) -> ProfilingOutcome:
+        """Rebuild profiles from cached raw traces (no instrumented run)."""
+        instrumented = self.build_instrumented(seed=seed)
+        profiles = build_profiles(instrumented.manifest,
+                                  unpack_traces(packed["traces"]),
+                                  lenient=lenient)
+        return ProfilingOutcome(
+            profiles=profiles,
+            instrumented_metrics=packed["metrics"],
+            trace_bytes=packed["trace_bytes"],
+            lost_records=packed["lost_records"],
             completeness=profiles.completeness,
         )
 
@@ -433,18 +673,44 @@ class WorkloadPipeline:
     ) -> List[RunMetrics]:
         """Cold-cache runs of ``binary`` (each run drops all caches).
 
-        With watchdog budgets armed (``verification.watchdog``), every run
-        is bounded; a tripped run contributes empty metrics and a note in
-        the degradation report rather than wedging the measurement loop.
+        Inputs: a built image, the number of ``iterations``, and the
+        ``seed`` folded into each run index.  Returns one
+        :class:`RunMetrics` per iteration.  With watchdog budgets armed
+        (``verification.watchdog``), every run is bounded; a tripped run
+        contributes empty metrics and a note in the degradation report
+        rather than wedging the measurement loop.
+
+        Measurements of cache-addressed binaries are themselves cached
+        (the simulator is deterministic, so replaying metrics is exact);
+        binaries built outside the cache path are always re-measured.
         """
+        mkey = None
+        if self._cache_armed and getattr(binary, "_cache_key", None):
+            mkey = metrics_key(binary._cache_key, self._exec_fp,
+                               iterations, seed, self._watchdog_fp)
+            cached = self.cache.get(KIND_METRICS, mkey)
+            if cached is not None:
+                results, watchdog_reports = cached
+                self.last_watchdog_reports = watchdog_reports
+                return results
+        results = self._measure_uncached(binary, iterations, seed)
+        if mkey is not None:
+            self.cache.put(KIND_METRICS, mkey,
+                           (results, self.last_watchdog_reports),
+                           note=f"{self.workload.name} {binary.mode}")
+        return results
+
+    def _measure_uncached(
+        self, binary: NativeImageBinary, iterations: int, seed: int
+    ) -> List[RunMetrics]:
         budget = self.verification.watchdog if self.verification else None
+        self.last_watchdog_reports = []
         if budget is None:
             return [
                 run_binary(binary, self.exec_config,
                            run_index=(seed << 8) | index)
                 for index in range(iterations)
             ]
-        self.last_watchdog_reports = []
         results: List[RunMetrics] = []
         for index in range(iterations):
             watchdog = run_with_watchdog(
@@ -466,7 +732,15 @@ class WorkloadPipeline:
     def run_strategy(
         self, strategy: StrategySpec, seed: int = 0, iterations: int = 1
     ) -> Tuple[List[RunMetrics], List[RunMetrics]]:
-        """(baseline runs, optimized runs) for one strategy at one seed."""
+        """(baseline runs, optimized runs) for one strategy at one seed.
+
+        The one-shot convenience used by ``repro compare``/``robustness``
+        and the bench harness's serial reference: builds the baseline,
+        profiles, builds the optimized image, and measures both.  Raises
+        whatever the underlying stages raise (see :meth:`profile` and
+        :meth:`build_optimized`); with degradation + verification armed it
+        only raises on programming errors, never on damaged inputs.
+        """
         baseline = self.build_baseline(seed=seed)
         outcome = self.profile(seed=seed)
         optimized = self.build_optimized(outcome.profiles, strategy, seed=seed)
@@ -474,6 +748,55 @@ class WorkloadPipeline:
             self.measure(baseline, iterations, seed),
             self.measure(optimized, iterations, seed),
         )
+
+    def cached_strategy_runs(
+        self, strategy: StrategySpec, seed: int = 0, iterations: int = 1
+    ) -> Optional[Tuple[List[RunMetrics], List[RunMetrics]]]:
+        """Warm-only counterpart of :meth:`run_strategy`.
+
+        When every measurement of the (strategy, seed) cell is already
+        cached, returns ``(baseline runs, optimized runs)`` without
+        unpickling either image payload — metrics entries are keyed by
+        image *key*, not image *content*, so the binaries never need to be
+        loaded.  Rung decisions (verification report, degradation report,
+        quarantine conviction) are restored from their side entry exactly
+        as a cached :meth:`build_optimized` would.  Returns ``None`` on
+        any miss; callers fall back to :meth:`run_strategy`.
+        """
+        if not self._cache_armed:
+            return None
+        base_key = image_key(self._src_digest, self._build_fp, MODE_REGULAR,
+                             None, None, "", seed)
+        base_runs = self._cached_measurements(base_key, iterations, seed)
+        if base_runs is None:
+            return None
+        outcome = self.profile(seed=seed)  # a warm profile() is itself a hit
+        if self._quarantine_applies(strategy):
+            return None
+        opt_key = self._optimized_key(outcome.profiles, strategy, seed)
+        if opt_key is None or not self.cache.contains(KIND_REPORT, opt_key):
+            return None
+        opt_runs = self._cached_measurements(opt_key, iterations, seed)
+        if opt_runs is None:
+            return None
+        self.last_verification_report = None
+        self._restore_rung(self.cache.get(KIND_REPORT, opt_key), strategy)
+        return base_runs, opt_runs
+
+    def _cached_measurements(
+        self, image_key_str: str, iterations: int, seed: int
+    ) -> Optional[List[RunMetrics]]:
+        """Cached runs of an image identified only by its cache key."""
+        mkey = metrics_key(image_key_str, self._exec_fp, iterations, seed,
+                           self._watchdog_fp)
+        if not self.cache.contains(KIND_METRICS, mkey):
+            return None  # probe silently: the builder path records the miss
+        cached = self.cache.get(KIND_METRICS, mkey)
+        if cached is None:
+            return None
+        results, watchdog_reports = cached
+        self.last_watchdog_reports = watchdog_reports
+        return results
 
 
 def metric_for_strategy(metrics: RunMetrics, strategy: StrategySpec,

@@ -1,0 +1,382 @@
+"""Parallel evaluation scheduler: the workload × strategy matrix on N cores.
+
+The paper's evaluation sweeps 14 AWFY benchmarks plus 3 microservice
+frameworks across six ordering strategies; re-running that serially from
+scratch repeats an enormous amount of shared work (every strategy of a
+workload shares its compile, baseline build, and profiling run).  This
+module fans the matrix out across a :class:`~concurrent.futures.ProcessPoolExecutor`
+while keeping three invariants:
+
+* **Determinism** — each task's seed is a pure function of (base seed,
+  workload name, strategy name), so results are byte-identical regardless
+  of worker count, task order, or which worker ran what.  ``parallel=False``
+  runs the same tasks inline for differential testing.
+* **Artifact sharing** — each worker process keeps one
+  :class:`WorkloadPipeline` per workload (compile once, baseline once,
+  profile once) and all workers share one content-addressed
+  :class:`~repro.cache.ArtifactCache` on disk, so cross-process repeats are
+  loads, not rebuilds.
+* **The verification rung survives** — pipelines run with whatever
+  :class:`VerificationPolicy`/:class:`DegradationPolicy` the scheduler was
+  configured with; watchdog budgets are reused across every task a worker
+  executes, and per-task quarantine convictions travel back in the
+  :class:`TaskResult` and are merged into the sweep-level registry.
+
+Typical use::
+
+    from repro.eval.scheduler import SchedulerConfig, SweepScheduler
+
+    scheduler = SweepScheduler(SchedulerConfig(cache_dir=".repro-cache"))
+    sweep = scheduler.run(awfy_suite().values(), ALL_STRATEGY_SPECS)
+    print(sweep.summary())
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..cache import ArtifactCache, CacheStats
+from ..image.builder import BuildConfig
+from ..robustness.degradation import DegradationPolicy
+from ..runtime.executor import ExecutionConfig, RunMetrics
+from ..util.murmur3 import murmur3_64
+from ..validation.oracle import VerificationPolicy
+from ..validation.quarantine import QuarantineRegistry
+from .pipeline import (
+    ALL_STRATEGY_SPECS,
+    StrategySpec,
+    Workload,
+    WorkloadPipeline,
+    metric_for_strategy,
+)
+
+STRATEGY_BY_NAME: Dict[str, StrategySpec] = {
+    spec.name: spec for spec in ALL_STRATEGY_SPECS
+}
+
+
+def task_seed(base_seed: int, workload_name: str) -> int:
+    """Deterministic per-workload seed, independent of scheduling order.
+
+    Derived by hashing the workload name under ``base_seed``, so any two
+    runs of the same matrix — serial, parallel, or resumed from cache —
+    agree exactly.  The seed is deliberately *not* strategy-dependent:
+    every strategy of a workload then presents identical inputs for the
+    strategy-independent stages (compile, baseline build, profiling run),
+    and the content-addressed cache dedupes them — six strategies cost one
+    profile run, exactly like :meth:`NativeImageToolchain.profile` followed
+    by six ``build_optimized`` calls.
+    """
+    material = workload_name.encode("utf-8")
+    return (base_seed + (murmur3_64(material, seed=base_seed) % 1009)) & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Everything a worker needs to evaluate tasks (picklable by design)."""
+
+    build_config: Optional[BuildConfig] = None
+    exec_config: Optional[ExecutionConfig] = None
+    degradation_policy: Optional[DegradationPolicy] = None
+    verification: Optional[VerificationPolicy] = None
+    #: cache directory shared by all workers; None = run uncached
+    cache_dir: Optional[str] = None
+    #: worker processes; 0 = one per core, 1 = inline (no pool)
+    max_workers: int = 0
+    #: cold-cache measurement runs per binary
+    iterations: int = 1
+    base_seed: int = 1
+
+    def resolved_workers(self) -> int:
+        if self.max_workers > 0:
+            return self.max_workers
+        return max(os.cpu_count() or 1, 1)
+
+
+@dataclass(frozen=True)
+class EvalTask:
+    """One (workload, strategy) cell of the evaluation matrix."""
+
+    workload: Workload
+    strategy_name: str
+    seed: int
+    iterations: int = 1
+
+
+@dataclass
+class TaskResult:
+    """What one matrix cell produced (plain data, cheap to pickle).
+
+    ``baseline``/``optimized`` are canonical per-run metric dicts (faults
+    by section, simulated time, op counts) — everything downstream
+    consumers and the bench JSON need, none of the heavyweight run state.
+    ``error`` carries a formatted exception when the task failed; the
+    scheduler never lets one bad cell sink the sweep.
+    """
+
+    workload: str
+    strategy: str
+    seed: int
+    baseline: List[Dict[str, float]] = field(default_factory=list)
+    optimized: List[Dict[str, float]] = field(default_factory=list)
+    fault_factor: float = 1.0
+    speedup: float = 1.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    degraded: bool = False
+    quarantined: bool = False
+    quarantine_reason: str = ""
+    wall_s: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def canonical(self) -> Dict[str, Any]:
+        """Deterministic view: everything except host wall-clock.
+
+        Two sweeps of the same matrix must agree on this dict byte-for-byte
+        (the determinism tests compare its JSON serialization); ``wall_s``
+        and cache counters legitimately differ run to run and are excluded.
+        """
+        return {
+            "workload": self.workload,
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "baseline": self.baseline,
+            "optimized": self.optimized,
+            "fault_factor": self.fault_factor,
+            "speedup": self.speedup,
+            "degraded": self.degraded,
+            "quarantined": self.quarantined,
+            "error": self.error,
+        }
+
+
+def _metric_dict(metrics: RunMetrics, spec: StrategySpec,
+                 microservice: bool) -> Dict[str, float]:
+    out = metric_for_strategy(metrics, spec, microservice)
+    out["ops"] = float(metrics.ops)
+    out["total_faults"] = float(metrics.total_faults)
+    return out
+
+
+# -- worker side ---------------------------------------------------------------
+
+#: per-process pipeline registry: workload name -> pipeline.  Reusing the
+#: pipeline reuses the compiled program, the watchdog budgets, and the
+#: in-memory quarantine registry across every task the worker executes.
+_WORKER_PIPELINES: Dict[Tuple[str, Optional[str], int], WorkloadPipeline] = {}
+_WORKER_CACHE: Optional[ArtifactCache] = None
+
+
+def _worker_cache(config: SchedulerConfig) -> Optional[ArtifactCache]:
+    global _WORKER_CACHE
+    if config.cache_dir is None:
+        return None
+    if _WORKER_CACHE is None or str(_WORKER_CACHE.root) != config.cache_dir:
+        _WORKER_CACHE = ArtifactCache(Path(config.cache_dir))
+    return _WORKER_CACHE
+
+
+def _worker_pipeline(workload: Workload,
+                     config: SchedulerConfig) -> WorkloadPipeline:
+    key = (workload.name, config.cache_dir, id(config.verification))
+    pipeline = _WORKER_PIPELINES.get(key)
+    if pipeline is None:
+        pipeline = WorkloadPipeline(
+            workload,
+            build_config=config.build_config,
+            exec_config=config.exec_config,
+            degradation_policy=config.degradation_policy,
+            verification=config.verification,
+            cache=_worker_cache(config),
+        )
+        _WORKER_PIPELINES[key] = pipeline
+    return pipeline
+
+
+def run_task(task: EvalTask, config: SchedulerConfig) -> TaskResult:
+    """Evaluate one matrix cell; never raises (errors land in ``.error``).
+
+    Runs the same stages as :meth:`WorkloadPipeline.run_strategy` on a
+    worker-local pipeline: baseline build, profiling, optimized build
+    (through the degradation + verification rungs), and cold-cache
+    measurement of both binaries.
+    """
+    result = TaskResult(workload=task.workload.name,
+                        strategy=task.strategy_name, seed=task.seed)
+    start = time.perf_counter()
+    try:
+        spec = STRATEGY_BY_NAME[task.strategy_name]
+        pipeline = _worker_pipeline(task.workload, config)
+        cache = pipeline.cache
+        before = cache.stats.snapshot() if cache else (0, 0)
+
+        pipeline.last_degradation_report = None  # this task's decisions only
+        fast = pipeline.cached_strategy_runs(spec, seed=task.seed,
+                                             iterations=task.iterations)
+        if fast is not None:
+            base_runs, opt_runs = fast
+        else:
+            baseline = pipeline.build_baseline(seed=task.seed)
+            outcome = pipeline.profile(seed=task.seed)
+            optimized = pipeline.build_optimized(outcome.profiles, spec,
+                                                 seed=task.seed)
+            base_runs = pipeline.measure(baseline, task.iterations,
+                                         seed=task.seed)
+            opt_runs = pipeline.measure(optimized, task.iterations,
+                                        seed=task.seed)
+
+        micro = task.workload.microservice
+        result.baseline = [_metric_dict(m, spec, micro) for m in base_runs]
+        result.optimized = [_metric_dict(m, spec, micro) for m in opt_runs]
+        base_faults = sum(m["faults"] for m in result.baseline)
+        opt_faults = sum(m["faults"] for m in result.optimized)
+        base_time = sum(m["time_s"] for m in result.baseline)
+        opt_time = sum(m["time_s"] for m in result.optimized)
+        result.fault_factor = (base_faults / opt_faults if opt_faults
+                               else float(base_faults or 1.0))
+        result.speedup = base_time / opt_time if opt_time else 1.0
+
+        report = pipeline.last_degradation_report
+        if report is not None and report.degraded:
+            result.degraded = True
+        entry = pipeline.quarantine.entry_for(task.workload.name,
+                                              spec.name)
+        if entry is not None:
+            result.quarantined = True
+            result.quarantine_reason = entry.reason
+        if cache:
+            after = cache.stats.snapshot()
+            result.cache_hits = after[0] - before[0]
+            result.cache_misses = after[1] - before[1]
+    except Exception as exc:  # one bad cell must not sink the sweep
+        result.error = f"{type(exc).__name__}: {exc}"
+    result.wall_s = time.perf_counter() - start
+    return result
+
+
+def _run_task_tuple(payload: Tuple[EvalTask, SchedulerConfig]) -> TaskResult:
+    return run_task(*payload)
+
+
+# -- sweep side ---------------------------------------------------------------
+
+
+@dataclass
+class SweepResult:
+    """Aggregate of one scheduler run over the whole matrix."""
+
+    tasks: List[TaskResult] = field(default_factory=list)
+    wall_s: float = 0.0
+    workers: int = 1
+    #: sum of per-task cache hit/miss deltas across all workers
+    cache_hits: int = 0
+    cache_misses: int = 0
+    quarantine: QuarantineRegistry = field(default_factory=QuarantineRegistry)
+
+    @property
+    def ok(self) -> bool:
+        return all(task.ok for task in self.tasks)
+
+    @property
+    def errors(self) -> List[TaskResult]:
+        return [task for task in self.tasks if not task.ok]
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def total_ops(self) -> float:
+        return sum(m["ops"] for task in self.tasks
+                   for m in task.baseline + task.optimized)
+
+    def canonical(self) -> List[Dict[str, Any]]:
+        """Order- and timing-independent view of every task result."""
+        return [task.canonical()
+                for task in sorted(self.tasks,
+                                   key=lambda t: (t.workload, t.strategy))]
+
+    def summary(self) -> str:
+        lines = [
+            f"{len(self.tasks)} task(s) on {self.workers} worker(s) "
+            f"in {self.wall_s:.2f}s"
+        ]
+        if self.cache_hits or self.cache_misses:
+            lines.append(
+                f"cache: {self.cache_hits} hits / {self.cache_misses} misses "
+                f"({self.cache_hit_rate:.0%})"
+            )
+        for task in self.errors:
+            lines.append(f"FAILED {task.workload}/{task.strategy}: {task.error}")
+        if len(self.quarantine):
+            lines.append(self.quarantine.describe())
+        return "\n".join(lines)
+
+
+class SweepScheduler:
+    """Fans the workload × strategy matrix out across worker processes.
+
+    ``config.max_workers`` = 1 (or ``parallel=False`` on :meth:`run`)
+    executes the identical task list inline — same seeds, same pipelines,
+    same cache — which is both the degraded mode for single-core machines
+    and the reference the determinism tests compare the pool against.
+    """
+
+    def __init__(self, config: Optional[SchedulerConfig] = None) -> None:
+        self.config = config or SchedulerConfig()
+
+    def build_tasks(self, workloads: Iterable[Workload],
+                    strategies: Sequence[StrategySpec]) -> List[EvalTask]:
+        """The deterministic task list (workload-major, strategy-minor)."""
+        tasks = []
+        for workload in workloads:
+            for spec in strategies:
+                if spec.name not in STRATEGY_BY_NAME:
+                    raise KeyError(f"unknown strategy {spec.name!r}")
+                tasks.append(EvalTask(
+                    workload=workload,
+                    strategy_name=spec.name,
+                    seed=task_seed(self.config.base_seed, workload.name),
+                    iterations=self.config.iterations,
+                ))
+        return tasks
+
+    def run(self, workloads: Iterable[Workload],
+            strategies: Sequence[StrategySpec] = ALL_STRATEGY_SPECS,
+            parallel: bool = True) -> SweepResult:
+        """Evaluate the full matrix; returns the aggregated sweep.
+
+        Never raises for per-task failures (see :attr:`TaskResult.error`);
+        raises :class:`KeyError` for strategies the scheduler does not
+        know, before any work starts.
+        """
+        tasks = self.build_tasks(workloads, strategies)
+        workers = self.config.resolved_workers() if parallel else 1
+        workers = min(workers, max(len(tasks), 1))
+        start = time.perf_counter()
+        if workers <= 1:
+            results = [run_task(task, self.config) for task in tasks]
+        else:
+            payloads = [(task, self.config) for task in tasks]
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(_run_task_tuple, payloads))
+        sweep = SweepResult(tasks=results,
+                            wall_s=time.perf_counter() - start,
+                            workers=workers)
+        for task in results:
+            sweep.cache_hits += task.cache_hits
+            sweep.cache_misses += task.cache_misses
+            if task.quarantined:
+                sweep.quarantine.quarantine(task.workload, task.strategy,
+                                            task.quarantine_reason)
+        return sweep

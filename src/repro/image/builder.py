@@ -70,6 +70,17 @@ class BuildConfig:
     def with_max_depth(self, depth: int) -> "BuildConfig":
         return replace(self, structural_max_depth=depth)
 
+    def fingerprint(self) -> str:
+        """Stable content digest of every build knob.
+
+        Part of the content-addressed cache key of each built image: any
+        change to any field (including nested :class:`InlinerConfig`
+        thresholds) yields a different fingerprint, so cached images can
+        never be served across configuration changes.
+        """
+        from ..cache.keys import fingerprint
+        return fingerprint(self)
+
 
 class NativeImageBuilder:
     """Builds binaries from a compiled MiniJava program."""

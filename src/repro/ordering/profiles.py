@@ -4,11 +4,18 @@ The post-processing framework (paper Sec. 6.2) emits one CSV file per
 ordering analysis; Native Image consumes them in the optimizing build.  We
 mirror that: each profile is an ordered, duplicate-free sequence, written as
 a CSV with a small header.
+
+Reader functions (:func:`read_code_profile`, :func:`read_heap_profile`,
+:func:`read_call_counts`) raise :class:`ValueError` on files that are not
+profiles of the expected kind and propagate :class:`OSError` for unreadable
+paths; writers overwrite their target atomically enough for single-writer
+use (the content-addressed cache handles concurrent writers).
 """
 
 from __future__ import annotations
 
 import csv
+import hashlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -98,7 +105,15 @@ class ProfileCompleteness:
 
 @dataclass
 class ProfileBundle:
-    """Everything a profiling run produces for the optimizing build."""
+    """Everything a profiling run produces for the optimizing build.
+
+    Inputs come from :func:`repro.postproc.framework.build_profiles`;
+    consumers are the optimized build (ordering + PGO inlining) and the
+    content-addressed cache (via :meth:`digest`).  Lookup methods return
+    ``None`` for absent kinds/strategies — callers decide whether that is a
+    degradation (fallback to default layout) or an error
+    (:class:`ValueError` from :meth:`NativeImageBuilder.build`).
+    """
 
     code: Dict[str, CodeOrderProfile] = field(default_factory=dict)
     heap: Dict[str, HeapOrderProfile] = field(default_factory=dict)
@@ -108,10 +123,38 @@ class ProfileBundle:
     completeness: Optional[ProfileCompleteness] = None
 
     def code_profile(self, kind: str) -> Optional[CodeOrderProfile]:
+        """The ``"cu"``/``"method"`` ordering, or ``None`` if not traced."""
         return self.code.get(kind)
 
     def heap_profile(self, strategy: str) -> Optional[HeapOrderProfile]:
+        """The named ID-strategy ordering, or ``None`` if not traced."""
         return self.heap.get(strategy)
+
+    def digest(self) -> str:
+        """SHA-256 content digest of every profile in the bundle.
+
+        Two bundles with identical orderings and call counts digest
+        identically regardless of how they were produced (fresh run,
+        salvage, CSV round-trip); completeness annotations are metadata
+        and deliberately excluded.  Used to key optimized builds in the
+        artifact cache: a re-profiled workload whose orderings did not
+        actually change still hits its cached image.
+        """
+        hasher = hashlib.sha256()
+        for kind in sorted(self.code):
+            hasher.update(f"code:{kind}\n".encode("utf-8"))
+            for signature in self.code[kind].signatures:
+                hasher.update(signature.encode("utf-8") + b"\n")
+        for strategy in sorted(self.heap):
+            hasher.update(f"heap:{strategy}\n".encode("utf-8"))
+            for object_id in self.heap[strategy].ids:
+                hasher.update((object_id & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little"))
+        hasher.update(b"calls\n")
+        for signature in sorted(self.calls.counts):
+            hasher.update(
+                f"{signature}={self.calls.counts[signature]}\n".encode("utf-8")
+            )
+        return hasher.hexdigest()
 
 
 # ---------------------------------------------------------------------------

@@ -436,3 +436,61 @@ def _resync(data: bytes, pos: int, report: SalvageReport,
     if note and nxt > pos:
         report.notes.append(f"{note} at offsets {pos}..{nxt}")
     return nxt
+
+
+# ---------------------------------------------------------------------------
+# trace-set container (artifact cache)
+# ---------------------------------------------------------------------------
+
+#: magic of the packed multi-trace container written by :func:`pack_traces`
+PACK_MAGIC = b"NITP"
+
+
+def pack_traces(files: List[bytes]) -> bytes:
+    """Pack a profiling run's per-thread trace files into one blob.
+
+    The content-addressed artifact cache stores each instrumented run's
+    traces as a single payload; this is its (trivially versioned) framing::
+
+        magic "NITP" | file count uvarint | per file: length uvarint | bytes
+
+    The inverse is :func:`unpack_traces`.  Ordering is preserved exactly
+    (thread-creation order matters to the ordering analyses).
+    """
+    out = bytearray(PACK_MAGIC)
+    out += encode_uvarint(len(files))
+    for data in files:
+        out += encode_uvarint(len(data))
+        out += data
+    return bytes(out)
+
+
+def unpack_traces(blob: bytes) -> List[bytes]:
+    """Unpack a :func:`pack_traces` blob back into per-thread trace files.
+
+    Raises :class:`TraceDecodeError` if the container framing is damaged
+    (bad magic, truncated lengths, short payloads); damage *inside* an
+    individual trace file is not this function's concern — feed the files
+    to :func:`parse_trace_lenient` for that.
+    """
+    if blob[: len(PACK_MAGIC)] != PACK_MAGIC:
+        raise TraceDecodeError("not a packed trace container (bad magic)")
+    pos = len(PACK_MAGIC)
+    try:
+        count, pos = decode_uvarint(blob, pos)
+        files: List[bytes] = []
+        for _ in range(count):
+            length, pos = decode_uvarint(blob, pos)
+            if pos + length > len(blob):
+                raise TraceDecodeError(
+                    f"packed trace truncated: need {length} bytes at {pos}"
+                )
+            files.append(bytes(blob[pos : pos + length]))
+            pos += length
+    except VarintDecodeError as exc:
+        raise TraceDecodeError(f"packed trace container damaged: {exc}") from exc
+    if pos != len(blob):
+        raise TraceDecodeError(
+            f"packed trace has {len(blob) - pos} trailing byte(s)"
+        )
+    return files

@@ -59,6 +59,16 @@ class ExecutionConfig:
     dump_cost_s: float = 40e-6
     mmap_write_through_s: float = 600e-9
 
+    def fingerprint(self) -> str:
+        """Stable content digest of the cost model and run-control knobs.
+
+        Keys cached run metrics (and, via the probe-cost fields, cached
+        profiling outcomes): changing any knob invalidates exactly the
+        artifacts whose content it shapes.
+        """
+        from ..cache.keys import fingerprint
+        return fingerprint(self)
+
 
 @dataclass
 class RunMetrics:

@@ -1,0 +1,212 @@
+"""Tests for the content-addressed artifact cache (keys + store + pipeline)."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.cache import (
+    KIND_IMAGE,
+    KIND_METRICS,
+    KIND_PROFILE,
+    KIND_PROGRAM,
+    KIND_TRACE,
+    ArtifactCache,
+    fingerprint,
+    image_key,
+    profile_key,
+    program_key,
+    source_digest,
+    trace_key,
+)
+from repro.eval.pipeline import (
+    STRATEGY_CU,
+    STRATEGY_HEAP_PATH,
+    Workload,
+    WorkloadPipeline,
+)
+from repro.runtime.executor import ExecutionConfig
+
+PROGRAM = """
+class Main {
+    static int main() {
+        int acc = 0;
+        for (int i = 0; i < 30; i++) acc += i * 2;
+        return acc;
+    }
+}
+"""
+
+PROGRAM_EDITED = PROGRAM.replace("i * 2", "i * 3")
+
+
+@dataclasses.dataclass(frozen=True)
+class _Cfg:
+    alpha: int = 1
+    beta: str = "x"
+
+
+class TestKeys:
+    def test_fingerprint_ignores_dict_order(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_fingerprint_distinguishes_values(self):
+        assert fingerprint({"a": 1}) != fingerprint({"a": 2})
+
+    def test_dataclass_fingerprint_includes_type_and_fields(self):
+        assert fingerprint(_Cfg()) == fingerprint(_Cfg())
+        assert fingerprint(_Cfg(alpha=2)) != fingerprint(_Cfg())
+
+    def test_unfingerprintable_value_raises(self):
+        with pytest.raises(TypeError):
+            fingerprint(object())
+
+    def test_source_edit_changes_every_downstream_key(self):
+        digest_a = source_digest(PROGRAM)
+        digest_b = source_digest(PROGRAM_EDITED)
+        assert digest_a != digest_b
+        assert program_key(digest_a) != program_key(digest_b)
+        assert (trace_key(digest_a, "bf", "pf", 1)
+                != trace_key(digest_b, "bf", "pf", 1))
+        assert (profile_key(digest_a, "bf", "pf", 1, "po")
+                != profile_key(digest_b, "bf", "pf", 1, "po"))
+
+    def test_image_key_varies_with_each_input(self):
+        base = dict(src_digest="s", build_fp="b", mode="regular",
+                    code_ordering="", heap_ordering="", profiles_digest="",
+                    seed=0)
+        key = image_key(**base)
+        for name, value in [("mode", "optimized"), ("seed", 1),
+                            ("code_ordering", "cu"), ("profiles_digest", "p")]:
+            assert image_key(**{**base, name: value}) != key
+
+
+class TestStore:
+    def test_roundtrip_and_stats(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.get(KIND_TRACE, "ab" * 32) is None
+        assert cache.put(KIND_TRACE, "ab" * 32, {"x": [1, 2, 3]})
+        assert cache.get(KIND_TRACE, "ab" * 32) == {"x": [1, 2, 3]}
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.puts == 1
+        assert 0.0 < cache.stats.hit_rate < 1.0
+
+    def test_put_existing_key_is_noop(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.put(KIND_IMAGE, "cd" * 32, "first")
+        assert not cache.put(KIND_IMAGE, "cd" * 32, "second")
+        assert cache.get(KIND_IMAGE, "cd" * 32) == "first"
+
+    def test_unpicklable_value_is_skipped_not_raised(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert not cache.put(KIND_PROGRAM, "ef" * 32, lambda: None)
+        assert not cache.contains(KIND_PROGRAM, "ef" * 32)
+
+    def test_stale_toolchain_entry_is_a_miss_and_evicted(self, tmp_path):
+        old = ArtifactCache(tmp_path, toolchain="ancient-toolchain")
+        old.put(KIND_PROFILE, "12" * 32, "payload")
+        fresh = ArtifactCache(tmp_path)
+        assert fresh.get(KIND_PROFILE, "12" * 32) is None
+        # lazily deleted: a second cache sees nothing at all
+        assert not ArtifactCache(tmp_path).contains(KIND_PROFILE, "12" * 32)
+
+    def test_evict_stale_sweeps_all_kinds(self, tmp_path):
+        old = ArtifactCache(tmp_path, toolchain="ancient-toolchain")
+        old.put(KIND_PROFILE, "aa" * 32, 1)
+        old.put(KIND_IMAGE, "bb" * 32, 2)
+        fresh = ArtifactCache(tmp_path)
+        fresh.put(KIND_IMAGE, "cc" * 32, 3)
+        assert fresh.evict_stale() == 2
+        assert fresh.get(KIND_IMAGE, "cc" * 32) == 3
+
+    def test_corrupt_entry_self_heals(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = "34" * 32
+        cache.put(KIND_METRICS, key, [1, 2, 3])
+        entry = tmp_path / KIND_METRICS / key[:2] / f"{key}.pkl"
+        entry.write_bytes(entry.read_bytes()[:5])  # torn write
+        assert cache.get(KIND_METRICS, key) is None
+        assert not cache.contains(KIND_METRICS, key)
+        # the caller's recompute repopulates it
+        assert cache.put(KIND_METRICS, key, [1, 2, 3])
+        assert cache.get(KIND_METRICS, key) == [1, 2, 3]
+
+    def test_max_entries_evicts_oldest(self, tmp_path):
+        cache = ArtifactCache(tmp_path, max_entries_per_kind=2)
+        keys = [f"{i:02x}" * 32 for i in range(3)]
+        import time as _time
+        for key in keys:
+            cache.put(KIND_TRACE, key, key)
+            _time.sleep(0.01)  # distinct creation stamps
+        assert cache.entry_count(KIND_TRACE) == 2
+        assert not cache.contains(KIND_TRACE, keys[0])
+        assert cache.contains(KIND_TRACE, keys[2])
+        assert cache.stats.evictions == 1
+
+    def test_clear_empties_every_kind(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put(KIND_TRACE, "aa" * 32, 1)
+        cache.put(KIND_IMAGE, "bb" * 32, 2)
+        cache.clear()
+        assert cache.entry_count(KIND_TRACE) == 0
+        assert cache.entry_count(KIND_IMAGE) == 0
+
+
+def _pipeline(tmp_path, source=PROGRAM, exec_config=None, name="cachewl"):
+    return WorkloadPipeline(
+        Workload(name=name, source=source),
+        exec_config=exec_config,
+        cache=ArtifactCache(tmp_path / "cache"),
+    )
+
+
+class TestPipelineCaching:
+    def test_second_run_is_all_hits_with_identical_metrics(self, tmp_path):
+        first = _pipeline(tmp_path)
+        base_a, opt_a = first.run_strategy(STRATEGY_CU, seed=3)
+        second = _pipeline(tmp_path)
+        base_b, opt_b = second.run_strategy(STRATEGY_CU, seed=3)
+        assert second.cache.stats.misses == 0
+        assert second.cache.stats.hits > 0
+        assert base_a[0].faults == base_b[0].faults
+        assert base_a[0].time_s == base_b[0].time_s
+        assert opt_a[0].faults == opt_b[0].faults
+        assert opt_a[0].time_s == opt_b[0].time_s
+
+    def test_source_edit_misses(self, tmp_path):
+        _pipeline(tmp_path).run_strategy(STRATEGY_CU, seed=3)
+        edited = _pipeline(tmp_path, source=PROGRAM_EDITED)
+        edited.run_strategy(STRATEGY_CU, seed=3)
+        assert edited.cache.stats.hits == 0
+        assert edited.cache.stats.misses > 0
+
+    def test_strategy_change_reuses_profile_but_rebuilds_image(self, tmp_path):
+        _pipeline(tmp_path).run_strategy(STRATEGY_CU, seed=3)
+        other = _pipeline(tmp_path)
+        other.run_strategy(STRATEGY_HEAP_PATH, seed=3)
+        stats = other.cache.stats
+        # baseline image + profile + baseline metrics come from the cache...
+        assert stats.by_kind[KIND_PROFILE][0] >= 1
+        # ...but the differently-ordered optimized image must be rebuilt
+        assert stats.by_kind[KIND_IMAGE][1] >= 1
+
+    def test_profiler_config_change_misses(self, tmp_path):
+        _pipeline(tmp_path).run_strategy(STRATEGY_CU, seed=3)
+        slower = _pipeline(
+            tmp_path,
+            exec_config=ExecutionConfig(probe_block_s=9e-9),
+        )
+        slower.run_strategy(STRATEGY_CU, seed=3)
+        assert slower.cache.stats.by_kind[KIND_PROFILE][1] >= 1
+
+    def test_seed_change_misses(self, tmp_path):
+        _pipeline(tmp_path).run_strategy(STRATEGY_CU, seed=3)
+        other = _pipeline(tmp_path)
+        other.run_strategy(STRATEGY_CU, seed=4)
+        assert other.cache.stats.by_kind[KIND_IMAGE][1] >= 1
+
+    def test_uncached_pipeline_unaffected(self, tmp_path):
+        pipeline = WorkloadPipeline(Workload(name="plain", source=PROGRAM))
+        base, opt = pipeline.run_strategy(STRATEGY_CU, seed=3)
+        assert base and opt

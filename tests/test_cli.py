@@ -10,10 +10,30 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_figures_defaults(self):
+    def test_figures_defaults_track_experiment_config(self):
+        # the dataclass is the single source of truth for CLI defaults
+        from repro.eval.experiments import ExperimentConfig
+
         args = build_parser().parse_args(["figures"])
         assert args.suite == "all"
-        assert args.builds == 2
+        assert args.builds == ExperimentConfig().n_builds
+        assert args.runs == ExperimentConfig().n_runs
+
+    def test_robustness_defaults_track_degradation_policy(self):
+        from repro.robustness.degradation import DegradationPolicy
+
+        args = build_parser().parse_args(["robustness"])
+        assert args.retries == DegradationPolicy().max_retries
+        assert args.min_match_rate == DegradationPolicy().min_match_rate
+
+    def test_bench_defaults_track_bench_config(self):
+        from repro.eval.bench import BenchConfig
+
+        args = build_parser().parse_args(["bench"])
+        assert args.iterations == BenchConfig().iterations
+        assert args.seed == BenchConfig().base_seed
+        assert args.workers == BenchConfig().max_workers
+        assert args.output == BenchConfig().output
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

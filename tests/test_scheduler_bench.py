@@ -1,0 +1,199 @@
+"""Tests for the parallel sweep scheduler and the pipeline bench harness."""
+
+import json
+
+import pytest
+
+from repro.eval.bench import (
+    BenchConfig,
+    check_payload,
+    format_summary,
+    resolve_matrix,
+    run_bench,
+    write_payload,
+)
+from repro.eval.pipeline import (
+    ALL_STRATEGY_SPECS,
+    STRATEGY_CU,
+    STRATEGY_HEAP_PATH,
+    Workload,
+    WorkloadPipeline,
+    metric_for_strategy,
+)
+from repro.eval.scheduler import (
+    SchedulerConfig,
+    SweepScheduler,
+    task_seed,
+)
+
+PROGRAM = """
+class Counter {
+    static int bump(int x) { return x + 1; }
+}
+class Main {
+    static int main() {
+        int acc = 0;
+        for (int i = 0; i < 40; i++) acc = Counter.bump(acc);
+        return acc;
+    }
+}
+"""
+
+BROKEN_PROGRAM = "class Main { static int main() { return unknown; } }"
+
+SPECS = [STRATEGY_CU, STRATEGY_HEAP_PATH]
+
+
+def _workloads(n=2):
+    return [Workload(name=f"wl{i}", source=PROGRAM) for i in range(n)]
+
+
+def _canonical_json(sweep):
+    return json.dumps(sweep.canonical(), sort_keys=True)
+
+
+class TestTaskSeed:
+    def test_deterministic_and_workload_dependent(self):
+        assert task_seed(1, "Bounce") == task_seed(1, "Bounce")
+        assert task_seed(1, "Bounce") != task_seed(1, "Queens")
+        assert task_seed(1, "Bounce") != task_seed(2, "Bounce")
+
+
+class TestScheduler:
+    def test_inline_sweep_matches_legacy_run_strategy(self, tmp_path):
+        workload = _workloads(1)[0]
+        config = SchedulerConfig(cache_dir=str(tmp_path / "cache"),
+                                 max_workers=1)
+        sweep = SweepScheduler(config).run([workload], [STRATEGY_CU])
+        assert sweep.ok
+        [task] = sweep.tasks
+
+        pipeline = WorkloadPipeline(workload)
+        base, opt = pipeline.run_strategy(STRATEGY_CU, seed=task.seed)
+        expected_base = metric_for_strategy(base[0], STRATEGY_CU, False)
+        expected_opt = metric_for_strategy(opt[0], STRATEGY_CU, False)
+        assert task.baseline[0]["faults"] == expected_base["faults"]
+        assert task.baseline[0]["time_s"] == expected_base["time_s"]
+        assert task.optimized[0]["faults"] == expected_opt["faults"]
+        assert task.optimized[0]["time_s"] == expected_opt["time_s"]
+
+    def test_parallel_matches_serial_byte_for_byte(self, tmp_path):
+        workloads = _workloads(2)
+        serial = SweepScheduler(SchedulerConfig(
+            cache_dir=str(tmp_path / "serial"), max_workers=1,
+        )).run(workloads, SPECS, parallel=False)
+        parallel = SweepScheduler(SchedulerConfig(
+            cache_dir=str(tmp_path / "parallel"), max_workers=2,
+        )).run(workloads, SPECS, parallel=True)
+        assert serial.ok and parallel.ok
+        assert parallel.workers == 2
+        assert _canonical_json(serial) == _canonical_json(parallel)
+
+    def test_warm_cache_is_all_hits_and_identical(self, tmp_path):
+        workloads = _workloads(2)
+        config = SchedulerConfig(cache_dir=str(tmp_path / "cache"),
+                                 max_workers=1)
+        cold = SweepScheduler(config).run(workloads, SPECS)
+        warm = SweepScheduler(config).run(workloads, SPECS)
+        assert warm.cache_misses == 0
+        assert warm.cache_hit_rate == 1.0
+        assert _canonical_json(cold) == _canonical_json(warm)
+
+    def test_uncached_sweep_works(self):
+        sweep = SweepScheduler(SchedulerConfig(max_workers=1)).run(
+            _workloads(1), [STRATEGY_CU])
+        assert sweep.ok
+        assert sweep.cache_hits == 0 and sweep.cache_misses == 0
+
+    def test_task_error_is_isolated(self, tmp_path):
+        workloads = [Workload(name="good", source=PROGRAM),
+                     Workload(name="bad", source=BROKEN_PROGRAM)]
+        sweep = SweepScheduler(SchedulerConfig(
+            cache_dir=str(tmp_path / "cache"), max_workers=1,
+        )).run(workloads, [STRATEGY_CU])
+        assert not sweep.ok
+        by_name = {task.workload: task for task in sweep.tasks}
+        assert by_name["good"].ok
+        assert not by_name["bad"].ok
+        assert "Error" in by_name["bad"].error
+        assert "bad" in sweep.summary()
+
+    def test_unknown_strategy_rejected_before_work(self):
+        scheduler = SweepScheduler(SchedulerConfig(max_workers=1))
+        bogus = STRATEGY_CU.__class__(**{**STRATEGY_CU.__dict__,
+                                         "name": "bogus"})
+        with pytest.raises(KeyError):
+            scheduler.build_tasks(_workloads(1), [bogus])
+
+    def test_quarantine_travels_back_to_sweep(self, tmp_path):
+        from repro.validation import (
+            LayoutMutationPlan,
+            LayoutMutator,
+            VerificationPolicy,
+        )
+
+        mutator = LayoutMutator(LayoutMutationPlan.single("drop_cu"))
+        config = SchedulerConfig(
+            max_workers=1,
+            verification=VerificationPolicy(mutator=mutator),
+        )
+        sweep = SweepScheduler(config).run(_workloads(1), [STRATEGY_CU])
+        assert sweep.ok
+        [task] = sweep.tasks
+        assert task.quarantined
+        assert sweep.quarantine.is_quarantined(task.workload, task.strategy)
+
+
+class TestBench:
+    def test_resolve_matrix_full_by_default(self):
+        workloads, strategies = resolve_matrix(BenchConfig())
+        assert len(workloads) == 17  # 14 AWFY + 3 microservices
+        assert len(strategies) == len(ALL_STRATEGY_SPECS)
+
+    def test_resolve_matrix_rejects_unknown_names(self):
+        with pytest.raises(KeyError):
+            resolve_matrix(BenchConfig(workloads=("NoSuchWorkload",)))
+        with pytest.raises(KeyError):
+            resolve_matrix(BenchConfig(strategies=("no-such-strategy",)))
+
+    def test_quick_run_payload_and_checks(self, tmp_path):
+        config = BenchConfig.quick(
+            workloads=("Bounce",),
+            max_workers=1,
+            output=str(tmp_path / "BENCH.json"),
+        )
+        payload = run_bench(config)
+        assert payload["schema"] == 1
+        assert payload["config"]["cells"] == 2
+        assert payload["deterministic"]
+        assert payload["ok"]
+        assert payload["phases"]["warm"]["cache_hit_rate"] == 1.0
+        assert payload["phases"]["warm"]["cache_misses"] == 0
+        assert payload["speedup_warm"] > 1.0
+        assert check_payload(payload) == []
+
+        path = write_payload(payload, config.output)
+        assert json.loads(path.read_text())["ok"]
+        summary = format_summary(payload)
+        assert "warm" in summary and "deterministic: True" in summary
+
+    def test_skip_serial_omits_reference_phase(self, tmp_path):
+        config = BenchConfig.quick(
+            workloads=("Bounce",),
+            max_workers=1,
+            skip_serial=True,
+            output=str(tmp_path / "BENCH.json"),
+        )
+        payload = run_bench(config)
+        assert "serial" not in payload["phases"]
+        assert "speedup_parallel" not in payload
+        assert check_payload(payload) == []
+
+    def test_check_payload_flags_cold_cache(self):
+        payload = {
+            "ok": True,
+            "deterministic": True,
+            "phases": {"warm": {"cache_misses": 3, "cache_hit_rate": 0.5}},
+        }
+        failures = check_payload(payload)
+        assert len(failures) == 2

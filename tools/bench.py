@@ -1,0 +1,24 @@
+#!/usr/bin/env python3
+"""Benchmark the evaluation pipeline (scheduler + artifact cache).
+
+Standalone wrapper around ``python -m repro bench`` for environments that
+have the repo checked out but not installed::
+
+    python tools/bench.py --quick --check          # CI smoke matrix
+    python tools/bench.py                          # full AWFY + microservices
+    python tools/bench.py --only Bounce Queens --strategy cu
+
+Writes ``BENCH_pipeline.json`` (override with ``-o``); ``--check`` makes
+the exit status assert a 100% warm-cache hit rate and cross-phase
+determinism, which is what the CI ``bench-smoke`` job gates on.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(["bench"] + sys.argv[1:]))
