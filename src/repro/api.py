@@ -19,6 +19,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from .cache import ArtifactCache, CacheStats
+from .obs import MetricsSnapshot, get_registry, get_tracer
 from .eval.pipeline import (
     ALL_STRATEGY_SPECS,
     StrategySpec,
@@ -168,6 +169,25 @@ class NativeImageToolchain:
     def cache_stats(self) -> Optional[CacheStats]:
         """Hit/miss accounting of the armed cache (``None`` when uncached)."""
         return self._pipeline.cache.stats if self._pipeline.cache else None
+
+    # -- observability -------------------------------------------------------
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """Point-in-time copy of the process-wide metrics registry.
+
+        Counters/gauges/histograms from every phase this process ran —
+        not just this toolchain's workload.  The ``sweep.*`` plane (see
+        :meth:`MetricsSnapshot.deterministic`) is only populated by
+        scheduler sweeps.
+        """
+        return get_registry().snapshot()
+
+    def export_trace(self, path: Union[Path, str]) -> Path:
+        """Write the process-wide span trace as Chrome trace-event JSON.
+
+        Load the file in ``chrome://tracing`` or https://ui.perfetto.dev.
+        """
+        return get_tracer().export(path)
 
     # -- build & run ---------------------------------------------------------
 

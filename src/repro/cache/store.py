@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from ..obs import get_tracer, metrics
 from .keys import TOOLCHAIN_VERSION
 
 #: artifact namespaces (subdirectories of the cache root)
@@ -104,7 +105,8 @@ class ArtifactCache:
         (or eagerly via :meth:`evict_stale`).
     max_entries_per_kind:
         Optional ceiling per namespace; the oldest entries (by creation
-        stamp) are evicted once a ``put`` exceeds it.
+        stamp, tie-broken by insertion sequence then key) are evicted
+        once a ``put`` exceeds it.
     """
 
     def __init__(self, root: Path, toolchain: str = TOOLCHAIN_VERSION,
@@ -122,6 +124,11 @@ class ArtifactCache:
         # source of truth right after a put.
         self._memo: "OrderedDict[Tuple[str, str], Any]" = OrderedDict()
         self._memo_entries = memo_entries
+        # Monotonic insertion sequence recorded in every sidecar: the
+        # ``created`` wall-clock stamp alone cannot order entries written
+        # faster than clock resolution (and goes backwards on clock
+        # steps), so eviction tie-breaks on (created, seq, key).
+        self._seq = 0
 
     # -- paths -----------------------------------------------------------------
 
@@ -147,6 +154,7 @@ class ArtifactCache:
         if memo_key in self._memo:
             self._memo.move_to_end(memo_key)
             self.stats.record(kind, hit=True)
+            metrics().counter(f"cache.hit.{kind}")
             return self._memo[memo_key]
         path = self._entry_path(kind, key)
         try:
@@ -154,6 +162,7 @@ class ArtifactCache:
             if meta.get("toolchain") != self.toolchain:
                 self._delete(kind, key)
                 self.stats.record(kind, hit=False)
+                metrics().counter(f"cache.miss.{kind}")
                 return None
             with open(path, "rb") as handle:
                 value = pickle.load(handle)
@@ -162,8 +171,10 @@ class ArtifactCache:
             # missing, torn, or undecodable entry: miss + self-heal
             self._delete(kind, key)
             self.stats.record(kind, hit=False)
+            metrics().counter(f"cache.miss.{kind}")
             return None
         self.stats.record(kind, hit=True)
+        metrics().counter(f"cache.hit.{kind}")
         if self._memo_entries > 0:
             self._memo[memo_key] = value
             while len(self._memo) > self._memo_entries:
@@ -186,9 +197,11 @@ class ArtifactCache:
             return False
         path.parent.mkdir(parents=True, exist_ok=True)
         self._atomic_write(path, payload)
+        self._seq += 1
         meta = {
             "toolchain": self.toolchain,
             "created": time.time(),
+            "seq": self._seq,
             "kind": kind,
             "key": key,
             "note": note,
@@ -196,6 +209,7 @@ class ArtifactCache:
         self._atomic_write(self._meta_path(kind, key),
                            json.dumps(meta, sort_keys=True).encode("utf-8"))
         self.stats.puts += 1
+        metrics().counter(f"cache.put.{kind}")
         if self.max_entries_per_kind is not None:
             self._evict_over_limit(kind)
         return True
@@ -254,17 +268,33 @@ class ArtifactCache:
                     self._delete(kind, key)
                     evicted += 1
         self.stats.evictions += evicted
+        if evicted:
+            metrics().counter("cache.evict", evicted)
+            get_tracer().instant("cache.evict_stale", cat="cache",
+                                 evicted=evicted)
         return evicted
 
     def _evict_over_limit(self, kind: str) -> None:
         limit = self.max_entries_per_kind
         assert limit is not None
-        aged = sorted(self.entries(kind),
-                      key=lambda item: item[1].get("created", 0.0))
+        # Oldest-first by creation stamp, tie-broken by the monotonic
+        # insertion sequence and finally the key: equal timestamps from
+        # fast successive puts (or a backwards clock step within one
+        # stamp) can no longer scramble the eviction order.  Entries
+        # written before sequence numbers existed sort oldest (-1).
+        aged = sorted(
+            self.entries(kind),
+            key=lambda item: (item[1].get("created", 0.0),
+                              item[1].get("seq", -1),
+                              item[0]),
+        )
         excess = len(aged) - limit
         for key, _meta in aged[:max(excess, 0)]:
             self._delete(kind, key)
             self.stats.evictions += 1
+            metrics().counter("cache.evict")
+            get_tracer().instant("cache.evict", cat="cache",
+                                 kind=kind, key=key)
 
     def clear(self) -> None:
         """Delete every entry (the directory tree stays in place)."""

@@ -16,7 +16,12 @@ Commands mirror the paper's artifact scripts:
   quarantine-and-rollback rung end to end;
 * ``bench``    — benchmark the evaluation pipeline itself: serial reference
   vs parallel scheduler vs warm artifact cache, written to
-  ``BENCH_pipeline.json``;
+  ``BENCH_pipeline.json``; ``--baseline`` arms the regression gate against
+  a committed payload;
+* ``stats``    — run a (workload × strategy) sweep and print the merged
+  metrics-registry summary (counters, gauges, histograms);
+* ``trace``    — run one strategy end-to-end and export the span trace as
+  Chrome trace-event JSON (``chrome://tracing`` / Perfetto);
 * ``list``     — available workloads.
 
 Option defaults that mirror a config dataclass are read from that
@@ -28,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
 from pathlib import Path
 from typing import Dict, Optional
@@ -297,12 +303,77 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print()
     print(format_summary(payload))
     print(f"wrote {path}")
+    failures = []
     if args.check:
-        failures = check_payload(payload)
-        for failure in failures:
-            print(f"CHECK FAILED: {failure}")
-        return 1 if failures else 0
-    return 0
+        failures.extend(check_payload(payload))
+    if args.baseline:
+        from .eval.bench import check_regression
+
+        try:
+            baseline = json.loads(Path(args.baseline).read_text())
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read baseline {args.baseline!r}: {exc}")
+        failures.extend(check_regression(
+            payload, baseline, wall_tolerance=args.max_regression,
+        ))
+    for failure in failures:
+        print(f"CHECK FAILED: {failure}")
+    return 1 if failures else 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from .eval.scheduler import (
+        STRATEGY_BY_NAME,
+        SchedulerConfig,
+        SweepScheduler,
+    )
+    from .obs import format_stats, get_registry, stats_dict
+
+    workloads = [_find_workload(name) for name in args.workloads]
+    names = args.strategy or sorted(STRATEGY_BY_NAME)
+    for name in names:
+        if name not in STRATEGY_BY_NAME:
+            raise SystemExit(
+                f"unknown strategy {name!r}; choose from {sorted(STRATEGY_BY_NAME)}"
+            )
+    config = SchedulerConfig(
+        cache_dir=args.cache_dir,
+        max_workers=args.workers,
+        iterations=args.iterations,
+        base_seed=args.seed,
+    )
+    sweep = SweepScheduler(config).run(
+        workloads, [STRATEGY_BY_NAME[name] for name in names]
+    )
+    snapshot = get_registry().snapshot()
+    if args.json:
+        print(json.dumps(stats_dict(snapshot), indent=2, sort_keys=True))
+    else:
+        print(sweep.summary())
+        print()
+        print(format_stats(snapshot))
+    return 0 if sweep.ok else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import get_tracer, validate_trace
+
+    workload = _find_workload(args.workload)
+    spec = STRATEGIES.get(args.strategy)
+    if spec is None:
+        raise SystemExit(
+            f"unknown strategy {args.strategy!r}; choose from {sorted(STRATEGIES)}"
+        )
+    pipeline = WorkloadPipeline(workload)
+    pipeline.run_strategy(spec, seed=args.seed)
+    tracer = get_tracer()
+    path = tracer.export(args.output)
+    problems = validate_trace(json.loads(Path(path).read_text()))
+    print(f"wrote {path} ({len(tracer.events)} trace events; load it in "
+          "chrome://tracing or https://ui.perfetto.dev)")
+    for problem in problems:
+        print(f"INVALID: {problem}")
+    return 1 if problems else 0
 
 
 def cmd_emit(args: argparse.Namespace) -> int:
@@ -453,7 +524,57 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--check", action="store_true",
                          help="exit non-zero unless warm hit rate is 100%% "
                          "and all phases agree (CI mode)")
+    from .eval.bench import DEFAULT_WALL_TOLERANCE as _WALL_TOL
+
+    p_bench.add_argument("--baseline",
+                         help="committed BENCH_pipeline.json to gate against; "
+                         "exit non-zero on wall-clock or hit-rate regression")
+    p_bench.add_argument("--max-regression", type=float, default=_WALL_TOL,
+                         help="allowed fractional wall-clock slowdown vs the "
+                         "baseline (default: %(default)s)")
     p_bench.set_defaults(func=cmd_bench)
+
+    from .eval.scheduler import SchedulerConfig as _SchedulerConfig
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="run a sweep and print the merged metrics-registry summary",
+    )
+    p_stats.add_argument("workloads", nargs="+",
+                         help="workload names (AWFY or microservice)")
+    p_stats.add_argument("--strategy", action="append",
+                         help="a strategy to run (repeatable; default: all)")
+    p_stats.add_argument("--seed", type=int,
+                         default=_field_default(_SchedulerConfig, "base_seed"),
+                         help="base seed for per-task seeding "
+                         "(default: %(default)s)")
+    p_stats.add_argument("--iterations", type=int,
+                         default=_field_default(_SchedulerConfig, "iterations"),
+                         help="measurement runs per binary "
+                         "(default: %(default)s)")
+    p_stats.add_argument("--workers", type=int,
+                         default=_field_default(_SchedulerConfig, "max_workers"),
+                         help="worker processes; 0 = one per core, 1 = inline "
+                         "(default: %(default)s)")
+    p_stats.add_argument("--cache-dir",
+                         default=_field_default(_SchedulerConfig, "cache_dir"),
+                         help="persistent artifact-cache directory "
+                         "(default: uncached)")
+    p_stats.add_argument("--json", action="store_true",
+                         help="print the snapshot as JSON (with the "
+                         "deterministic sweep.* plane broken out)")
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one strategy end-to-end and export a Chrome trace",
+    )
+    p_trace.add_argument("workload", nargs="?", default="Bounce")
+    p_trace.add_argument("--strategy", default="cu+heap path")
+    p_trace.add_argument("--seed", type=int, default=1)
+    p_trace.add_argument("-o", "--output", default="trace.json",
+                         help="trace-event JSON path (default: %(default)s)")
+    p_trace.set_defaults(func=cmd_trace)
 
     p_emit = sub.add_parser("emit", help="write a built image as a SNIB file")
     p_emit.add_argument("workload")

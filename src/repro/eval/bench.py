@@ -216,6 +216,56 @@ def run_bench(config: BenchConfig,
     return payload
 
 
+#: default regression-gate tolerances: wall-clock is noisy on shared CI
+#: runners, hit rate is not
+DEFAULT_WALL_TOLERANCE = 0.5
+DEFAULT_HIT_RATE_TOLERANCE = 0.02
+
+
+def check_regression(payload: Dict[str, Any], baseline: Dict[str, Any],
+                     wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+                     hit_rate_tolerance: float = DEFAULT_HIT_RATE_TOLERANCE,
+                     ) -> List[str]:
+    """Compare a bench payload against a committed baseline payload.
+
+    Fails (returns human-readable messages) when any shared phase's
+    wall-clock regressed by more than ``wall_tolerance`` (a fraction: 0.5
+    = 50% slower) or the warm cache hit rate dropped by more than
+    ``hit_rate_tolerance`` (absolute).  Phases present in only one payload
+    are skipped, so a ``--skip-serial`` run still gates against a full
+    baseline.  Matrices of different sizes are incomparable and fail
+    outright.
+    """
+    failures: List[str] = []
+    mine = payload.get("config", {}).get("cells")
+    theirs = baseline.get("config", {}).get("cells")
+    if mine != theirs:
+        return [f"matrix size differs from baseline ({mine} vs {theirs} "
+                "cells); regression gate needs identical matrices"]
+    for name, phase in sorted(payload.get("phases", {}).items()):
+        base_phase = baseline.get("phases", {}).get(name)
+        if not base_phase:
+            continue
+        base_wall = base_phase.get("wall_s", 0.0)
+        wall = phase.get("wall_s", 0.0)
+        if base_wall > 0 and wall > base_wall * (1.0 + wall_tolerance):
+            failures.append(
+                f"phase {name}: wall-clock {wall:.2f}s exceeds baseline "
+                f"{base_wall:.2f}s by more than {wall_tolerance:.0%}"
+            )
+    warm = payload.get("phases", {}).get("warm", {})
+    base_warm = baseline.get("phases", {}).get("warm", {})
+    if warm and base_warm:
+        rate = warm.get("cache_hit_rate", 0.0)
+        base_rate = base_warm.get("cache_hit_rate", 0.0)
+        if rate < base_rate - hit_rate_tolerance:
+            failures.append(
+                f"warm cache hit rate {rate:.2%} dropped below baseline "
+                f"{base_rate:.2%} by more than {hit_rate_tolerance:.0%}"
+            )
+    return failures
+
+
 def check_payload(payload: Dict[str, Any]) -> List[str]:
     """CI assertions; returns a list of human-readable failures (empty = pass)."""
     failures = []

@@ -48,6 +48,7 @@ from ..image.binary import (
 from ..image.builder import BuildConfig, NativeImageBuilder
 from ..minijava.bytecode import Program
 from ..minijava.frontend import compile_source
+from ..obs import phase
 from ..ordering.profiles import ProfileBundle, ProfileCompleteness
 from ..postproc.framework import build_profiles
 from ..profiling.tracebuf import TraceSession
@@ -238,7 +239,8 @@ class WorkloadPipeline:
             if self._cache_armed:
                 self._program = self.cache.get(KIND_PROGRAM, key)
             if self._program is None:
-                self._program = self.workload.compile()
+                with phase("compile", workload=self.workload.name):
+                    self._program = self.workload.compile()
                 if self._cache_armed:
                     self.cache.put(KIND_PROGRAM, key, self._program,
                                    note=self.workload.name)
@@ -401,7 +403,8 @@ class WorkloadPipeline:
                     "building the default layout")
         binary = self._build_plain(profiles, None, seed)
         if self.verification.verify_structure:
-            self.last_verification_report = verify_layout(binary)
+            with phase("verify", workload=self.workload.name):
+                self.last_verification_report = verify_layout(binary)
         return binary
 
     def _verification_rung(
@@ -426,7 +429,9 @@ class WorkloadPipeline:
                         or binary.heap_ordering is not None)
         if policy.mutator is not None and has_ordering:
             policy.mutator.mutate(binary)
-        report = verify_layout(binary)
+        with phase("verify", workload=self.workload.name,
+                   strategy=strategy.name if strategy else ""):
+            report = verify_layout(binary)
         self.last_verification_report = report
         if report.ok:
             return binary
@@ -449,7 +454,8 @@ class WorkloadPipeline:
             )
             degradation.quarantined = True
         rollback = self._build_plain(profiles, None, seed)
-        rollback_report = verify_layout(rollback)
+        with phase("verify", workload=self.workload.name, rollback=True):
+            rollback_report = verify_layout(rollback)
         self.last_verification_report = rollback_report
         if not rollback_report.ok:
             raise LayoutVerificationError(rollback_report)
@@ -576,10 +582,12 @@ class WorkloadPipeline:
         mode = MODE_MMAP if self.workload.microservice else MODE_DUMP_ON_FULL
         session = TraceSession(mode=mode, fault_hook=self.fault_hook)
         tracer = PathTracer(instrumented.manifest, session)
-        metrics = run_binary(instrumented, self.exec_config, tracer=tracer)
+        with phase("trace", workload=self.workload.name, seed=seed):
+            metrics = run_binary(instrumented, self.exec_config, tracer=tracer)
         trace_files = session.trace_files()
-        profiles = build_profiles(instrumented.manifest, trace_files,
-                                  lenient=lenient)
+        with phase("post-process", workload=self.workload.name):
+            profiles = build_profiles(instrumented.manifest, trace_files,
+                                      lenient=lenient)
         stats = session.total_stats()
         if tkey is not None:
             self.cache.put(KIND_TRACE, tkey, {
@@ -600,9 +608,10 @@ class WorkloadPipeline:
                             lenient: bool) -> ProfilingOutcome:
         """Rebuild profiles from cached raw traces (no instrumented run)."""
         instrumented = self.build_instrumented(seed=seed)
-        profiles = build_profiles(instrumented.manifest,
-                                  unpack_traces(packed["traces"]),
-                                  lenient=lenient)
+        with phase("post-process", workload=self.workload.name, replay=True):
+            profiles = build_profiles(instrumented.manifest,
+                                      unpack_traces(packed["traces"]),
+                                      lenient=lenient)
         return ProfilingOutcome(
             profiles=profiles,
             instrumented_metrics=packed["metrics"],
@@ -701,6 +710,13 @@ class WorkloadPipeline:
         return results
 
     def _measure_uncached(
+        self, binary: NativeImageBinary, iterations: int, seed: int
+    ) -> List[RunMetrics]:
+        with phase("measure", workload=self.workload.name,
+                   mode=binary.mode, runs=iterations):
+            return self._measure_runs(binary, iterations, seed)
+
+    def _measure_runs(
         self, binary: NativeImageBinary, iterations: int, seed: int
     ) -> List[RunMetrics]:
         budget = self.verification.watchdog if self.verification else None

@@ -42,6 +42,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..cache import ArtifactCache, CacheStats
 from ..image.builder import BuildConfig
+from ..obs import MetricsSnapshot, get_registry, get_tracer
 from ..robustness.degradation import DegradationPolicy
 from ..runtime.executor import ExecutionConfig, RunMetrics
 from ..util.murmur3 import murmur3_64
@@ -117,6 +118,12 @@ class TaskResult:
     consumers and the bench JSON need, none of the heavyweight run state.
     ``error`` carries a formatted exception when the task failed; the
     scheduler never lets one bad cell sink the sweep.
+
+    ``metrics`` is the delta of the worker's metrics registry across this
+    task and ``spans`` the trace events it recorded — both are shipped
+    back so the scheduler can merge worker-process observability into the
+    parent (and both are excluded from :meth:`canonical`, since the
+    operational plane legitimately varies with scheduling).
     """
 
     workload: str
@@ -133,6 +140,8 @@ class TaskResult:
     quarantine_reason: str = ""
     wall_s: float = 0.0
     error: Optional[str] = None
+    metrics: Optional[MetricsSnapshot] = None
+    spans: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -209,10 +218,61 @@ def run_task(task: EvalTask, config: SchedulerConfig) -> TaskResult:
     worker-local pipeline: baseline build, profiling, optimized build
     (through the degradation + verification rungs), and cold-cache
     measurement of both binaries.
+
+    Observability: the task is one ``sched`` span; everything recorded in
+    the process-wide registry while the task ran travels back as a
+    metrics delta, and the deterministic ``sweep.*`` counters are derived
+    from the canonical result so serial and parallel schedulers agree on
+    them exactly.
     """
+    registry = get_registry()
+    tracer = get_tracer()
+    registry.counter("sched.tasks.dispatched")
+    metrics_before = registry.snapshot()
+    span_mark = tracer.mark()
     result = TaskResult(workload=task.workload.name,
                         strategy=task.strategy_name, seed=task.seed)
     start = time.perf_counter()
+    with tracer.span("task", cat="sched", workload=task.workload.name,
+                     strategy=task.strategy_name, seed=task.seed):
+        _run_task_body(result, task, config)
+    registry.counter(
+        "sched.tasks.completed" if result.ok else "sched.tasks.failed"
+    )
+    _record_sweep_counters(registry, result)
+    result.wall_s = time.perf_counter() - start
+    result.metrics = registry.snapshot().diff(metrics_before)
+    result.spans = tracer.events_since(span_mark)
+    return result
+
+
+def _record_sweep_counters(registry, result: TaskResult) -> None:
+    """The deterministic metric plane: derived only from canonical data.
+
+    Everything here is a pure function of :meth:`TaskResult.canonical`,
+    which is byte-identical across serial and parallel runs of the same
+    matrix — so the merged ``sweep.*`` counters are too (the determinism
+    test in ``tests/test_scheduler_bench.py`` holds the line).
+    """
+    registry.counter("sweep.tasks.completed" if result.ok
+                     else "sweep.tasks.errors")
+    if result.degraded:
+        registry.counter("sweep.tasks.degraded")
+    if result.quarantined:
+        registry.counter("sweep.tasks.quarantined")
+    registry.counter("sweep.runs.baseline", len(result.baseline))
+    registry.counter("sweep.runs.optimized", len(result.optimized))
+    registry.counter("sweep.faults.baseline",
+                     int(sum(m["faults"] for m in result.baseline)))
+    registry.counter("sweep.faults.optimized",
+                     int(sum(m["faults"] for m in result.optimized)))
+    registry.counter("sweep.ops",
+                     int(sum(m["ops"]
+                             for m in result.baseline + result.optimized)))
+
+
+def _run_task_body(result: TaskResult, task: EvalTask,
+                   config: SchedulerConfig) -> None:
     try:
         spec = STRATEGY_BY_NAME[task.strategy_name]
         pipeline = _worker_pipeline(task.workload, config)
@@ -259,8 +319,6 @@ def run_task(task: EvalTask, config: SchedulerConfig) -> TaskResult:
             result.cache_misses = after[1] - before[1]
     except Exception as exc:  # one bad cell must not sink the sweep
         result.error = f"{type(exc).__name__}: {exc}"
-    result.wall_s = time.perf_counter() - start
-    return result
 
 
 def _run_task_tuple(payload: Tuple[EvalTask, SchedulerConfig]) -> TaskResult:
@@ -281,6 +339,9 @@ class SweepResult:
     cache_hits: int = 0
     cache_misses: int = 0
     quarantine: QuarantineRegistry = field(default_factory=QuarantineRegistry)
+    #: merged per-task metric deltas (all workers); the ``sweep.*`` plane
+    #: of this snapshot is identical for serial and parallel runs
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
 
     @property
     def ok(self) -> bool:
@@ -364,18 +425,34 @@ class SweepScheduler:
         workers = self.config.resolved_workers() if parallel else 1
         workers = min(workers, max(len(tasks), 1))
         start = time.perf_counter()
-        if workers <= 1:
-            results = [run_task(task, self.config) for task in tasks]
-        else:
-            payloads = [(task, self.config) for task in tasks]
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(_run_task_tuple, payloads))
+        with get_tracer().span("sweep", cat="sched", tasks=len(tasks),
+                               workers=workers):
+            if workers <= 1:
+                results = [run_task(task, self.config) for task in tasks]
+            else:
+                payloads = [(task, self.config) for task in tasks]
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    results = list(pool.map(_run_task_tuple, payloads))
         sweep = SweepResult(tasks=results,
                             wall_s=time.perf_counter() - start,
                             workers=workers)
+        # Worker-process observability folds into the parent here.  In
+        # inline mode (workers <= 1) the tasks already recorded into this
+        # process's registry and tracer, so only the sweep-local snapshot
+        # is built — merging the shipped deltas again would double-count;
+        # either way the parent registry ends up with the same totals.
+        inline = workers <= 1
+        registry = get_registry()
+        tracer = get_tracer()
         for task in results:
             sweep.cache_hits += task.cache_hits
             sweep.cache_misses += task.cache_misses
+            if task.metrics is not None:
+                sweep.metrics.merge(task.metrics)
+                if not inline:
+                    registry.merge_snapshot(task.metrics)
+            if not inline and task.spans:
+                tracer.absorb(task.spans)
             if task.quarantined:
                 sweep.quarantine.quarantine(task.workload, task.strategy,
                                             task.quarantine_reason)

@@ -22,6 +22,7 @@ from ..graal.inliner import InlinerConfig, default_size_fn, form_compilation_uni
 from ..graal.reachability import analyze
 from ..graal.transform import clone_program, fold_final_statics
 from ..minijava.bytecode import Program
+from ..obs import phase
 from ..ordering.code_order import default_order, order_compilation_units
 from ..ordering.heap_order import MatchReport, match_and_order
 from ..ordering.ids import (
@@ -103,6 +104,19 @@ class NativeImageBuilder:
         ``code_ordering`` is ``"cu"``/``"method"``; ``heap_ordering`` is an
         ID-strategy name.  Both require ``mode="optimized"`` and profiles.
         """
+        with phase("build", mode=mode, code=code_ordering or "",
+                   heap=heap_ordering or "", seed=seed):
+            return self._build_stages(mode, profiles, code_ordering,
+                                      heap_ordering, seed)
+
+    def _build_stages(
+        self,
+        mode: str,
+        profiles: Optional[ProfileBundle],
+        code_ordering: Optional[str],
+        heap_ordering: Optional[str],
+        seed: int,
+    ) -> NativeImageBinary:
         if mode not in (MODE_REGULAR, MODE_INSTRUMENTED, MODE_OPTIMIZED):
             raise ValueError(f"unknown build mode {mode!r}")
         if mode == MODE_OPTIMIZED and profiles is None:
@@ -151,7 +165,8 @@ class NativeImageBuilder:
             code_profile = profiles.code_profile(code_ordering)
             if code_profile is None:
                 raise ValueError(f"profiles carry no {code_ordering!r} code ordering")
-            ordered_cus = order_compilation_units(cus, code_profile)
+            with phase("order", kind="code", strategy=code_ordering):
+                ordered_cus = order_compilation_units(cus, code_profile)
         else:
             ordered_cus = default_order(cus)
 
@@ -183,7 +198,8 @@ class NativeImageBuilder:
             heap_profile = profiles.heap_profile(heap_ordering)
             if heap_profile is None:
                 raise ValueError(f"profiles carry no {heap_ordering!r} heap ordering")
-            ordered_objects, report = match_and_order(snapshot, heap_profile)
+            with phase("order", kind="heap", strategy=heap_ordering):
+                ordered_objects, report = match_and_order(snapshot, heap_profile)
             self.last_match_report = report
         else:
             ordered_objects = list(snapshot.objects)

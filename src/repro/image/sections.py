@@ -124,9 +124,16 @@ def expected_heap_size(objects: List[HeapObject]) -> int:
 
 
 def pages_spanned(offset: int, size: int, page_size: int = PAGE_SIZE) -> range:
-    """The page indices touched by a byte range."""
-    if size <= 0:
-        return range(offset // page_size, offset // page_size + 1)
+    """The page indices touched by a byte range.
+
+    A zero-length range spans no pages (empty range) — mirroring
+    :meth:`repro.runtime.paging.PageCache.touch`, which treats zero-length
+    touches as no-ops rather than silently charging one page.
+    """
+    if size < 0:
+        raise ValueError(f"negative size {size}")
+    if size == 0:
+        return range(offset // page_size, offset // page_size)
     first = offset // page_size
     last = (offset + size - 1) // page_size
     return range(first, last + 1)

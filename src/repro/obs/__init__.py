@@ -1,0 +1,46 @@
+"""Pipeline observability: metrics registry, phase spans, trace export.
+
+The measurement loop the paper's evaluation depends on (per-section page
+faults, Sec. 7.1) needs the pipeline itself to be observable: this package
+provides the process-wide :class:`MetricsRegistry` (counters, gauges,
+histograms with deterministic snapshot/merge for multiprocess runs) and
+the :class:`SpanTracer` whose events export as Chrome trace-event JSON.
+
+Instrumented call sites live in their own modules (pipeline phases in
+:mod:`repro.eval.pipeline` and :mod:`repro.image.builder`, cache events in
+:mod:`repro.cache.store`, scheduler tasks in :mod:`repro.eval.scheduler`,
+executor runs in :mod:`repro.runtime.executor`, degradation/quarantine
+events in :mod:`repro.robustness.degradation` and
+:mod:`repro.validation.quarantine`); this package deliberately imports
+nothing from them, so any module may instrument without cycles.
+
+CLI entry points: ``repro stats`` (merged metrics summary) and ``repro
+trace`` (Chrome trace export).
+"""
+
+from .export import format_stats, stats_dict, validate_trace
+from .metrics import (
+    DETERMINISTIC_PREFIX,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+    get_registry,
+    metrics,
+)
+from .spans import SpanTracer, get_tracer, phase, tracer
+
+__all__ = [
+    "DETERMINISTIC_PREFIX",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "SpanTracer",
+    "format_stats",
+    "get_registry",
+    "get_tracer",
+    "metrics",
+    "phase",
+    "stats_dict",
+    "tracer",
+    "validate_trace",
+]

@@ -1,0 +1,86 @@
+"""Export-side helpers: trace-event schema validation and stats rendering.
+
+``validate_trace`` is the schema check the obs-smoke CI job runs over
+``repro trace`` output — it enforces the subset of the Chrome trace-event
+format the tracer emits, so a malformed export fails CI instead of failing
+silently in the trace viewer.  ``format_stats`` renders a
+:class:`~repro.obs.metrics.MetricsSnapshot` as the human summary behind
+``repro stats``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .metrics import MetricsSnapshot
+
+#: event phases the tracer emits (complete spans and instants); metadata
+#: events ("M") are tolerated for hand-merged traces
+_ALLOWED_PHASES = {"X", "i", "M"}
+
+
+def validate_trace(payload: Any) -> List[str]:
+    """Validate a Chrome trace-event payload; returns problems (empty = ok)."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"top level must be an object, got {type(payload).__name__}"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-array 'traceEvents'"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not isinstance(event.get("name"), str) or not event.get("name"):
+            problems.append(f"{where}: missing 'name'")
+        ph = event.get("ph")
+        if ph not in _ALLOWED_PHASES:
+            problems.append(f"{where}: bad phase {ph!r}")
+            continue
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: bad 'ts' {ts!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: bad 'dur' {dur!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"{where}: bad {key!r}")
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append(f"{where}: 'args' must be an object")
+        if not isinstance(event.get("cat", ""), str):
+            problems.append(f"{where}: 'cat' must be a string")
+    return problems
+
+
+def format_stats(snapshot: MetricsSnapshot) -> str:
+    """Human-readable summary of one metrics snapshot."""
+    lines: List[str] = []
+    if snapshot.counters:
+        lines.append("counters:")
+        for name, value in sorted(snapshot.counters.items()):
+            lines.append(f"  {name:<40} {value}")
+    if snapshot.gauges:
+        lines.append("gauges:")
+        for name, value in sorted(snapshot.gauges.items()):
+            lines.append(f"  {name:<40} {value:g}")
+    if snapshot.histograms:
+        lines.append("histograms:")
+        for name, hist in sorted(snapshot.histograms.items()):
+            lines.append(
+                f"  {name:<40} n={hist.count} mean={hist.mean:.6g} "
+                f"min={hist.min:.6g} max={hist.max:.6g}"
+                if hist.count else f"  {name:<40} n=0"
+            )
+    return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def stats_dict(snapshot: MetricsSnapshot) -> Dict[str, Any]:
+    """Machine-readable (``repro stats --json``) view of a snapshot."""
+    payload = snapshot.as_dict()
+    payload["deterministic"] = snapshot.deterministic()
+    return payload

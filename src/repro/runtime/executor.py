@@ -26,6 +26,7 @@ from typing import Any, Dict, List, Optional
 
 from ..image.binary import NativeImageBinary, RuntimeImage
 from ..image.sections import HEAP_SECTION, PAGE_SIZE, TEXT_SECTION
+from ..obs import metrics as obs_metrics
 from ..vm.interpreter import Frame, Interpreter, RuntimeHooks, ThreadState
 from ..vm.values import VMError
 from .paging import SSD, IoDevice, PageCache
@@ -210,6 +211,9 @@ class BinaryExecutor:
         config = self._config
         binary = self._binary
         cache = PageCache(fault_around=config.fault_around_pages)
+        # Fault-around must never map pages past a section's end.
+        cache.set_limit(TEXT_SECTION, binary.text.size)
+        cache.set_limit(HEAP_SECTION, binary.heap.size)
         hooks = ExecHooks(binary, cache, config, tracer=self._tracer)
 
         image: RuntimeImage = binary.instantiate()
@@ -254,6 +258,11 @@ class BinaryExecutor:
             metrics.trace_event_counts = self._tracer.event_counts()
         metrics.time_s = self._time_of(metrics.ops, metrics.faults,
                                        metrics.trace_event_counts, run_index)
+        registry = obs_metrics()
+        registry.counter("exec.runs")
+        registry.counter("exec.ops", metrics.ops)
+        for section, count in metrics.faults.items():
+            registry.counter(f"exec.faults.{section}", count)
         if hooks.responded:
             metrics.first_response_ops = hooks.response_ops
             metrics.first_response_faults = hooks.response_snapshot

@@ -54,13 +54,32 @@ class PageCache:
     resident: Set[Tuple[str, int]] = field(default_factory=set)
     faults: Dict[str, int] = field(default_factory=dict)
     faulted_pages: Dict[str, Set[int]] = field(default_factory=dict)
+    #: section -> page count; fault-around never maps past the last page
+    page_limits: Dict[str, int] = field(default_factory=dict)
+
+    def set_limit(self, section: str, size_bytes: int) -> None:
+        """Register a section's byte size so fault-around stays in bounds.
+
+        Without a limit, fault-around would map neighbour pages past the
+        end of the section and ``resident_pages`` (Fig. 6) would show
+        pages the section does not have.
+        """
+        pages = (size_bytes + self.page_size - 1) // self.page_size
+        self.page_limits[section] = max(pages, 0)
 
     def touch(self, section: str, offset: int, size: int = 1) -> int:
-        """Touch a byte range; returns the number of faults it caused."""
+        """Touch a byte range; returns the number of faults it caused.
+
+        A zero-length touch is an explicit no-op (0 faults) — it maps no
+        bytes, so it must not charge a phantom fault.  Negative sizes are
+        programming errors and raise, like negative offsets.
+        """
         if offset < 0:
             raise ValueError(f"negative offset {offset} in {section}")
-        if size <= 0:
-            size = 1
+        if size < 0:
+            raise ValueError(f"negative size {size} in {section}")
+        if size == 0:
+            return 0
         first = offset // self.page_size
         last = (offset + size - 1) // self.page_size
         new_faults = 0
@@ -72,10 +91,13 @@ class PageCache:
                 new_faults += 1
                 self.faulted_pages.setdefault(section, set()).add(page)
                 if self.fault_around:
-                    for near in range(page - self.fault_around,
-                                      page + self.fault_around + 1):
-                        if near >= 0:
-                            resident.add((section, near))
+                    limit = self.page_limits.get(section)
+                    lo = max(page - self.fault_around, 0)
+                    hi = page + self.fault_around
+                    if limit is not None:
+                        hi = min(hi, limit - 1)
+                    for near in range(lo, hi + 1):
+                        resident.add((section, near))
         if new_faults:
             self.faults[section] = self.faults.get(section, 0) + new_faults
         return new_faults

@@ -41,6 +41,12 @@ class QuarantineRegistry:
                    layout_digest: int = 0) -> QuarantineEntry:
         entry = QuarantineEntry(workload=workload, strategy=strategy,
                                 reason=reason, layout_digest=layout_digest)
+        if (workload, strategy) not in self.entries:
+            from ..obs import get_tracer, metrics
+            metrics().counter("validation.quarantines")
+            get_tracer().instant("quarantine", cat="validation",
+                                 workload=workload, strategy=strategy,
+                                 reason=reason)
         self.entries[(workload, strategy)] = entry
         return entry
 

@@ -30,3 +30,13 @@ def run_source(source: str, main_class: str = "Main") -> Tuple[Any, List[str]]:
 @pytest.fixture
 def run():
     return run_source
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    """Isolate each test from the process-wide metrics/trace state."""
+    from repro.obs import get_registry, get_tracer
+
+    get_registry().reset()
+    get_tracer().reset()
+    yield

@@ -144,6 +144,49 @@ class TestStore:
         assert cache.contains(KIND_TRACE, keys[2])
         assert cache.stats.evictions == 1
 
+    def test_eviction_stable_when_clock_stands_still(self, tmp_path, monkeypatch):
+        # puts faster than the wall clock's resolution used to scramble
+        # the eviction order; the monotonic seq tie-break fixes the order
+        import types
+
+        monkeypatch.setattr("repro.cache.store.time",
+                            types.SimpleNamespace(time=lambda: 1000.0))
+        cache = ArtifactCache(tmp_path, max_entries_per_kind=2)
+        keys = [f"{i:02x}" * 32 for i in range(4)]
+        for key in keys:
+            cache.put(KIND_TRACE, key, key)
+        assert not cache.contains(KIND_TRACE, keys[0])
+        assert not cache.contains(KIND_TRACE, keys[1])
+        assert cache.contains(KIND_TRACE, keys[2])
+        assert cache.contains(KIND_TRACE, keys[3])
+
+    def test_sidecar_records_insertion_sequence(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put(KIND_TRACE, "aa" * 32, 1)
+        cache.put(KIND_TRACE, "bb" * 32, 2)
+        seqs = {key: meta["seq"] for key, meta in cache.entries(KIND_TRACE)}
+        assert seqs["aa" * 32] < seqs["bb" * 32]
+
+    def test_entries_without_seq_evict_first(self, tmp_path, monkeypatch):
+        # pre-seq sidecars (older cache versions) must sort oldest
+        import types
+
+        monkeypatch.setattr("repro.cache.store.time",
+                            types.SimpleNamespace(time=lambda: 1000.0))
+        cache = ArtifactCache(tmp_path, max_entries_per_kind=2)
+        cache.put(KIND_TRACE, "aa" * 32, 1)
+        meta_path = tmp_path / KIND_TRACE / "aa" / (("aa" * 32) + ".json")
+        import json as _json
+
+        meta = _json.loads(meta_path.read_text())
+        del meta["seq"]
+        meta_path.write_text(_json.dumps(meta))
+        cache.put(KIND_TRACE, "bb" * 32, 2)
+        cache.put(KIND_TRACE, "cc" * 32, 3)
+        assert not cache.contains(KIND_TRACE, "aa" * 32)
+        assert cache.contains(KIND_TRACE, "bb" * 32)
+        assert cache.contains(KIND_TRACE, "cc" * 32)
+
     def test_clear_empties_every_kind(self, tmp_path):
         cache = ArtifactCache(tmp_path)
         cache.put(KIND_TRACE, "aa" * 32, 1)

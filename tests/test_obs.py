@@ -1,0 +1,369 @@
+"""Tests for the observability layer: metrics registry, spans, export."""
+
+import json
+import pickle
+import threading
+
+import pytest
+
+from repro.obs import (
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+    SpanTracer,
+    format_stats,
+    get_registry,
+    get_tracer,
+    phase,
+    stats_dict,
+    validate_trace,
+)
+
+
+class TestHistogram:
+    def test_observe_tracks_count_total_bounds(self):
+        hist = HistogramSnapshot()
+        for value in (1.0, 2.0, 4.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 7.0
+        assert hist.min == 1.0
+        assert hist.max == 4.0
+        assert hist.mean == pytest.approx(7.0 / 3)
+
+    def test_merge_is_exact(self):
+        left, right, both = (HistogramSnapshot() for _ in range(3))
+        for value in (0.5, 1.5):
+            left.observe(value)
+            both.observe(value)
+        for value in (3.0, 0.001):
+            right.observe(value)
+            both.observe(value)
+        left.merge(right)
+        assert left.count == both.count
+        assert left.total == pytest.approx(both.total)
+        assert left.min == both.min
+        assert left.max == both.max
+        assert left.buckets == both.buckets
+
+    def test_empty_mean_is_zero(self):
+        assert HistogramSnapshot().mean == 0.0
+
+
+class TestRegistry:
+    def test_counter_gauge_histogram_roundtrip(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") == 1
+        assert registry.counter("a", 4) == 5
+        registry.gauge("g", 2.5)
+        registry.observe("h", 0.25)
+        snap = registry.snapshot()
+        assert snap.counters == {"a": 5}
+        assert snap.gauges == {"g": 2.5}
+        assert snap.histograms["h"].count == 1
+
+    def test_snapshot_is_detached(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        snap = registry.snapshot()
+        registry.counter("a")
+        assert snap.counters["a"] == 1
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        registry.observe("h", 1.0)
+        registry.reset()
+        snap = registry.snapshot()
+        assert not snap.counters and not snap.histograms
+
+    def test_concurrent_counting_is_lossless(self):
+        registry = MetricsRegistry()
+
+        def bump():
+            for _ in range(1000):
+                registry.counter("n")
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.snapshot().counters["n"] == 4000
+
+
+class TestSnapshot:
+    def test_merge_counters_add_gauges_max(self):
+        a = MetricsSnapshot(counters={"x": 2}, gauges={"g": 1.0})
+        b = MetricsSnapshot(counters={"x": 3, "y": 1}, gauges={"g": 5.0})
+        a.merge(b)
+        assert a.counters == {"x": 5, "y": 1}
+        assert a.gauges == {"g": 5.0}
+
+    def test_merge_order_does_not_matter(self):
+        parts = [MetricsSnapshot(counters={"x": i, f"k{i}": 1})
+                 for i in range(1, 4)]
+        forward = MetricsSnapshot()
+        for part in parts:
+            forward.merge(part)
+        backward = MetricsSnapshot()
+        for part in reversed(parts):
+            backward.merge(part)
+        assert forward.as_dict() == backward.as_dict()
+
+    def test_diff_returns_only_what_accrued(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        registry.observe("h", 1.0)
+        before = registry.snapshot()
+        registry.counter("a", 2)
+        registry.counter("b")
+        registry.observe("h", 4.0)
+        delta = registry.snapshot().diff(before)
+        assert delta.counters == {"a": 2, "b": 1}
+        assert delta.histograms["h"].count == 1
+        assert delta.histograms["h"].total == 4.0
+
+    def test_diff_then_merge_reconstructs_totals(self):
+        registry = MetricsRegistry()
+        registry.counter("a", 3)
+        before = registry.snapshot()
+        registry.counter("a", 2)
+        registry.counter("b", 7)
+        delta = registry.snapshot().diff(before)
+        rebuilt = before.copy().merge(delta)
+        assert rebuilt.counters == registry.snapshot().counters
+
+    def test_deterministic_plane_filters_and_sorts(self):
+        snap = MetricsSnapshot(counters={
+            "sweep.z": 1, "sweep.a": 2, "cache.hit.image": 9, "phase.build": 3,
+        })
+        det = snap.deterministic()
+        assert det == {"sweep.a": 2, "sweep.z": 1}
+        assert list(det) == ["sweep.a", "sweep.z"]
+
+    def test_snapshot_pickles(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        registry.observe("h", 2.0)
+        snap = registry.snapshot()
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone.as_dict() == snap.as_dict()
+
+
+class TestSpanTracer:
+    def test_span_records_complete_event(self):
+        tracer = SpanTracer()
+        with tracer.span("build", cat="pipeline", mode="optimized"):
+            pass
+        [event] = tracer.events
+        assert event["name"] == "build"
+        assert event["ph"] == "X"
+        assert event["dur"] >= 0
+        assert event["args"] == {"mode": "optimized"}
+
+    def test_span_recorded_even_when_body_raises(self):
+        tracer = SpanTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("nope")
+        assert [e["name"] for e in tracer.events] == ["boom"]
+
+    def test_instant_event(self):
+        tracer = SpanTracer()
+        tracer.instant("evict", cat="cache", key="ab")
+        [event] = tracer.events
+        assert event["ph"] == "i"
+        assert event["s"] == "p"
+
+    def test_mark_and_events_since(self):
+        tracer = SpanTracer()
+        tracer.instant("before")
+        mark = tracer.mark()
+        tracer.instant("after")
+        shipped = tracer.events_since(mark)
+        assert [e["name"] for e in shipped] == ["after"]
+
+    def test_absorb_keeps_foreign_pid(self):
+        tracer = SpanTracer()
+        tracer.absorb([{"name": "remote", "cat": "sched", "ph": "i",
+                        "s": "p", "ts": 1.0, "pid": 99999, "tid": 1,
+                        "args": {}}])
+        assert tracer.events[0]["pid"] == 99999
+
+    def test_event_cap_counts_drops(self):
+        tracer = SpanTracer(max_events=2)
+        for i in range(5):
+            tracer.instant(f"e{i}")
+        assert len(tracer.events) == 2
+        assert tracer.dropped == 3
+        assert tracer.to_chrome()["otherData"]["dropped_events"] == 3
+
+    def test_export_roundtrip_validates(self, tmp_path):
+        tracer = SpanTracer()
+        with tracer.span("build"):
+            tracer.instant("evict", cat="cache")
+        path = tracer.export(tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        assert validate_trace(payload) == []
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_reset_clears_events(self):
+        tracer = SpanTracer()
+        tracer.instant("x")
+        tracer.reset()
+        assert tracer.events == []
+
+
+class TestValidateTrace:
+    def test_accepts_tracer_output(self):
+        tracer = SpanTracer()
+        with tracer.span("a"):
+            pass
+        assert validate_trace(tracer.to_chrome()) == []
+
+    def test_rejects_non_object(self):
+        assert validate_trace([1, 2]) != []
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_trace({"otherData": {}}) != []
+
+    def test_rejects_bad_phase(self):
+        payload = {"traceEvents": [
+            {"name": "x", "ph": "Q", "ts": 0, "pid": 1, "tid": 1},
+        ]}
+        problems = validate_trace(payload)
+        assert any("phase" in p for p in problems)
+
+    def test_rejects_span_without_duration(self):
+        payload = {"traceEvents": [
+            {"name": "x", "ph": "X", "ts": 0, "pid": 1, "tid": 1},
+        ]}
+        problems = validate_trace(payload)
+        assert any("dur" in p for p in problems)
+
+    def test_rejects_nameless_event(self):
+        payload = {"traceEvents": [
+            {"ph": "i", "ts": 0, "pid": 1, "tid": 1},
+        ]}
+        problems = validate_trace(payload)
+        assert any("name" in p for p in problems)
+
+
+class TestPhaseHelper:
+    def test_phase_records_span_counter_and_duration(self):
+        with phase("unittest-phase"):
+            pass
+        snap = get_registry().snapshot()
+        assert snap.counters["phase.unittest-phase"] == 1
+        assert snap.histograms["phase.unittest-phase.seconds"].count == 1
+        assert any(e["name"] == "unittest-phase"
+                   for e in get_tracer().events)
+
+
+class TestRendering:
+    def test_format_stats_lists_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.hit.image", 3)
+        registry.gauge("g", 1.5)
+        registry.observe("phase.build.seconds", 0.5)
+        text = format_stats(registry.snapshot())
+        assert "cache.hit.image" in text
+        assert "phase.build.seconds" in text
+        assert "gauges:" in text
+
+    def test_format_stats_empty(self):
+        assert "no metrics" in format_stats(MetricsSnapshot())
+
+    def test_stats_dict_breaks_out_deterministic_plane(self):
+        snap = MetricsSnapshot(counters={"sweep.ops": 5, "cache.hit.image": 1})
+        payload = stats_dict(snap)
+        assert payload["deterministic"] == {"sweep.ops": 5}
+        assert json.dumps(payload)  # JSON-serializable
+
+
+class TestPipelineInstrumentation:
+    PROGRAM = """
+    class Main {
+        static int main() {
+            int acc = 0;
+            for (int i = 0; i < 20; i++) acc += i;
+            return acc;
+        }
+    }
+    """
+
+    def test_run_strategy_emits_phase_spans_and_counters(self):
+        from repro.eval.pipeline import (
+            STRATEGY_CU,
+            Workload,
+            WorkloadPipeline,
+        )
+
+        pipeline = WorkloadPipeline(Workload(name="obswl",
+                                             source=self.PROGRAM))
+        pipeline.run_strategy(STRATEGY_CU, seed=1)
+        snap = get_registry().snapshot()
+        for name in ("phase.compile", "phase.trace", "phase.post-process",
+                     "phase.build", "phase.order", "phase.measure"):
+            assert snap.counters.get(name), f"missing counter {name}"
+        span_names = {e["name"] for e in get_tracer().events}
+        assert {"compile", "trace", "post-process", "build",
+                "order", "measure"} <= span_names
+        assert validate_trace(get_tracer().to_chrome()) == []
+
+    def test_cache_counters_wired(self, tmp_path):
+        from repro.cache import KIND_TRACE, ArtifactCache
+
+        cache = ArtifactCache(tmp_path)
+        cache.get(KIND_TRACE, "ab" * 32)
+        cache.put(KIND_TRACE, "ab" * 32, 1)
+        cache.get(KIND_TRACE, "ab" * 32)
+        snap = get_registry().snapshot()
+        assert snap.counters["cache.miss.trace"] == 1
+        assert snap.counters["cache.put.trace"] == 1
+        assert snap.counters["cache.hit.trace"] == 1
+
+    def test_eviction_emits_counter_and_instant(self, tmp_path):
+        from repro.cache import KIND_TRACE, ArtifactCache
+
+        cache = ArtifactCache(tmp_path, max_entries_per_kind=1)
+        cache.put(KIND_TRACE, "aa" * 32, 1)
+        cache.put(KIND_TRACE, "bb" * 32, 2)
+        snap = get_registry().snapshot()
+        assert snap.counters["cache.evict"] == 1
+        assert any(e["name"] == "cache.evict"
+                   for e in get_tracer().events)
+
+    def test_degradation_note_emits_counter_and_instant(self):
+        from repro.robustness.degradation import DegradationReport
+
+        report = DegradationReport(workload="w", strategy="s")
+        report.note("profiling failed")
+        snap = get_registry().snapshot()
+        assert snap.counters["robustness.degradation.notes"] == 1
+        assert any(e["name"] == "degradation"
+                   for e in get_tracer().events)
+
+    def test_quarantine_counts_new_convictions_once(self):
+        from repro.validation.quarantine import QuarantineRegistry
+
+        registry = QuarantineRegistry()
+        registry.quarantine("w", "s", "bad layout")
+        registry.quarantine("w", "s", "still bad")  # refresh, not new
+        registry.quarantine("w", "t", "also bad")
+        snap = get_registry().snapshot()
+        assert snap.counters["validation.quarantines"] == 2
+
+
+class TestApiAccessors:
+    def test_toolchain_snapshot_and_trace(self, tmp_path):
+        from repro.api import NativeImageToolchain
+
+        toolchain = NativeImageToolchain.from_source(
+            TestPipelineInstrumentation.PROGRAM, name="apiwl")
+        toolchain.build(seed=1)
+        snap = toolchain.metrics_snapshot()
+        assert snap.counters.get("phase.build") == 1
+        path = toolchain.export_trace(tmp_path / "api-trace.json")
+        assert validate_trace(json.loads(path.read_text())) == []

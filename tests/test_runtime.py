@@ -34,9 +34,15 @@ class TestPageCache:
         assert cache.fault_count(HEAP_SECTION) == 1
         assert cache.total_faults() == 2
 
-    def test_zero_size_counts_as_one_byte(self):
+    def test_zero_size_touch_is_a_noop(self):
         cache = PageCache()
-        assert cache.touch(TEXT_SECTION, 5, 0) == 1
+        assert cache.touch(TEXT_SECTION, 5, 0) == 0
+        assert cache.fault_count(TEXT_SECTION) == 0
+        assert cache.resident_pages(TEXT_SECTION) == set()
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            PageCache().touch(TEXT_SECTION, 5, -1)
 
     def test_negative_offset_rejected(self):
         with pytest.raises(ValueError):
@@ -49,6 +55,19 @@ class TestPageCache:
         assert cache.resident_pages(TEXT_SECTION) == {8, 9, 10, 11, 12}
         # touching a faulted-around page later is free
         assert cache.touch(TEXT_SECTION, 11 * PAGE_SIZE, 1) == 0
+
+    def test_fault_around_clamps_to_section_end(self):
+        # a 12-page section: faulting the last page must not map pages
+        # 12/13 past the end the way it clamps at page 0 on the left
+        cache = PageCache(fault_around=2)
+        cache.set_limit(TEXT_SECTION, 12 * PAGE_SIZE)
+        cache.touch(TEXT_SECTION, 11 * PAGE_SIZE, 1)
+        assert cache.resident_pages(TEXT_SECTION) == {9, 10, 11}
+
+    def test_fault_around_clamps_at_page_zero(self):
+        cache = PageCache(fault_around=2)
+        cache.touch(TEXT_SECTION, 0, 1)
+        assert cache.resident_pages(TEXT_SECTION) == {0, 1, 2}
 
     @given(
         st.lists(

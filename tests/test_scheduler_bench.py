@@ -125,6 +125,54 @@ class TestScheduler:
         with pytest.raises(KeyError):
             scheduler.build_tasks(_workloads(1), [bogus])
 
+    def test_serial_and_parallel_metrics_planes_agree(self, tmp_path):
+        workloads = _workloads(2)
+        serial = SweepScheduler(SchedulerConfig(
+            cache_dir=str(tmp_path / "serial"), max_workers=1,
+        )).run(workloads, SPECS, parallel=False)
+        parallel = SweepScheduler(SchedulerConfig(
+            cache_dir=str(tmp_path / "parallel"), max_workers=2,
+        )).run(workloads, SPECS, parallel=True)
+        assert serial.ok and parallel.ok
+        det_serial = serial.metrics.deterministic()
+        det_parallel = parallel.metrics.deterministic()
+        assert det_serial  # the plane must actually be populated
+        assert det_serial["sweep.tasks.completed"] == len(serial.tasks)
+        assert (json.dumps(det_serial, sort_keys=True)
+                == json.dumps(det_parallel, sort_keys=True))
+
+    def test_parallel_metrics_fold_into_parent_registry(self, tmp_path):
+        from repro.obs import get_registry
+
+        sweep = SweepScheduler(SchedulerConfig(
+            cache_dir=str(tmp_path / "cache"), max_workers=2,
+        )).run(_workloads(2), [STRATEGY_CU], parallel=True)
+        assert sweep.ok
+        merged = get_registry().snapshot()
+        # worker-side deltas (shipped in TaskResults) landed in the parent
+        assert (merged.deterministic()
+                == sweep.metrics.deterministic())
+        assert merged.counters.get("sched.tasks.completed") == len(sweep.tasks)
+
+    def test_inline_metrics_are_not_double_counted(self, tmp_path):
+        from repro.obs import get_registry
+
+        sweep = SweepScheduler(SchedulerConfig(
+            cache_dir=str(tmp_path / "cache"), max_workers=1,
+        )).run(_workloads(1), [STRATEGY_CU])
+        assert sweep.ok
+        merged = get_registry().snapshot()
+        assert merged.deterministic() == sweep.metrics.deterministic()
+        assert merged.counters["sched.tasks.dispatched"] == len(sweep.tasks)
+
+    def test_task_failure_lands_in_deterministic_plane(self, tmp_path):
+        sweep = SweepScheduler(SchedulerConfig(
+            cache_dir=str(tmp_path / "cache"), max_workers=1,
+        )).run([Workload(name="bad", source=BROKEN_PROGRAM)], [STRATEGY_CU])
+        det = sweep.metrics.deterministic()
+        assert det["sweep.tasks.errors"] == 1
+        assert "sweep.tasks.completed" not in det
+
     def test_quarantine_travels_back_to_sweep(self, tmp_path):
         from repro.validation import (
             LayoutMutationPlan,
@@ -197,3 +245,62 @@ class TestBench:
         }
         failures = check_payload(payload)
         assert len(failures) == 2
+
+
+class TestRegressionGate:
+    @staticmethod
+    def _payload(cold_wall=2.0, warm_wall=0.1, hit_rate=1.0, cells=6):
+        return {
+            "config": {"cells": cells},
+            "phases": {
+                "cold": {"wall_s": cold_wall, "cache_hit_rate": 0.3},
+                "warm": {"wall_s": warm_wall, "cache_hit_rate": hit_rate},
+            },
+        }
+
+    def test_identical_payloads_pass(self):
+        from repro.eval.bench import check_regression
+
+        payload = self._payload()
+        assert check_regression(payload, self._payload()) == []
+
+    def test_wall_clock_regression_fails(self):
+        from repro.eval.bench import check_regression
+
+        slow = self._payload(cold_wall=4.0)
+        failures = check_regression(slow, self._payload(cold_wall=2.0),
+                                    wall_tolerance=0.5)
+        assert len(failures) == 1
+        assert "cold" in failures[0]
+
+    def test_hit_rate_drop_fails(self):
+        from repro.eval.bench import check_regression
+
+        cold = self._payload(hit_rate=0.8)
+        failures = check_regression(cold, self._payload(hit_rate=1.0))
+        assert len(failures) == 1
+        assert "hit rate" in failures[0]
+
+    def test_within_tolerance_passes(self):
+        from repro.eval.bench import check_regression
+
+        slightly_slow = self._payload(cold_wall=2.4)
+        assert check_regression(slightly_slow,
+                                self._payload(cold_wall=2.0),
+                                wall_tolerance=0.5) == []
+
+    def test_phases_missing_from_either_side_are_skipped(self):
+        from repro.eval.bench import check_regression
+
+        mine = self._payload()
+        base = self._payload()
+        base["phases"]["serial"] = {"wall_s": 50.0}
+        assert check_regression(mine, base) == []
+
+    def test_different_matrix_sizes_incomparable(self):
+        from repro.eval.bench import check_regression
+
+        failures = check_regression(self._payload(cells=6),
+                                    self._payload(cells=12))
+        assert len(failures) == 1
+        assert "matrix" in failures[0]
