@@ -189,6 +189,35 @@ class NativeImageToolchain:
         """
         return get_tracer().export(path)
 
+    def attribute(self, binary: NativeImageBinary, label: str = ""):
+        """One observer-enabled cold run of ``binary``, fully attributed.
+
+        Returns the :class:`repro.obs.StartupAttributionReport`: per-unit
+        fault shares, page co-tenancy, the first-touch timeline, and the
+        front-density curve.  The run happens with the fault observer on
+        (and is never cached); all other runs stay observer-free.
+        """
+        from .eval.explain import attributed_run
+        return attributed_run(self._pipeline, binary,
+                              label or self.workload.name)
+
+    def explain(self, strategy: str = "cu", seed: int = 0):
+        """The layout regression explainer (``repro why``) for one strategy.
+
+        Builds baseline + optimized images (cache-served when warm), runs
+        each once with the fault observer, and returns the ranked
+        :class:`repro.eval.explain.WhyReport` — which units gained/lost
+        faults, moved across page boundaries, or changed co-tenancy.
+        Raises :class:`KeyError` for unknown strategy names.
+        """
+        from .eval.explain import explain_strategy
+        spec = STRATEGIES.get(strategy)
+        if spec is None:
+            raise KeyError(
+                f"unknown strategy {strategy!r}; choose from {sorted(STRATEGIES)}"
+            )
+        return explain_strategy(self._pipeline, spec, seed=seed)
+
     # -- build & run ---------------------------------------------------------
 
     def build(self, seed: int = 0) -> NativeImageBinary:

@@ -22,6 +22,10 @@ Commands mirror the paper's artifact scripts:
   metrics-registry summary (counters, gauges, histograms);
 * ``trace``    — run one strategy end-to-end and export the span trace as
   Chrome trace-event JSON (``chrome://tracing`` / Perfetto);
+* ``why``      — the layout regression explainer: attribute every startup
+  fault to the CUs/heap objects on the faulted page, diff baseline vs an
+  optimized layout, and print the ranked blame (``--json`` for the
+  machine-readable report, ``--csv`` for the full per-unit table);
 * ``list``     — available workloads.
 
 Option defaults that mirror a config dataclass are read from that
@@ -289,6 +293,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         output=args.output,
         skip_serial=args.skip_serial,
+        attribution=not args.no_attribution,
     )
     if args.only:
         kwargs["workloads"] = tuple(args.only)
@@ -374,6 +379,27 @@ def cmd_trace(args: argparse.Namespace) -> int:
     for problem in problems:
         print(f"INVALID: {problem}")
     return 1 if problems else 0
+
+
+def cmd_why(args: argparse.Namespace) -> int:
+    from .eval.explain import explain_strategy
+
+    workload = _find_workload(args.workload)
+    spec = STRATEGIES.get(args.strategy)
+    if spec is None:
+        raise SystemExit(
+            f"unknown strategy {args.strategy!r}; choose from {sorted(STRATEGIES)}"
+        )
+    pipeline = WorkloadPipeline(workload)
+    why = explain_strategy(pipeline, spec, seed=args.seed)
+    if args.json:
+        print(why.to_json())
+    else:
+        print(why.render(top=args.top))
+    if args.csv:
+        path = why.to_csv(args.csv)
+        print(f"wrote {path} ({len(why.ranked)} unit rows)", file=sys.stderr)
+    return 0
 
 
 def cmd_emit(args: argparse.Namespace) -> int:
@@ -521,6 +547,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="result JSON path (default: %(default)s)")
     p_bench.add_argument("--skip-serial", action="store_true",
                          help="skip the slow serial reference phase")
+    p_bench.add_argument("--no-attribution", action="store_true",
+                         help="skip the attribution phase (observer-enabled "
+                         "runs + per-workload blame report)")
     p_bench.add_argument("--check", action="store_true",
                          help="exit non-zero unless warm hit rate is 100%% "
                          "and all phases agree (CI mode)")
@@ -575,6 +604,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("-o", "--output", default="trace.json",
                          help="trace-event JSON path (default: %(default)s)")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_why = sub.add_parser(
+        "why",
+        help="explain a layout's fault profile: ranked per-unit blame vs "
+        "the baseline image",
+    )
+    p_why.add_argument("--workload", default="Bounce")
+    p_why.add_argument("--strategy", default="cu",
+                       help="optimized layout to explain (default: %(default)s)")
+    p_why.add_argument("--seed", type=int, default=1)
+    p_why.add_argument("--top", type=int, default=10,
+                       help="changed units shown in the text report "
+                       "(default: %(default)s)")
+    p_why.add_argument("--json", action="store_true",
+                       help="print the full machine-readable report")
+    p_why.add_argument("--csv",
+                       help="also export the per-unit delta table as CSV")
+    p_why.set_defaults(func=cmd_why)
 
     p_emit = sub.add_parser("emit", help="write a built image as a SNIB file")
     p_emit.add_argument("workload")

@@ -19,6 +19,17 @@ Because the simulated toolchain is deterministic and per-task seeds are
 content-derived, all three phases must agree on every metric; the harness
 checks that and reports any divergence as a benchmark failure.  Results are
 written to ``BENCH_pipeline.json`` (schema below) for CI trend tracking.
+
+A fourth, optional phase (``attribution``, on by default) runs the startup
+attribution profiler (:mod:`repro.eval.explain`) on one AWFY workload and
+one microservice of the matrix against the warm cache: observer-enabled
+runs are the only extra cost, and the payload records what turning the
+hook on adds over observer-off runs of the same binaries as
+``attribution.overhead_vs_cold`` (``observer_overhead_s`` relative to the
+cold phase) — asserted under :data:`MAX_ATTRIBUTION_OVERHEAD` by
+``--check``, keeping the observer's price honest.  Its per-workload top-blamed units also feed the regression
+gate: when ``--baseline`` fails, the gate names the symbols most
+responsible for the current layout's faults instead of just the numbers.
 """
 
 from __future__ import annotations
@@ -70,6 +81,8 @@ class BenchConfig:
     output: str = DEFAULT_OUTPUT
     #: skip the serial reference phase (it dominates runtime on big matrices)
     skip_serial: bool = False
+    #: run the attribution phase (observer-enabled runs + blame report)
+    attribution: bool = True
 
     @classmethod
     def quick(cls, **overrides: Any) -> "BenchConfig":
@@ -154,6 +167,89 @@ def _run_serial_legacy(workloads: Sequence[Workload],
                        workers=1)
 
 
+#: ceiling on the attribution phase's cost relative to the cold sweep;
+#: the fault observer is supposed to be cheap, and ``--check`` holds it to it
+MAX_ATTRIBUTION_OVERHEAD = 0.10
+
+#: top blamed units recorded per workload (the regression-gate diagnosis)
+ATTRIBUTION_TOP = 3
+
+
+def _attribution_picks(workloads: Sequence[Workload]) -> List[Workload]:
+    """One AWFY workload and one microservice (whichever the matrix has)."""
+    picks: List[Workload] = []
+    for micro in (False, True):
+        for workload in workloads:
+            if workload.microservice == micro:
+                picks.append(workload)
+                break
+    return picks
+
+
+def _attribution_phase(workloads: Sequence[Workload],
+                       strategies: Sequence[StrategySpec],
+                       config: BenchConfig,
+                       cache_dir: str) -> Dict[str, Any]:
+    """Observer-enabled ``repro why`` runs against the warm cache.
+
+    Builds and profiles are warm-cache hits; the new work is one
+    observer-enabled cold run per binary.  ``runs_wall_s`` times exactly
+    those runs; ``plain_wall_s`` times the same runs with the observer
+    off, so ``observer_overhead_s`` isolates what turning the hook on
+    costs — the quantity the ``overhead_vs_cold`` budget polices.
+    ``wall_s`` is the whole phase including cache loads and the diff.
+    """
+    from ..runtime.executor import run_binary
+    from .explain import attributed_run, explain_reports
+
+    spec = next((s for s in strategies if s.name == "cu"), strategies[0])
+    entries: Dict[str, Any] = {}
+    runs_wall = 0.0
+    plain_wall = 0.0
+    start = time.perf_counter()
+    for workload in _attribution_picks(workloads):
+        pipeline = WorkloadPipeline(
+            workload, cache=ArtifactCache(Path(cache_dir))
+        )
+        seed = task_seed(config.base_seed, workload.name)
+        baseline_binary = pipeline.build_baseline(seed=seed)
+        outcome = pipeline.profile(seed=seed)
+        optimized_binary = pipeline.build_optimized(
+            outcome.profiles, spec, seed=seed
+        )
+        tick = time.perf_counter()
+        for binary in (baseline_binary, optimized_binary):
+            run_binary(binary, pipeline.exec_config)
+        plain_wall += time.perf_counter() - tick
+        tick = time.perf_counter()
+        baseline_report = attributed_run(
+            pipeline, baseline_binary, label=f"{workload.name}/baseline"
+        )
+        current_report = attributed_run(
+            pipeline, optimized_binary, label=f"{workload.name}/{spec.name}"
+        )
+        runs_wall += time.perf_counter() - tick
+        why = explain_reports(
+            baseline_report, current_report,
+            workload=workload.name, strategy=spec.name,
+        )
+        entries[workload.name] = {
+            "top_blamed": why.top_blamed(ATTRIBUTION_TOP),
+            "moved_units": len(why.moved_units),
+            "changed_units": len(why.ranked),
+            "fault_delta": why.fault_delta,
+            "events": len(why.current.timeline),
+        }
+    return {
+        "strategy": spec.name,
+        "wall_s": round(time.perf_counter() - start, 4),
+        "runs_wall_s": round(runs_wall, 4),
+        "plain_wall_s": round(plain_wall, 4),
+        "observer_overhead_s": round(max(runs_wall - plain_wall, 0.0), 4),
+        "workloads": entries,
+    }
+
+
 def run_bench(config: BenchConfig,
               log=lambda message: None) -> Dict[str, Any]:
     """Run all phases and return the ``BENCH_pipeline.json`` payload."""
@@ -200,6 +296,19 @@ def run_bench(config: BenchConfig,
         payload["phases"]["warm"] = _phase_dict(warm)
         log(f"  {warm.wall_s:.2f}s, hit rate {warm.cache_hit_rate:.0%}")
 
+        if config.attribution:
+            log("phase attribution: observer-enabled runs + blame report")
+            attribution = _attribution_phase(
+                workloads, strategies, config, cache_dir
+            )
+            attribution["overhead_vs_cold"] = (
+                round(attribution["observer_overhead_s"] / cold.wall_s, 4)
+                if cold.wall_s else 0.0
+            )
+            payload["attribution"] = attribution
+            log(f"  {attribution['wall_s']:.2f}s "
+                f"({attribution['overhead_vs_cold']:.1%} of cold)")
+
     if serial is not None and cold.wall_s:
         payload["speedup_parallel"] = round(serial.wall_s / cold.wall_s, 2)
     if warm.wall_s:
@@ -235,6 +344,11 @@ def check_regression(payload: Dict[str, Any], baseline: Dict[str, Any],
     are skipped, so a ``--skip-serial`` run still gates against a full
     baseline.  Matrices of different sizes are incomparable and fail
     outright.
+
+    When the gate fails and the payload carries an attribution phase, the
+    failure list ends with the per-workload top-blamed units — the CUs /
+    heap objects most responsible for the current layout's faults — so a
+    red gate names suspects, not just numbers.
     """
     failures: List[str] = []
     mine = payload.get("config", {}).get("cells")
@@ -263,7 +377,24 @@ def check_regression(payload: Dict[str, Any], baseline: Dict[str, Any],
                 f"warm cache hit rate {rate:.2%} dropped below baseline "
                 f"{base_rate:.2%} by more than {hit_rate_tolerance:.0%}"
             )
+    if failures:
+        failures.extend(attribution_diagnosis(payload))
     return failures
+
+
+def attribution_diagnosis(payload: Dict[str, Any]) -> List[str]:
+    """The blame lines a failing gate appends (empty without attribution)."""
+    attribution = payload.get("attribution") or {}
+    strategy = attribution.get("strategy", "?")
+    lines = []
+    for name, entry in sorted(attribution.get("workloads", {}).items()):
+        blamed = ", ".join(entry.get("top_blamed", [])) or "none"
+        lines.append(
+            f"top blamed symbols for {name}/{strategy}: {blamed} "
+            f"({entry.get('changed_units', 0)} changed unit(s), "
+            f"fault delta {entry.get('fault_delta', 0):+d})"
+        )
+    return lines
 
 
 def check_payload(payload: Dict[str, Any]) -> List[str]:
@@ -282,6 +413,14 @@ def check_payload(payload: Dict[str, Any]) -> List[str]:
         failures.append(
             f"warm cache hit rate {warm.get('cache_hit_rate')} (want 1.0)"
         )
+    attribution = payload.get("attribution")
+    if attribution:
+        overhead = attribution.get("overhead_vs_cold", 0.0)
+        if overhead > MAX_ATTRIBUTION_OVERHEAD:
+            failures.append(
+                f"attribution overhead {overhead:.1%} of cold wall-clock "
+                f"exceeds the {MAX_ATTRIBUTION_OVERHEAD:.0%} budget"
+            )
     return failures
 
 
@@ -308,5 +447,14 @@ def format_summary(payload: Dict[str, Any]) -> str:
     if "speedup_warm" in payload:
         lines.append(f"  warm-cache speedup over cold: "
                      f"{payload['speedup_warm']:.2f}x")
+    attribution = payload.get("attribution")
+    if attribution:
+        lines.append(
+            f"  attribution ({attribution['strategy']}): observed runs "
+            f"{attribution['runs_wall_s']:.2f}s "
+            f"(observer overhead "
+            f"{attribution.get('overhead_vs_cold', 0.0):.1%} of cold) on "
+            + ", ".join(sorted(attribution.get("workloads", {})))
+        )
     lines.append(f"  deterministic: {payload['deterministic']}")
     return "\n".join(lines)

@@ -19,8 +19,9 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from ..image.binary import NativeImageBinary
-from ..image.sections import HEAP_SECTION, PAGE_SIZE
+from ..image.sections import HEAP_SECTION
 from ..runtime.executor import ExecutionConfig, run_binary
+from ..util.pagemath import page_count, pages_spanned
 
 
 @dataclass
@@ -75,7 +76,7 @@ def heap_page_map(
     config = replace(config, fault_around_pages=fault_around_pages)
     metrics = run_binary(binary, config)
 
-    total_pages = max((binary.heap.size + PAGE_SIZE - 1) // PAGE_SIZE, 1)
+    total_pages = max(page_count(binary.heap.size), 1)
     faulted = metrics.faulted_pages.get(HEAP_SECTION, frozenset())
     resident = metrics.resident_pages.get(HEAP_SECTION, frozenset())
 
@@ -83,10 +84,8 @@ def heap_page_map(
     page_type_counts: Dict[int, Counter] = {}
     objects_on_faulted = 0
     for obj in binary.heap.ordered:
-        first = obj.address // PAGE_SIZE
-        last = (obj.address + max(obj.size, 1) - 1) // PAGE_SIZE
         on_faulted = False
-        for page in range(first, last + 1):
+        for page in pages_spanned(obj.address, max(obj.size, 1)):
             page_type_counts.setdefault(page, Counter())[obj.type_name] += 1
             if page in faulted:
                 on_faulted = True

@@ -16,8 +16,9 @@ from dataclasses import dataclass, replace
 from typing import List, Optional
 
 from ..image.binary import NativeImageBinary
-from ..image.sections import PAGE_SIZE, TEXT_SECTION
+from ..image.sections import TEXT_SECTION
 from ..runtime.executor import ExecutionConfig, run_binary
+from ..util.pagemath import page_count, page_of
 
 
 @dataclass
@@ -53,8 +54,8 @@ def text_page_map(
     config = replace(config, fault_around_pages=fault_around_pages)
     metrics = run_binary(binary, config)
 
-    total_pages = (binary.text.size + PAGE_SIZE - 1) // PAGE_SIZE
-    native_first = binary.text.native_blob_offset // PAGE_SIZE
+    total_pages = page_count(binary.text.size)
+    native_first = page_of(binary.text.native_blob_offset)
     faulted = metrics.faulted_pages.get(TEXT_SECTION, frozenset())
     resident = metrics.resident_pages.get(TEXT_SECTION, frozenset())
 

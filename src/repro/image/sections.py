@@ -11,9 +11,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..graal.cunits import CompilationUnit, CuMember
+from ..util.pagemath import PAGE_SIZE, pages_spanned as _pages_spanned
 from .heap import HeapObject
 
-PAGE_SIZE = 4096
 CU_ALIGN = 16
 OBJ_ALIGN = 8
 # Historical private aliases; the validation package reads the public names.
@@ -126,14 +126,9 @@ def expected_heap_size(objects: List[HeapObject]) -> int:
 def pages_spanned(offset: int, size: int, page_size: int = PAGE_SIZE) -> range:
     """The page indices touched by a byte range.
 
-    A zero-length range spans no pages (empty range) — mirroring
-    :meth:`repro.runtime.paging.PageCache.touch`, which treats zero-length
-    touches as no-ops rather than silently charging one page.
+    Delegates to the shared :func:`repro.util.pagemath.pages_spanned` so
+    section layout, the paging simulator, the Fig. 6 maps, and the
+    attribution layer all agree on spanning; kept as a re-export because
+    callers historically import it from here.
     """
-    if size < 0:
-        raise ValueError(f"negative size {size}")
-    if size == 0:
-        return range(offset // page_size, offset // page_size)
-    first = offset // page_size
-    last = (offset + size - 1) // page_size
-    return range(first, last + 1)
+    return _pages_spanned(offset, size, page_size)

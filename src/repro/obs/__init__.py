@@ -14,10 +14,26 @@ events in :mod:`repro.robustness.degradation` and
 :mod:`repro.validation.quarantine`); this package deliberately imports
 nothing from them, so any module may instrument without cycles.
 
-CLI entry points: ``repro stats`` (merged metrics summary) and ``repro
-trace`` (Chrome trace export).
+Startup attribution lives in :mod:`repro.obs.attrib`: a fault-observer
+hook (off by default) records the per-run first-touch fault stream, and
+:func:`attribute` joins it against the binary's section maps to blame
+every fault on the CUs/heap objects resident on the faulted page.  The
+differential explainer on top of it is :mod:`repro.eval.explain`.
+
+CLI entry points: ``repro stats`` (merged metrics summary), ``repro
+trace`` (Chrome trace export), and ``repro why`` (attribution diff).
 """
 
+from .attrib import (
+    FaultEvent,
+    FaultObserver,
+    SectionAttribution,
+    StartupAttributionReport,
+    UnitBlame,
+    attribute,
+    attribute_run,
+    binary_tenancies,
+)
 from .export import format_stats, stats_dict, validate_trace
 from .metrics import (
     DETERMINISTIC_PREFIX,
@@ -31,10 +47,18 @@ from .spans import SpanTracer, get_tracer, phase, tracer
 
 __all__ = [
     "DETERMINISTIC_PREFIX",
+    "FaultEvent",
+    "FaultObserver",
     "HistogramSnapshot",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "SectionAttribution",
     "SpanTracer",
+    "StartupAttributionReport",
+    "UnitBlame",
+    "attribute",
+    "attribute_run",
+    "binary_tenancies",
     "format_stats",
     "get_registry",
     "get_tracer",

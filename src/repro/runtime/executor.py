@@ -50,6 +50,9 @@ class ExecutionConfig:
     #: relative measurement noise (std-dev); 0 = deterministic
     time_jitter: float = 0.0
     jitter_seed: int = 0
+    #: record the first-touch fault stream for attribution (off by default;
+    #: when off, the page cache carries no observer and pays no overhead)
+    fault_observer: bool = False
     # probe costs (instrumented runs; Sec. 7.4 overhead model).  Calibrated
     # so the per-flavour overhead factors land in the paper's regime
     # (~1.2x-3.7x, method > cu, mmap write-through > buffered dumps).
@@ -88,6 +91,9 @@ class RunMetrics:
     #: per-section page-level detail (for the Fig. 6 visualization)
     faulted_pages: Dict[str, frozenset] = field(default_factory=dict)
     resident_pages: Dict[str, frozenset] = field(default_factory=dict)
+    #: first-touch fault stream, in charge order; only populated when the
+    #: run executed with ``fault_observer=True`` (see repro.obs.attrib)
+    fault_events: Optional[List[Any]] = None
 
     @property
     def text_faults(self) -> int:
@@ -210,7 +216,14 @@ class BinaryExecutor:
         """One cold execution (caches dropped beforehand, as in Sec. 7.1)."""
         config = self._config
         binary = self._binary
-        cache = PageCache(fault_around=config.fault_around_pages)
+        observer = None
+        if config.fault_observer:
+            # Imported lazily: the runtime layer only depends on the
+            # observability layer when a run asks for attribution.
+            from ..obs.attrib import FaultObserver
+            observer = FaultObserver(config.device)
+        cache = PageCache(fault_around=config.fault_around_pages,
+                          observer=observer)
         # Fault-around must never map pages past a section's end.
         cache.set_limit(TEXT_SECTION, binary.text.size)
         cache.set_limit(HEAP_SECTION, binary.heap.size)
@@ -254,6 +267,8 @@ class BinaryExecutor:
                 cache.faulted_pages.get(section, set())
             )
             metrics.resident_pages[section] = frozenset(cache.resident_pages(section))
+        if observer is not None:
+            metrics.fault_events = observer.events
         if self._tracer is not None:
             metrics.trace_event_counts = self._tracer.event_counts()
         metrics.time_s = self._time_of(metrics.ops, metrics.faults,

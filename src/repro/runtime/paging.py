@@ -14,20 +14,47 @@ between iterations, and so do we, trivially, by instantiating a fresh
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Set, Tuple
+from typing import Dict, Optional, Protocol, Set, Tuple
 
-from ..image.sections import PAGE_SIZE
+from ..util.pagemath import PAGE_SIZE, page_count, pages_spanned
 
 
 @dataclass(frozen=True)
 class IoDevice:
-    """A storage device model: cost of servicing one major page fault."""
+    """A storage device model: cost of servicing major page faults.
+
+    The cost is per-event-capable: :meth:`fault_cost_at` prices the *i*-th
+    fault of a run (0-based, counted across all sections, matching the
+    executor's time model which charges total faults).  ``warmup_faults``
+    models a cold device/queue: the first that-many faults each pay
+    ``warmup_extra_s`` on top of the steady-state latency (0 by default, so
+    the classic constant-latency accounting is unchanged).  The aggregate
+    :meth:`fault_cost` is exactly the sum of the per-event costs — the
+    attribution timeline depends on that identity.
+    """
 
     name: str
     fault_latency_s: float
+    #: first faults that pay an extra cold-start penalty (0 = none)
+    warmup_faults: int = 0
+    warmup_extra_s: float = 0.0
+
+    def fault_cost_at(self, index: int) -> float:
+        """Cost of the ``index``-th fault of a run (0-based)."""
+        if index < 0:
+            raise ValueError(f"negative fault index {index}")
+        cost = self.fault_latency_s
+        if index < self.warmup_faults:
+            cost += self.warmup_extra_s
+        return cost
 
     def fault_cost(self, faults: int) -> float:
-        return faults * self.fault_latency_s
+        """Aggregate cost of ``faults`` faults (== sum of per-event costs)."""
+        cost = faults * self.fault_latency_s
+        warm = min(faults, self.warmup_faults)
+        if warm > 0:
+            cost += warm * self.warmup_extra_s
+        return cost
 
 
 #: A local SSD (the paper's primary device).
@@ -36,6 +63,20 @@ SSD = IoDevice(name="ssd", fault_latency_s=90e-6)
 NFS = IoDevice(name="nfs", fault_latency_s=450e-6)
 
 DEVICES = {d.name: d for d in (SSD, NFS)}
+
+
+class FaultObserverHook(Protocol):
+    """What :class:`PageCache` calls on every first-touch fault.
+
+    ``on_fault(section, page, offset)`` fires once per major fault, in
+    fault order, with the byte ``offset`` of the access that pulled the
+    page in (clamped to the page's start for multi-page touches).  The hook
+    must not touch the cache re-entrantly.  Implementations live in
+    :mod:`repro.obs.attrib`; the cache only knows the protocol so the
+    runtime layer never imports the observability layer.
+    """
+
+    def on_fault(self, section: str, page: int, offset: int) -> None: ...
 
 
 @dataclass
@@ -47,6 +88,11 @@ class PageCache:
     *without* counting them as faults.  It is 0 by default (the paper's
     per-page accounting); the Fig. 6 visualization enables it to show the
     "mapped but not faulted" (red) pages.
+
+    ``observer`` (off by default) is the attribution hook: when set, every
+    first-touch fault is reported via :class:`FaultObserverHook` in the
+    exact order it was charged.  Fault-around neighbour pages are mapped
+    but never reported — they are not faults.
     """
 
     page_size: int = PAGE_SIZE
@@ -56,6 +102,8 @@ class PageCache:
     faulted_pages: Dict[str, Set[int]] = field(default_factory=dict)
     #: section -> page count; fault-around never maps past the last page
     page_limits: Dict[str, int] = field(default_factory=dict)
+    #: attribution hook (None = zero-overhead accounting, the default)
+    observer: Optional[FaultObserverHook] = None
 
     def set_limit(self, section: str, size_bytes: int) -> None:
         """Register a section's byte size so fault-around stays in bounds.
@@ -64,8 +112,8 @@ class PageCache:
         end of the section and ``resident_pages`` (Fig. 6) would show
         pages the section does not have.
         """
-        pages = (size_bytes + self.page_size - 1) // self.page_size
-        self.page_limits[section] = max(pages, 0)
+        self.page_limits[section] = page_count(max(size_bytes, 0),
+                                               self.page_size)
 
     def touch(self, section: str, offset: int, size: int = 1) -> int:
         """Touch a byte range; returns the number of faults it caused.
@@ -76,20 +124,19 @@ class PageCache:
         """
         if offset < 0:
             raise ValueError(f"negative offset {offset} in {section}")
-        if size < 0:
-            raise ValueError(f"negative size {size} in {section}")
         if size == 0:
             return 0
-        first = offset // self.page_size
-        last = (offset + size - 1) // self.page_size
         new_faults = 0
         resident = self.resident
-        for page in range(first, last + 1):
+        for page in pages_spanned(offset, size, self.page_size):
             key = (section, page)
             if key not in resident:
                 resident.add(key)
                 new_faults += 1
                 self.faulted_pages.setdefault(section, set()).add(page)
+                if self.observer is not None:
+                    self.observer.on_fault(section, page,
+                                           max(offset, page * self.page_size))
                 if self.fault_around:
                     limit = self.page_limits.get(section)
                     lo = max(page - self.fault_around, 0)

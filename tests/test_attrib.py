@@ -1,0 +1,473 @@
+"""Tests for startup attribution (repro.obs.attrib) and `repro why`.
+
+Covers the fault-observer hook contract, per-event device costs, the
+exact-share accounting of `attribute`, the differential explainer, its
+CLI/bench surfaces, and the serial-vs-parallel determinism of reports.
+"""
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+from fractions import Fraction
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.bench import (
+    ATTRIBUTION_TOP,
+    BenchConfig,
+    MAX_ATTRIBUTION_OVERHEAD,
+    attribution_diagnosis,
+    check_payload,
+    check_regression,
+    run_bench,
+)
+from repro.eval.explain import (
+    CSV_COLUMNS,
+    WhyReport,
+    attributed_run,
+    explain_reports,
+    explain_strategy,
+)
+from repro.eval.pipeline import STRATEGY_CU, WorkloadPipeline
+from repro.image.sections import HEAP_SECTION, TEXT_SECTION
+from repro.obs.attrib import (
+    NATIVE_BLOB_UNIT,
+    PADDING_UNIT,
+    FaultEvent,
+    FaultObserver,
+    attribute,
+    binary_tenancies,
+)
+from repro.runtime.executor import ExecutionConfig, run_binary
+from repro.runtime.paging import SSD, IoDevice, PageCache
+from repro.util.pagemath import PAGE_SIZE, page_count, page_of, pages_spanned
+from repro.workloads.awfy.suite import awfy_workload
+from repro.workloads.microservices.suite import microservice_workload
+
+
+# -- shared page math ---------------------------------------------------------
+
+
+class TestPageMath:
+    def test_page_of(self):
+        assert page_of(0) == 0
+        assert page_of(PAGE_SIZE - 1) == 0
+        assert page_of(PAGE_SIZE) == 1
+
+    def test_page_count(self):
+        assert page_count(0) == 0
+        assert page_count(1) == 1
+        assert page_count(PAGE_SIZE) == 1
+        assert page_count(PAGE_SIZE + 1) == 2
+        with pytest.raises(ValueError):
+            page_count(-1)
+
+    def test_pages_spanned_zero_length_is_empty(self):
+        assert list(pages_spanned(123, 0)) == []
+
+    def test_pages_spanned_crosses_boundary(self):
+        assert list(pages_spanned(PAGE_SIZE - 1, 2)) == [0, 1]
+
+    def test_pages_spanned_negative_size_raises(self):
+        with pytest.raises(ValueError):
+            pages_spanned(0, -1)
+
+    def test_sections_reexport_agrees(self):
+        from repro.image.sections import pages_spanned as sections_spanned
+
+        for offset, size in ((0, 1), (4095, 2), (8192, 4096), (5, 0)):
+            assert list(sections_spanned(offset, size)) == list(
+                pages_spanned(offset, size)
+            )
+
+
+# -- per-event device costs ---------------------------------------------------
+
+
+class TestIoDeviceEventCosts:
+    def test_constant_latency_unchanged(self):
+        assert SSD.fault_cost_at(0) == SSD.fault_latency_s
+        assert SSD.fault_cost_at(10_000) == SSD.fault_latency_s
+        assert SSD.fault_cost(7) == pytest.approx(7 * SSD.fault_latency_s)
+
+    def test_negative_index_raises(self):
+        with pytest.raises(ValueError):
+            SSD.fault_cost_at(-1)
+
+    def test_warmup_prices_first_faults_higher(self):
+        device = IoDevice("cold-nfs", 100e-6, warmup_faults=3,
+                          warmup_extra_s=50e-6)
+        assert device.fault_cost_at(0) == pytest.approx(150e-6)
+        assert device.fault_cost_at(2) == pytest.approx(150e-6)
+        assert device.fault_cost_at(3) == pytest.approx(100e-6)
+
+    @given(
+        faults=st.integers(min_value=0, max_value=200),
+        warmup=st.integers(min_value=0, max_value=50),
+        latency=st.floats(min_value=1e-6, max_value=1e-3),
+        extra=st.floats(min_value=0.0, max_value=1e-3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_timeline_total_equals_aggregate(self, faults, warmup, latency,
+                                             extra):
+        """The satellite regression: sum of per-event costs == aggregate."""
+        device = IoDevice("x", latency, warmup_faults=warmup,
+                          warmup_extra_s=extra)
+        timeline = sum(device.fault_cost_at(i) for i in range(faults))
+        assert timeline == pytest.approx(device.fault_cost(faults))
+
+
+# -- observer hook ------------------------------------------------------------
+
+
+class TestFaultObserverHook:
+    def test_cache_carries_no_observer_by_default(self):
+        assert PageCache().observer is None
+        config = ExecutionConfig()
+        assert config.fault_observer is False
+
+    def test_events_in_fault_order_with_costs(self):
+        observer = FaultObserver(SSD)
+        cache = PageCache(observer=observer)
+        cache.touch(TEXT_SECTION, 0, 2 * PAGE_SIZE)  # pages 0, 1
+        cache.touch(HEAP_SECTION, 100, 1)            # page 0
+        cache.touch(TEXT_SECTION, 10, 1)             # already resident
+        assert [(e.section, e.page) for e in observer.events] == [
+            (TEXT_SECTION, 0), (TEXT_SECTION, 1), (HEAP_SECTION, 0),
+        ]
+        assert [e.logical_time for e in observer.events] == [0, 1, 2]
+        assert observer.total_cost == pytest.approx(SSD.fault_cost(3))
+
+    def test_offset_clamped_to_page_start_for_spanning_touches(self):
+        observer = FaultObserver()
+        cache = PageCache(observer=observer)
+        cache.touch(TEXT_SECTION, PAGE_SIZE - 1, 2)
+        assert [e.offset for e in observer.events] == [PAGE_SIZE - 1, PAGE_SIZE]
+
+    def test_fault_around_neighbours_not_reported(self):
+        observer = FaultObserver()
+        cache = PageCache(fault_around=2, observer=observer)
+        cache.set_limit(TEXT_SECTION, 10 * PAGE_SIZE)
+        cache.touch(TEXT_SECTION, 5 * PAGE_SIZE, 1)
+        assert len(observer.events) == 1          # one fault reported ...
+        assert len(cache.resident_pages(TEXT_SECTION)) == 5  # ... 5 mapped
+
+    def test_executor_records_events_only_when_asked(self):
+        pipeline = WorkloadPipeline(awfy_workload("Queens"))
+        binary = pipeline.build_baseline(seed=1)
+        plain = run_binary(binary, pipeline.exec_config)
+        assert plain.fault_events is None
+        observed = run_binary(
+            binary, ExecutionConfig(fault_observer=True)
+        )
+        assert observed.fault_events
+        assert len(observed.fault_events) == observed.total_faults
+        # Observation never perturbs the measurement itself.
+        assert observed.faults == plain.faults
+        assert observed.time_s == plain.time_s
+
+
+# -- attribution over synthetic layouts ---------------------------------------
+
+
+def _stub_binary(cu_sizes, obj_sizes, blob_size=0):
+    """A duck-typed binary: packed CUs then a page-aligned blob; packed heap."""
+    placed = []
+    offset = 0
+    for index, size in enumerate(cu_sizes):
+        cu = SimpleNamespace(name=f"cu{index}", size=size)
+        placed.append(SimpleNamespace(cu=cu, offset=offset))
+        offset += (size + 15) // 16 * 16
+    blob_offset = (offset + PAGE_SIZE - 1) // PAGE_SIZE * PAGE_SIZE
+    text = SimpleNamespace(
+        placed=placed, native_blob_offset=blob_offset,
+        native_blob_size=blob_size, size=blob_offset + blob_size,
+    )
+    ordered = []
+    address = 0
+    for index, size in enumerate(obj_sizes):
+        ordered.append(SimpleNamespace(
+            type_name="Obj", index=index, address=address, size=size,
+        ))
+        address += (size + 7) // 8 * 8
+    heap = SimpleNamespace(ordered=ordered, size=address)
+    return SimpleNamespace(text=text, heap=heap)
+
+
+@st.composite
+def _layout_and_touches(draw):
+    cu_sizes = draw(st.lists(st.integers(1, 3 * PAGE_SIZE), min_size=1,
+                             max_size=8))
+    obj_sizes = draw(st.lists(st.integers(1, PAGE_SIZE), min_size=1,
+                              max_size=12))
+    blob_size = draw(st.sampled_from((0, PAGE_SIZE, 3 * PAGE_SIZE)))
+    binary = _stub_binary(cu_sizes, obj_sizes, blob_size)
+    touches = draw(st.lists(
+        st.tuples(
+            st.sampled_from((TEXT_SECTION, HEAP_SECTION)),
+            st.integers(0, 4 * PAGE_SIZE),
+            st.integers(1, 2 * PAGE_SIZE),
+        ),
+        min_size=1, max_size=30,
+    ))
+    return binary, touches
+
+
+class TestAttributeProperties:
+    @given(_layout_and_touches())
+    @settings(max_examples=40, deadline=None)
+    def test_shares_sum_exactly_to_fault_count(self, layout_and_touches):
+        """The tentpole invariant: no fault is ever over- or under-blamed."""
+        binary, touches = layout_and_touches
+        observer = FaultObserver(SSD)
+        cache = PageCache(observer=observer)
+        for section, offset, size in touches:
+            cache.touch(section, offset, size)
+        report = attribute(binary, observer.events)
+        assert report.total_faults == len(observer.events)
+        for name, section in report.sections.items():
+            assert section.fault_count == cache.fault_count(name)
+            assert sum((blame.share for blame in section.units),
+                       Fraction(0)) == Fraction(section.fault_count)
+            assert sum(blame.cost for blame in section.units) == pytest.approx(
+                section.total_cost
+            )
+        assert report.total_cost == pytest.approx(observer.total_cost)
+        assert report.total_cost == pytest.approx(
+            SSD.fault_cost(len(observer.events))
+        )
+
+    @given(_layout_and_touches())
+    @settings(max_examples=40, deadline=None)
+    def test_cotenancy_is_symmetric(self, layout_and_touches):
+        binary, touches = layout_and_touches
+        observer = FaultObserver()
+        cache = PageCache(observer=observer)
+        for section, offset, size in touches:
+            cache.touch(section, offset, size)
+        report = attribute(binary, observer.events)
+        for section in report.sections.values():
+            cotenancy = section.cotenancy()
+            for unit, others in cotenancy.items():
+                for other in others:
+                    assert unit in cotenancy[other]
+
+    def test_native_blob_and_padding_units(self):
+        binary = _stub_binary([100], [64], blob_size=2 * PAGE_SIZE)
+        observer = FaultObserver()
+        cache = PageCache(observer=observer)
+        cache.touch(TEXT_SECTION, binary.text.native_blob_offset, PAGE_SIZE)
+        # a page between the packed CUs and the blob belongs to nobody
+        tenancy = binary_tenancies(binary)[TEXT_SECTION]
+        assert tenancy.tenants_of(9999999) == (PADDING_UNIT,)
+        report = attribute(binary, observer.events)
+        units = {blame.unit for blame in report.sections[TEXT_SECTION].units}
+        assert units == {NATIVE_BLOB_UNIT}
+
+    def test_rejects_observerless_run(self):
+        binary = _stub_binary([100], [64])
+        with pytest.raises(ValueError, match="fault_observer"):
+            attribute(binary, None)
+
+    def test_first_touch_and_timeline_order(self):
+        binary = _stub_binary([PAGE_SIZE, PAGE_SIZE], [64])
+        observer = FaultObserver(SSD)
+        cache = PageCache(observer=observer)
+        cache.touch(TEXT_SECTION, PAGE_SIZE, 1)   # cu1's page first
+        cache.touch(TEXT_SECTION, 0, 1)           # then cu0's
+        report = attribute(binary, observer.events)
+        section = report.sections[TEXT_SECTION]
+        assert section.blame_of("cu1").first_touch == 0
+        assert section.blame_of("cu0").first_touch == 1
+        assert [entry.event.logical_time for entry in report.timeline] == [0, 1]
+
+    def test_front_density_curve_tracks_faults(self):
+        binary = _stub_binary([PAGE_SIZE] * 8, [64])
+        observer = FaultObserver()
+        cache = PageCache(observer=observer)
+        cache.touch(TEXT_SECTION, 0, 1)                  # front page
+        cache.touch(TEXT_SECTION, 7 * PAGE_SIZE, 1)      # back page
+        report = attribute(binary, observer.events)
+        assert report.front_density[TEXT_SECTION] == [1.0, 0.5]
+
+
+# -- the explainer end-to-end -------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def queens_why():
+    pipeline = WorkloadPipeline(awfy_workload("Queens"))
+    return explain_strategy(pipeline, STRATEGY_CU, seed=1)
+
+
+class TestExplainQueens:
+    def test_blames_at_least_one_moved_cu_with_fault_delta(self, queens_why):
+        """The acceptance bar: `repro why` names moved CUs that matter."""
+        moved_with_delta = [
+            delta for delta in queens_why.ranked
+            if delta.section == TEXT_SECTION and delta.moved
+            and delta.fault_delta != 0
+        ]
+        assert moved_with_delta
+
+    def test_blames_only_cus_that_actually_changed(self, queens_why):
+        """A CU whose span and faulted-page co-tenancy did not change
+        cannot gain or lose blame — the explainer must never rank it."""
+        for delta in queens_why.ranked:
+            if delta.section != TEXT_SECTION or delta.fault_delta == 0:
+                continue
+            assert delta.moved or delta.new_conflicts or delta.lost_conflicts
+
+    def test_report_totals_match_section_sums(self, queens_why):
+        summary = queens_why.section_summary()
+        assert queens_why.fault_delta == sum(
+            row["fault_delta"] for row in summary.values()
+        )
+
+    def test_render_and_dict_schema(self, queens_why):
+        text = queens_why.render(top=5)
+        assert "why: Queens" in text
+        assert TEXT_SECTION in text
+        payload = queens_why.as_dict()
+        for key in ("workload", "strategy", "baseline_label", "current_label",
+                    "fault_delta", "cost_delta", "sections", "moved_units",
+                    "top_blamed", "ranked"):
+            assert key in payload
+        assert payload["workload"] == "Queens"
+        assert payload["strategy"] == "cu"
+        assert len(payload["top_blamed"]) <= 3
+        json.dumps(payload)  # JSON-serializable throughout
+
+    def test_csv_export(self, queens_why, tmp_path):
+        path = queens_why.to_csv(tmp_path / "why.csv")
+        lines = path.read_text().splitlines()
+        assert lines[0] == ",".join(CSV_COLUMNS)
+        assert len(lines) == len(queens_why.ranked) + 1
+
+    def test_identical_reports_rank_nothing(self, queens_why):
+        why = explain_reports(queens_why.current, queens_why.current)
+        assert why.ranked == []
+        assert "blame identically" in why.render()
+
+
+class TestExplainMicroservice:
+    def test_quarkus_stops_at_first_response(self):
+        pipeline = WorkloadPipeline(microservice_workload("quarkus"))
+        binary = pipeline.build_baseline(seed=1)
+        report = attributed_run(pipeline, binary, label="quarkus/baseline")
+        assert report.total_faults > 0
+        # attribution must cover exactly the faults the run charged
+        metrics = pipeline.measure(binary, 1)[0]
+        assert report.total_faults == metrics.total_faults
+
+
+def _explain_dict(workload_name, seed):
+    """Module-level worker: picklable for ProcessPoolExecutor."""
+    from repro.eval.explain import explain_strategy as _explain
+    from repro.eval.pipeline import STRATEGY_CU as _CU
+    from repro.eval.pipeline import WorkloadPipeline as _Pipeline
+    from repro.workloads.awfy.suite import awfy_workload as _awfy
+
+    pipeline = _Pipeline(_awfy(workload_name))
+    return _explain(pipeline, _CU, seed=seed).as_dict()
+
+
+class TestDeterminism:
+    def test_serial_and_parallel_reports_identical(self):
+        """The acceptance bar: same seed, same report, any process."""
+        inline = _explain_dict("Queens", seed=1)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            remote = pool.submit(_explain_dict, "Queens", 1).result()
+        assert inline == remote
+
+    def test_repeated_attribution_is_identical(self, queens_why):
+        pipeline = WorkloadPipeline(awfy_workload("Queens"))
+        again = explain_strategy(pipeline, STRATEGY_CU, seed=1)
+        assert again.as_dict() == queens_why.as_dict()
+
+
+# -- bench integration --------------------------------------------------------
+
+
+class TestBenchAttribution:
+    def test_payload_records_attribution_under_budget(self, tmp_path):
+        # the CI smoke matrix: the overhead budget is calibrated against a
+        # real sweep, not a single-cell toy matrix
+        config = BenchConfig.quick(
+            max_workers=1,
+            skip_serial=True,
+            output=str(tmp_path / "BENCH.json"),
+        )
+        payload = run_bench(config)
+        attribution = payload["attribution"]
+        assert attribution["strategy"] == "cu"
+        assert set(attribution["workloads"]) == {"Bounce", "quarkus"}
+        for entry in attribution["workloads"].values():
+            assert len(entry["top_blamed"]) == ATTRIBUTION_TOP
+            assert entry["events"] > 0
+        assert attribution["overhead_vs_cold"] <= MAX_ATTRIBUTION_OVERHEAD
+        assert check_payload(payload) == []
+
+    def test_no_attribution_flag_omits_phase(self, tmp_path):
+        config = BenchConfig.quick(
+            workloads=("Queens",),
+            strategies=("cu",),
+            max_workers=1,
+            skip_serial=True,
+            attribution=False,
+            output=str(tmp_path / "BENCH.json"),
+        )
+        payload = run_bench(config)
+        assert "attribution" not in payload
+
+    def test_check_payload_flags_overhead_bust(self):
+        payload = {
+            "ok": True,
+            "deterministic": True,
+            "phases": {"warm": {"cache_misses": 0, "cache_hit_rate": 1.0}},
+            "attribution": {"overhead_vs_cold": 0.5},
+        }
+        failures = check_payload(payload)
+        assert len(failures) == 1
+        assert "attribution overhead" in failures[0]
+
+    def test_failing_gate_names_blamed_symbols(self):
+        payload = {
+            "config": {"cells": 2},
+            "phases": {"cold": {"wall_s": 9.0}},
+            "attribution": {
+                "strategy": "cu",
+                "workloads": {
+                    "Queens": {
+                        "top_blamed": ["Main.run()", "Queens.solve()"],
+                        "changed_units": 12,
+                        "fault_delta": -3,
+                    },
+                },
+            },
+        }
+        baseline = {"config": {"cells": 2},
+                    "phases": {"cold": {"wall_s": 1.0}}}
+        failures = check_regression(payload, baseline)
+        assert any("top blamed symbols for Queens/cu" in f for f in failures)
+        assert any("Main.run()" in f for f in failures)
+
+    def test_passing_gate_stays_silent(self):
+        payload = {
+            "config": {"cells": 2},
+            "phases": {"cold": {"wall_s": 1.0}},
+            "attribution": {
+                "strategy": "cu",
+                "workloads": {"Queens": {"top_blamed": ["Main.run()"],
+                                         "changed_units": 1,
+                                         "fault_delta": 0}},
+            },
+        }
+        baseline = {"config": {"cells": 2},
+                    "phases": {"cold": {"wall_s": 1.0}}}
+        assert check_regression(payload, baseline) == []
+
+    def test_diagnosis_empty_without_attribution(self):
+        assert attribution_diagnosis({"phases": {}}) == []
