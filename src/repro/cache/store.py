@@ -8,14 +8,27 @@ Layout::
       profile/..., image/..., metrics/..., program/...
 
 Entries are immutable: a key fully determines the payload, so a ``put`` of
-an existing key is a no-op and a ``get`` needs no validation beyond the
-toolchain check.  Writes go through a temporary file and ``os.replace`` so
-concurrent writers (the parallel scheduler's worker processes) can race on
-the same key without ever exposing a torn file.
+an existing key is a no-op.  Writes go through a temporary file that is
+fsynced and then ``os.replace``d, so concurrent writers (the parallel
+scheduler's worker processes) can race on the same key without ever
+exposing a torn file, and a power cut between write and rename cannot
+leave a short payload under the final name.  Temporary files orphaned by a
+killed writer are swept on the next store open.
 
-Failure modes are non-fatal by design: an unreadable or stale payload is
-treated as a miss and the entry is deleted (self-healing), never raised to
-the pipeline.
+Every sidecar records a CRC32 of the payload; reads verify it before
+unpickling, so a corrupted or truncated entry (storage rot, a torn write
+outside the rename window) is *detected*, evicted, and recomputed by the
+caller — never unpickled into garbage.  Failure modes are non-fatal by
+design: an unreadable, stale, or checksum-mismatched payload is treated as
+a miss (self-healing), and I/O errors during ``put`` skip the write;
+nothing here ever raises into the pipeline.
+
+``fault_injector`` is the chaos hook (see
+:class:`repro.robustness.chaos.ChaosCacheInjector`): an object whose
+``before_io(op, kind, key)`` may raise a transient :class:`OSError` and
+whose ``after_put(kind, key, path)`` may damage the just-written payload.
+Both failure shapes are absorbed by the store itself, which is exactly
+what the chaos tests assert.
 """
 
 from __future__ import annotations
@@ -25,6 +38,7 @@ import os
 import pickle
 import tempfile
 import time
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -54,6 +68,11 @@ class CacheStats:
     misses: int = 0
     puts: int = 0
     evictions: int = 0
+    #: corrupted/torn entries detected (checksum or unpickle failure),
+    #: evicted, and left for the caller to recompute
+    healed: int = 0
+    #: transient I/O errors absorbed (read served as a miss, write skipped)
+    io_errors: int = 0
     #: per-kind breakdown of hits/misses, e.g. ``{"image": [3, 1]}``
     by_kind: Dict[str, List[int]] = field(default_factory=dict)
 
@@ -85,6 +104,8 @@ class CacheStats:
             "misses": self.misses,
             "puts": self.puts,
             "evictions": self.evictions,
+            "healed": self.healed,
+            "io_errors": self.io_errors,
             "hit_rate": round(self.hit_rate, 4),
             "by_kind": {k: {"hits": v[0], "misses": v[1]}
                         for k, v in sorted(self.by_kind.items())},
@@ -116,6 +137,11 @@ class ArtifactCache:
         self.toolchain = toolchain
         self.max_entries_per_kind = max_entries_per_kind
         self.stats = CacheStats()
+        #: chaos hook: ``before_io(op, kind, key)`` may raise OSError,
+        #: ``after_put(kind, key, path)`` may damage the written payload.
+        #: Armed per task by the scheduler's chaos machinery; None = off.
+        self.fault_injector = None
+        self._sweep_orphans()
         # In-memory LRU over disk loads: repeat lookups of the same key
         # (six strategies sharing one baseline image / profile) skip the
         # unpickle, which dominates warm-path wall-clock.  Entries are
@@ -138,6 +164,35 @@ class ArtifactCache:
     def _meta_path(self, kind: str, key: str) -> Path:
         return self._entry_path(kind, key).with_suffix(".json")
 
+    def _sweep_orphans(self) -> int:
+        """Delete ``.tmp-*`` files a killed writer left behind.
+
+        ``put`` stages payloads in ``mkstemp`` files next to their final
+        path; a process killed between write and rename orphans one.  They
+        are invisible to lookups (the final name was never created) but
+        accumulate dead space, so every store open sweeps them.  Returns
+        the number of orphans removed.
+        """
+        if not self.root.exists():
+            return 0
+        removed = 0
+        for orphan in self.root.glob("*/*/.tmp-*"):
+            try:
+                orphan.unlink()
+                removed += 1
+            except OSError:
+                continue
+        if removed:
+            metrics().counter("cache.orphans_swept", removed)
+        return removed
+
+    def _transient_error(self, kind: str, op: str) -> None:
+        """Account one absorbed I/O error (read → miss, write → skip)."""
+        self.stats.io_errors += 1
+        metrics().counter(f"cache.io_error.{op}")
+        get_tracer().instant("cache.io_error", cat="cache",
+                             kind=kind, op=op)
+
     # -- lookup ----------------------------------------------------------------
 
     def contains(self, kind: str, key: str) -> bool:
@@ -147,8 +202,13 @@ class ArtifactCache:
     def get(self, kind: str, key: str) -> Optional[Any]:
         """Load an artifact; ``None`` on miss.
 
-        A stale (different-toolchain) or unreadable entry counts as a miss
-        and is deleted so the caller's rebuild replaces it.
+        A stale (different-toolchain) or missing entry counts as a miss
+        and is deleted so the caller's rebuild replaces it.  A payload
+        whose CRC32 sidecar does not match — or that fails to unpickle —
+        is *healed*: detected, evicted, counted, and reported as a miss so
+        the caller recomputes; corrupted bytes are never returned.  A
+        transient I/O error (including an armed ``fault_injector``) is a
+        plain miss that leaves the entry in place for the next reader.
         """
         memo_key = (kind, key)
         if memo_key in self._memo:
@@ -156,23 +216,37 @@ class ArtifactCache:
             self.stats.record(kind, hit=True)
             metrics().counter(f"cache.hit.{kind}")
             return self._memo[memo_key]
+        injector = self.fault_injector
+        if injector is not None:
+            try:
+                injector.before_io("get", kind, key)
+            except OSError:
+                self._transient_error(kind, "get")
+                return self._miss(kind)
         path = self._entry_path(kind, key)
         try:
             meta = json.loads(self._meta_path(kind, key).read_text())
-            if meta.get("toolchain") != self.toolchain:
-                self._delete(kind, key)
-                self.stats.record(kind, hit=False)
-                metrics().counter(f"cache.miss.{kind}")
-                return None
-            with open(path, "rb") as handle:
-                value = pickle.load(handle)
-        except (OSError, ValueError, pickle.UnpicklingError, EOFError,
-                AttributeError, ImportError):
-            # missing, torn, or undecodable entry: miss + self-heal
+        except (OSError, ValueError):
             self._delete(kind, key)
-            self.stats.record(kind, hit=False)
-            metrics().counter(f"cache.miss.{kind}")
-            return None
+            return self._miss(kind)
+        if meta.get("toolchain") != self.toolchain:
+            self._delete(kind, key)
+            return self._miss(kind)
+        try:
+            payload = path.read_bytes()
+        except OSError:
+            self._delete(kind, key)
+            return self._miss(kind)
+        crc = meta.get("crc32")
+        if crc is not None and zlib.crc32(payload) != crc:
+            return self._heal(kind, key, "checksum mismatch")
+        try:
+            value = pickle.loads(payload)
+        except Exception:  # noqa: BLE001 - any damage shape, never raise
+            # Legacy entry without a checksum, or a corruption the CRC
+            # cannot see (it covers the bytes we read, not the pickle
+            # semantics): still detect-evict-recompute.
+            return self._heal(kind, key, "undecodable payload")
         self.stats.record(kind, hit=True)
         metrics().counter(f"cache.hit.{kind}")
         if self._memo_entries > 0:
@@ -181,45 +255,84 @@ class ArtifactCache:
                 self._memo.popitem(last=False)
         return value
 
+    def _miss(self, kind: str) -> None:
+        self.stats.record(kind, hit=False)
+        metrics().counter(f"cache.miss.{kind}")
+        return None
+
+    def _heal(self, kind: str, key: str, reason: str) -> None:
+        """Evict a corrupted entry and account the self-heal as a miss."""
+        self._delete(kind, key)
+        self.stats.healed += 1
+        metrics().counter(f"cache.heal.{kind}")
+        get_tracer().instant("cache.heal", cat="cache", kind=kind,
+                             key=key, reason=reason)
+        return self._miss(kind)
+
     def put(self, kind: str, key: str, value: Any,
             note: str = "") -> bool:
         """Store an artifact; returns whether a new entry was written.
 
         A value that cannot be pickled is skipped (``False``) rather than
-        raised — caching is an accelerator, never a correctness gate.
+        raised — caching is an accelerator, never a correctness gate.  So
+        is any I/O error during the write (disk full, transient storage
+        fault, an armed ``fault_injector``): the entry simply is not
+        stored and the caller keeps its computed value.
         """
         path = self._entry_path(kind, key)
-        if path.exists():
-            return False
+        injector = self.fault_injector
         try:
-            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        except (TypeError, AttributeError, pickle.PicklingError):
+            if injector is not None:
+                injector.before_io("put", kind, key)
+            if path.exists():
+                return False
+            try:
+                payload = pickle.dumps(value,
+                                       protocol=pickle.HIGHEST_PROTOCOL)
+            except (TypeError, AttributeError, pickle.PicklingError):
+                return False
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._atomic_write(path, payload)
+            self._seq += 1
+            meta = {
+                "toolchain": self.toolchain,
+                "created": time.time(),
+                "seq": self._seq,
+                "kind": kind,
+                "key": key,
+                "crc32": zlib.crc32(payload),
+                "note": note,
+            }
+            self._atomic_write(self._meta_path(kind, key),
+                               json.dumps(meta, sort_keys=True)
+                               .encode("utf-8"))
+        except OSError:
+            self._transient_error(kind, "put")
             return False
-        path.parent.mkdir(parents=True, exist_ok=True)
-        self._atomic_write(path, payload)
-        self._seq += 1
-        meta = {
-            "toolchain": self.toolchain,
-            "created": time.time(),
-            "seq": self._seq,
-            "kind": kind,
-            "key": key,
-            "note": note,
-        }
-        self._atomic_write(self._meta_path(kind, key),
-                           json.dumps(meta, sort_keys=True).encode("utf-8"))
         self.stats.puts += 1
         metrics().counter(f"cache.put.{kind}")
+        if injector is not None:
+            injector.after_put(kind, key, path)
         if self.max_entries_per_kind is not None:
             self._evict_over_limit(kind)
         return True
 
     @staticmethod
     def _atomic_write(path: Path, payload: bytes) -> None:
+        """Write-fsync-rename so the final name never holds a torn file.
+
+        Without the fsync a crash after ``os.replace`` could surface a
+        payload whose data blocks never reached the disk — the classic
+        torn-write window.  The checksum sidecar would still catch it on
+        read, but durability-before-visibility keeps the window closed in
+        the first place.
+        """
         fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
         try:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -313,5 +426,6 @@ class ArtifactCache:
         stats = self.stats
         lines.append(f"  session: {stats.hits} hits / {stats.misses} misses "
                      f"({stats.hit_rate:.0%}), {stats.puts} puts, "
-                     f"{stats.evictions} evictions")
+                     f"{stats.evictions} evictions, {stats.healed} healed, "
+                     f"{stats.io_errors} I/O errors absorbed")
         return "\n".join(lines)

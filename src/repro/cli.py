@@ -15,9 +15,14 @@ Commands mirror the paper's artifact scripts:
   combinations; ``--mutate`` injects a layout violation to demonstrate the
   quarantine-and-rollback rung end to end;
 * ``bench``    — benchmark the evaluation pipeline itself: serial reference
-  vs parallel scheduler vs warm artifact cache, written to
-  ``BENCH_pipeline.json``; ``--baseline`` arms the regression gate against
-  a committed payload;
+  vs parallel scheduler vs warm artifact cache vs a chaos-injected sweep,
+  written to ``BENCH_pipeline.json``; ``--baseline`` arms the regression
+  gate against a committed payload;
+* ``chaos``    — run the sweep under deterministic fault injection
+  (worker crashes, hangs, cache I/O errors, artifact corruption,
+  oversized results) and verify that every surviving result is
+  byte-identical to a fault-free serial reference; ``--persistent`` makes
+  the schedule unrecoverable so poison cells end in quarantine (exit 1);
 * ``stats``    — run a (workload × strategy) sweep and print the merged
   metrics-registry summary (counters, gauges, histograms);
 * ``trace``    — run one strategy end-to-end and export the span trace as
@@ -294,6 +299,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         output=args.output,
         skip_serial=args.skip_serial,
         attribution=not args.no_attribution,
+        chaos=not args.no_chaos,
+        chaos_rate=args.chaos_rate,
+        chaos_seed=args.chaos_seed,
     )
     if args.only:
         kwargs["workloads"] = tuple(args.only)
@@ -324,6 +332,49 @@ def cmd_bench(args: argparse.Namespace) -> int:
     for failure in failures:
         print(f"CHECK FAILED: {failure}")
     return 1 if failures else 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from .eval.bench import BenchConfig, resolve_matrix
+    from .eval.chaosrun import run_chaos
+    from .eval.scheduler import RetryPolicy, SchedulerConfig
+    from .robustness.chaos import ALL_CHAOS_CLASSES, ChaosPolicy
+
+    try:
+        workloads, strategies = resolve_matrix(BenchConfig(
+            workloads=tuple(args.only or ()),
+            strategies=tuple(args.strategy or ()),
+        ))
+    except KeyError as exc:
+        raise SystemExit(str(exc))
+    classes = tuple(args.fault_classes or ALL_CHAOS_CLASSES)
+    try:
+        policy = ChaosPolicy(seed=args.seed, rate=args.rate, classes=classes,
+                             persistent=args.persistent, hang_s=args.hang)
+        retry = RetryPolicy(max_attempts=args.max_attempts)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as scratch:
+        cache_dir = args.cache_dir or str(Path(scratch) / "cache")
+        config = SchedulerConfig(
+            cache_dir=cache_dir,
+            max_workers=args.workers,
+            iterations=args.iterations,
+            base_seed=args.base_seed,
+            task_deadline_s=args.deadline,
+        )
+        if not args.json:
+            print(f"chaos sweep: {len(workloads)} workload(s) x "
+                  f"{len(strategies)} strateg(ies), {policy.describe()}")
+        outcome = run_chaos(workloads, strategies, policy=policy,
+                            config=config, retry=retry)
+    if args.json:
+        print(json.dumps(outcome.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(outcome.describe())
+    return 0 if outcome.ok else 1
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -550,6 +601,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--no-attribution", action="store_true",
                          help="skip the attribution phase (observer-enabled "
                          "runs + per-workload blame report)")
+    p_bench.add_argument("--no-chaos", action="store_true",
+                         help="skip the chaos phase (fault-injected sweep "
+                         "+ identity check)")
+    p_bench.add_argument("--chaos-rate", type=float,
+                         default=_field_default(_BenchConfig, "chaos_rate"),
+                         help="per-cell fault probability of the chaos phase "
+                         "(default: %(default)s)")
+    p_bench.add_argument("--chaos-seed", type=int,
+                         default=_field_default(_BenchConfig, "chaos_seed"),
+                         help="chaos schedule seed (default: %(default)s)")
     p_bench.add_argument("--check", action="store_true",
                          help="exit non-zero unless warm hit rate is 100%% "
                          "and all phases agree (CI mode)")
@@ -563,7 +624,65 @@ def build_parser() -> argparse.ArgumentParser:
                          "baseline (default: %(default)s)")
     p_bench.set_defaults(func=cmd_bench)
 
+    from .eval.scheduler import RetryPolicy as _RetryPolicy
     from .eval.scheduler import SchedulerConfig as _SchedulerConfig
+    from .robustness.chaos import ALL_CHAOS_CLASSES as _CHAOS_CLASSES
+    from .robustness.chaos import ChaosPolicy as _ChaosPolicy
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="fault-inject a parallel sweep and verify surviving results "
+        "are byte-identical to a fault-free serial run",
+    )
+    p_chaos.add_argument("--only", nargs="*",
+                         help="restrict to these workloads (default: all)")
+    p_chaos.add_argument("--strategy", action="append",
+                         help="a strategy to sweep (repeatable; default: all)")
+    p_chaos.add_argument("--seed", type=int,
+                         default=_field_default(_ChaosPolicy, "seed"),
+                         help="chaos schedule seed; the same seed fails the "
+                         "same cells the same way (default: %(default)s)")
+    p_chaos.add_argument("--rate", type=float, default=0.2,
+                         help="per-cell fault probability in [0, 1] "
+                         "(default: %(default)s)")
+    p_chaos.add_argument("--fault-classes", nargs="*",
+                         choices=list(_CHAOS_CLASSES), metavar="CLASS",
+                         help="fault classes to inject; choose from "
+                         f"{', '.join(_CHAOS_CLASSES)} (default: all)")
+    p_chaos.add_argument("--persistent", action="store_true",
+                         help="unrecoverable mode: targeted cells fail every "
+                         "attempt and must end in poison-task quarantine "
+                         "(the sweep still completes; exit status 1)")
+    p_chaos.add_argument("--hang", type=float, default=0.5,
+                         help="injected hang duration in seconds "
+                         "(default: %(default)s)")
+    p_chaos.add_argument("--deadline", type=float, default=None,
+                         help="per-task wall-clock ceiling in seconds "
+                         "(default: unbounded)")
+    p_chaos.add_argument("--max-attempts", type=int,
+                         default=_field_default(_RetryPolicy, "max_attempts"),
+                         help="attempts per task before poison conviction "
+                         "(default: %(default)s)")
+    p_chaos.add_argument("--workers", type=int,
+                         default=_field_default(_SchedulerConfig,
+                                                "max_workers"),
+                         help="worker processes; 0 = one per core, 1 = inline "
+                         "(default: %(default)s)")
+    p_chaos.add_argument("--base-seed", type=int,
+                         default=_field_default(_SchedulerConfig, "base_seed"),
+                         help="base seed for per-task seeding "
+                         "(default: %(default)s)")
+    p_chaos.add_argument("--iterations", type=int,
+                         default=_field_default(_SchedulerConfig,
+                                                "iterations"),
+                         help="measurement runs per binary "
+                         "(default: %(default)s)")
+    p_chaos.add_argument("--cache-dir",
+                         help="artifact-cache directory for the chaos sweep "
+                         "(default: a fresh temporary directory)")
+    p_chaos.add_argument("--json", action="store_true",
+                         help="print the machine-readable health report")
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_stats = sub.add_parser(
         "stats",

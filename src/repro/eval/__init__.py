@@ -6,9 +6,12 @@ from .sweeps import ballast_sweep, page_size_sweep, render_sweep
 from .textmap import compare_page_maps, front_density, text_page_map
 
 from .bench import BenchConfig, run_bench
+from .chaosrun import ChaosOutcome, check_identity, run_chaos
 from .scheduler import (
     EvalTask,
+    RetryPolicy,
     SchedulerConfig,
+    SweepHealthReport,
     SweepResult,
     SweepScheduler,
     TaskResult,
@@ -31,8 +34,9 @@ from .pipeline import (
 __all__ = [
     "ExperimentConfig", "evaluate_suite", "evaluate_workload", "profiling_overhead",
     "BenchConfig", "run_bench",
-    "EvalTask", "SchedulerConfig", "SweepResult", "SweepScheduler",
-    "TaskResult", "task_seed",
+    "ChaosOutcome", "check_identity", "run_chaos",
+    "EvalTask", "RetryPolicy", "SchedulerConfig", "SweepHealthReport",
+    "SweepResult", "SweepScheduler", "TaskResult", "task_seed",
     "compare_heap_maps", "heap_page_map",
     "ballast_sweep", "page_size_sweep", "render_sweep",
     "compare_page_maps", "front_density", "text_page_map",

@@ -30,6 +30,17 @@ cold phase) — asserted under :data:`MAX_ATTRIBUTION_OVERHEAD` by
 ``--check``, keeping the observer's price honest.  Its per-workload top-blamed units also feed the regression
 gate: when ``--baseline`` fails, the gate names the symbols most
 responsible for the current layout's faults instead of just the numbers.
+
+A fifth, optional phase (``chaos``, on by default) reruns the identical
+matrix through the scheduler with a recoverable
+:class:`~repro.robustness.chaos.ChaosPolicy` armed against a fresh cache
+(see :mod:`repro.eval.chaosrun`): every injected fault must be recovered
+by retry/respawn/heal, and every surviving canonical result must be
+byte-identical to the cold phase — the chaos sweep reuses the cold phase's
+results as its fault-free reference.  The payload records the fault
+schedule, the :class:`~repro.eval.scheduler.SweepHealthReport`, and the
+recovery overhead relative to cold; ``--check`` gates the identity
+invariant and requires zero quarantined or failed cells.
 """
 
 from __future__ import annotations
@@ -83,6 +94,13 @@ class BenchConfig:
     skip_serial: bool = False
     #: run the attribution phase (observer-enabled runs + blame report)
     attribution: bool = True
+    #: run the chaos phase (fault-injected sweep + identity check)
+    chaos: bool = True
+    #: per-cell fault probability of the chaos phase
+    chaos_rate: float = 0.2
+    #: chaos schedule seed (fixed so the bench replays the same faults;
+    #: chosen so both the ``--quick`` and the full matrix get injections)
+    chaos_seed: int = 11
 
     @classmethod
     def quick(cls, **overrides: Any) -> "BenchConfig":
@@ -154,7 +172,7 @@ def _run_serial_legacy(workloads: Sequence[Workload],
     start = time.perf_counter()
     for workload in workloads:
         for spec in strategies:
-            _sched._WORKER_PIPELINES.clear()  # force the from-scratch path
+            _sched.reset_worker_state()  # force the from-scratch path
             task = _sched.EvalTask(
                 workload=workload,
                 strategy_name=spec.name,
@@ -162,7 +180,7 @@ def _run_serial_legacy(workloads: Sequence[Workload],
                 iterations=config.iterations,
             )
             results.append(run_task(task, _scheduler_config(config, None, 1)))
-    _sched._WORKER_PIPELINES.clear()
+    _sched.reset_worker_state()
     return SweepResult(tasks=results, wall_s=time.perf_counter() - start,
                        workers=1)
 
@@ -309,6 +327,34 @@ def run_bench(config: BenchConfig,
             log(f"  {attribution['wall_s']:.2f}s "
                 f"({attribution['overhead_vs_cold']:.1%} of cold)")
 
+        if config.chaos:
+            from ..robustness.chaos import ChaosPolicy
+            from .chaosrun import run_chaos
+
+            policy = ChaosPolicy(seed=config.chaos_seed,
+                                 rate=config.chaos_rate, hang_s=0.5)
+            log(f"phase chaos: {policy.describe()}, fresh cache, "
+                f"cold phase as the fault-free reference")
+            chaos_cache = str(Path(scratch) / "chaos-cache")
+            outcome = run_chaos(
+                workloads, strategies, policy=policy,
+                config=_scheduler_config(config, chaos_cache,
+                                         config.max_workers),
+                reference_canonical=cold.canonical(),
+            )
+            payload["phases"]["chaos"] = _phase_dict(outcome.sweep)
+            chaos_payload = outcome.as_dict()
+            chaos_payload["overhead_vs_cold"] = (
+                round(outcome.sweep.wall_s / cold.wall_s, 4)
+                if cold.wall_s else 0.0
+            )
+            payload["chaos"] = chaos_payload
+            log(f"  {outcome.sweep.wall_s:.2f}s "
+                f"({chaos_payload['overhead_vs_cold']:.2f}x of cold), "
+                f"identity {'OK' if outcome.identity_ok else 'FAILED'}, "
+                f"{len(outcome.surviving)}/{len(outcome.sweep.tasks)} "
+                f"survived")
+
     if serial is not None and cold.wall_s:
         payload["speedup_parallel"] = round(serial.wall_s / cold.wall_s, 2)
     if warm.wall_s:
@@ -421,6 +467,25 @@ def check_payload(payload: Dict[str, Any]) -> List[str]:
                 f"attribution overhead {overhead:.1%} of cold wall-clock "
                 f"exceeds the {MAX_ATTRIBUTION_OVERHEAD:.0%} budget"
             )
+    chaos = payload.get("chaos")
+    if chaos:
+        identity = chaos.get("identity", {})
+        if not identity.get("ok"):
+            failures.append(
+                "chaos phase broke the identity invariant: "
+                f"{len(identity.get('divergent', []))} surviving result(s) "
+                "diverged from the fault-free reference"
+            )
+        if chaos.get("quarantined"):
+            failures.append(
+                "chaos phase quarantined cells under a recoverable fault "
+                f"schedule: {', '.join(chaos['quarantined'])}"
+            )
+        if chaos.get("failed"):
+            failures.append(
+                f"chaos phase left {len(chaos['failed'])} cell(s) "
+                "unrecovered under a recoverable fault schedule"
+            )
     return failures
 
 
@@ -433,7 +498,7 @@ def write_payload(payload: Dict[str, Any], output: str) -> Path:
 def format_summary(payload: Dict[str, Any]) -> str:
     lines = [f"pipeline bench: {payload['config']['cells']} matrix cells, "
              f"toolchain {payload['toolchain']}"]
-    for name in ("serial", "cold", "warm"):
+    for name in ("serial", "cold", "warm", "chaos"):
         phase = payload["phases"].get(name)
         if phase:
             lines.append(
@@ -455,6 +520,17 @@ def format_summary(payload: Dict[str, Any]) -> str:
             f"(observer overhead "
             f"{attribution.get('overhead_vs_cold', 0.0):.1%} of cold) on "
             + ", ".join(sorted(attribution.get("workloads", {})))
+        )
+    chaos = payload.get("chaos")
+    if chaos:
+        health = chaos.get("health", {})
+        injected = sum(health.get("injected", {}).values())
+        lines.append(
+            f"  chaos (seed {chaos['policy']['seed']}, "
+            f"rate {chaos['policy']['rate']:.0%}): {injected} fault(s) "
+            f"injected, {chaos['surviving']}/{chaos['cells']} survived, "
+            f"identity {'OK' if chaos['identity']['ok'] else 'FAILED'}, "
+            f"{chaos.get('overhead_vs_cold', 0.0):.2f}x of cold"
         )
     lines.append(f"  deterministic: {payload['deterministic']}")
     return "\n".join(lines)

@@ -21,6 +21,19 @@ while keeping three invariants:
   configured with; watchdog budgets are reused across every task a worker
   executes, and per-task quarantine convictions travel back in the
   :class:`TaskResult` and are merged into the sweep-level registry.
+* **Failure is survivable** — with a :class:`RetryPolicy` armed, failed
+  tasks are retried with capped exponential backoff and deterministic
+  jitter (the retried attempt reuses the *same* seed, so a surviving
+  retry is byte-identical to a first-try success); a hung task trips the
+  per-task deadline (the :mod:`repro.validation.watchdog` pattern inside
+  the worker) and is retried; a dead worker breaks the pool, which is
+  respawned with every in-flight task requeued; a task that keeps failing
+  is convicted as *poison* and quarantined through the PR-2 rung so the
+  sweep continues; and repeated pool breakage degrades the whole sweep to
+  serial inline execution.  Every recovery decision is accounted in a
+  typed :class:`SweepHealthReport`.  A :class:`ChaosPolicy` injects all
+  of those failures on a reproducible schedule — see
+  :mod:`repro.robustness.chaos`.
 
 Typical use::
 
@@ -33,9 +46,15 @@ Typical use::
 
 from __future__ import annotations
 
+import heapq
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -43,11 +62,23 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 from ..cache import ArtifactCache, CacheStats
 from ..image.builder import BuildConfig
 from ..obs import MetricsSnapshot, get_registry, get_tracer
-from ..robustness.degradation import DegradationPolicy
+from ..robustness.chaos import (
+    CHAOS_CACHE_IO,
+    CHAOS_CORRUPT_ARTIFACT,
+    CHAOS_CRASH_EXIT,
+    CHAOS_HANG,
+    CHAOS_OVERSIZED_RESULT,
+    CHAOS_WORKER_CRASH,
+    ChaosCacheInjector,
+    ChaosPolicy,
+    SimulatedWorkerCrash,
+)
+from ..robustness.degradation import DegradationPolicy, DegradationReport
 from ..runtime.executor import ExecutionConfig, RunMetrics
 from ..util.murmur3 import murmur3_64
 from ..validation.oracle import VerificationPolicy
 from ..validation.quarantine import QuarantineRegistry
+from ..validation.watchdog import call_with_deadline
 from .pipeline import (
     ALL_STRATEGY_SPECS,
     StrategySpec,
@@ -78,6 +109,49 @@ def task_seed(base_seed: int, workload_name: str) -> int:
 
 
 @dataclass(frozen=True)
+class RetryPolicy:
+    """Per-task retry with capped exponential backoff + deterministic jitter.
+
+    The backoff schedule is a pure function of (task seed, cell, attempt):
+    the same failing cell waits the same amount in every run — chaos
+    schedules replay exactly — yet different cells de-synchronize because
+    the jitter fraction is hash-derived per cell.  With ``jitter`` ≤ 1 the
+    schedule is provably non-decreasing in ``attempt`` (the ×2 step always
+    dominates the ≤ ×(1+jitter) jitter swing) and clamped at
+    ``backoff_cap_s``.
+
+    Retried attempts reuse the task's original seed untouched — a retry
+    that survives is byte-identical to a first-try success.  A task that
+    fails ``max_attempts`` times is convicted as *poison* and quarantined
+    so the sweep continues without it.
+    """
+
+    #: total attempts per task (1 = no retries)
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    #: relative jitter amplitude in [0, 1]
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff durations must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def backoff_s(self, seed: int, workload: str, strategy: str,
+                  attempt: int) -> float:
+        """Wait before re-running ``attempt + 1`` (attempt is 0-based)."""
+        material = f"{workload}\x1f{strategy}\x1f{attempt}".encode("utf-8")
+        frac = (murmur3_64(material, seed=seed & 0xFFFFFFFF)
+                % (1 << 24)) / float(1 << 24)
+        raw = self.backoff_base_s * (2 ** attempt) * (1.0 + self.jitter * frac)
+        return min(raw, self.backoff_cap_s)
+
+
+@dataclass(frozen=True)
 class SchedulerConfig:
     """Everything a worker needs to evaluate tasks (picklable by design)."""
 
@@ -92,6 +166,17 @@ class SchedulerConfig:
     #: cold-cache measurement runs per binary
     iterations: int = 1
     base_seed: int = 1
+    #: retry/backoff policy; None = one attempt per task, never quarantine
+    retry: Optional[RetryPolicy] = None
+    #: fault-injection schedule (tests, CI chaos smoke); None = run clean
+    chaos: Optional[ChaosPolicy] = None
+    #: per-task wall-clock ceiling enforced inside the worker (the
+    #: :func:`repro.validation.watchdog.call_with_deadline` pattern);
+    #: None = unbounded.  A tripped deadline fails the attempt, which the
+    #: retry policy then handles like any other failure.
+    task_deadline_s: Optional[float] = None
+    #: pool breakages tolerated before the sweep degrades to serial
+    pool_break_limit: int = 3
 
     def resolved_workers(self) -> int:
         if self.max_workers > 0:
@@ -142,6 +227,16 @@ class TaskResult:
     error: Optional[str] = None
     metrics: Optional[MetricsSnapshot] = None
     spans: List[Dict[str, Any]] = field(default_factory=list)
+    #: which attempt produced this result (0 = first try); excluded from
+    #: :meth:`canonical` — a surviving retry must be byte-identical to a
+    #: first-try success
+    attempt: int = 0
+    #: chaos class that failed this attempt, when one did ("" = real error
+    #: or success)
+    error_kind: str = ""
+    #: IPC ballast attached by an ``oversized_result`` fault; the scheduler
+    #: strips it on receipt and accounts the bytes in the health report
+    ballast: bytes = b""
 
     @property
     def ok(self) -> bool:
@@ -151,8 +246,9 @@ class TaskResult:
         """Deterministic view: everything except host wall-clock.
 
         Two sweeps of the same matrix must agree on this dict byte-for-byte
-        (the determinism tests compare its JSON serialization); ``wall_s``
-        and cache counters legitimately differ run to run and are excluded.
+        (the determinism tests compare its JSON serialization); ``wall_s``,
+        cache counters, and retry bookkeeping (``attempt``, ``error_kind``,
+        ``ballast``) legitimately differ run to run and are excluded.
         """
         return {
             "workload": self.workload,
@@ -194,6 +290,19 @@ def _worker_cache(config: SchedulerConfig) -> Optional[ArtifactCache]:
     return _WORKER_CACHE
 
 
+def reset_worker_state() -> None:
+    """Drop the process-local pipeline/cache memos.
+
+    Inline runs reuse compiled pipelines and the cache's in-memory LRU
+    across sweeps in the same process; call this to simulate a brand-new
+    worker process — every artifact then comes back through the disk
+    cache and its checksum verification (the cold-cost bench reference
+    and the cache-healing tests rely on exactly that)."""
+    global _WORKER_CACHE
+    _WORKER_PIPELINES.clear()
+    _WORKER_CACHE = None
+
+
 def _worker_pipeline(workload: Workload,
                      config: SchedulerConfig) -> WorkloadPipeline:
     key = (workload.name, config.cache_dir, id(config.verification))
@@ -211,7 +320,8 @@ def _worker_pipeline(workload: Workload,
     return pipeline
 
 
-def run_task(task: EvalTask, config: SchedulerConfig) -> TaskResult:
+def run_task(task: EvalTask, config: SchedulerConfig, attempt: int = 0,
+             allow_hard_crash: bool = False) -> TaskResult:
     """Evaluate one matrix cell; never raises (errors land in ``.error``).
 
     Runs the same stages as :meth:`WorkloadPipeline.run_strategy` on a
@@ -219,23 +329,52 @@ def run_task(task: EvalTask, config: SchedulerConfig) -> TaskResult:
     (through the degradation + verification rungs), and cold-cache
     measurement of both binaries.
 
+    ``attempt`` is retry bookkeeping only: it selects which chaos fault
+    (if any) fires and travels back in the result, but deliberately never
+    enters seed derivation or the task body — ``task.seed`` is the same
+    frozen value on every attempt, so a retried task is bit-identical to a
+    first-try success.  ``allow_hard_crash`` gates the one fault that must
+    not fire inline: a chaos ``worker_crash`` calls ``os._exit`` (really
+    killing the pool worker) when allowed, and degrades to an error result
+    named :class:`SimulatedWorkerCrash` otherwise.
+
     Observability: the task is one ``sched`` span; everything recorded in
     the process-wide registry while the task ran travels back as a
     metrics delta, and the deterministic ``sweep.*`` counters are derived
     from the canonical result so serial and parallel schedulers agree on
     them exactly.
     """
+    chaos = config.chaos
+    fault = (chaos.fault_for(task.workload.name, task.strategy_name, attempt)
+             if chaos is not None else None)
+    if fault == CHAOS_WORKER_CRASH and allow_hard_crash:
+        # Die hard, mid-task, before any result can be shipped.  This
+        # breaks the whole ProcessPoolExecutor — exactly the failure the
+        # scheduler's respawn + requeue path exists for.  The parent
+        # records the injection (it can recompute the schedule); nothing
+        # recorded here would survive the exit anyway.
+        os._exit(CHAOS_CRASH_EXIT)
     registry = get_registry()
     tracer = get_tracer()
     registry.counter("sched.tasks.dispatched")
     metrics_before = registry.snapshot()
     span_mark = tracer.mark()
     result = TaskResult(workload=task.workload.name,
-                        strategy=task.strategy_name, seed=task.seed)
+                        strategy=task.strategy_name, seed=task.seed,
+                        attempt=attempt)
     start = time.perf_counter()
     with tracer.span("task", cat="sched", workload=task.workload.name,
-                     strategy=task.strategy_name, seed=task.seed):
-        _run_task_body(result, task, config)
+                     strategy=task.strategy_name, seed=task.seed,
+                     attempt=attempt):
+        # A hard worker_crash never reaches this line (os._exit above);
+        # a crash fault here is the inline simulated variant, so recording
+        # it worker-side never double-counts the parent's submit-time entry.
+        if fault is not None:
+            registry.counter(f"chaos.injected.{fault}")
+            tracer.instant("chaos.inject", cat="chaos", fault=fault,
+                           workload=task.workload.name,
+                           strategy=task.strategy_name, attempt=attempt)
+        _run_task_attempt(result, task, config, fault)
     registry.counter(
         "sched.tasks.completed" if result.ok else "sched.tasks.failed"
     )
@@ -244,6 +383,67 @@ def run_task(task: EvalTask, config: SchedulerConfig) -> TaskResult:
     result.metrics = registry.snapshot().diff(metrics_before)
     result.spans = tracer.events_since(span_mark)
     return result
+
+
+def _run_task_attempt(result: TaskResult, task: EvalTask,
+                      config: SchedulerConfig,
+                      fault: Optional[str]) -> None:
+    """One attempt: chaos staging around the (possibly deadlined) body."""
+    chaos = config.chaos
+    if fault == CHAOS_WORKER_CRASH:
+        # Inline stand-in for the process dying (serial fallback, tests):
+        # the attempt fails the same way, minus the real os._exit.
+        result.error = (f"{SimulatedWorkerCrash.__name__}: chaos killed the "
+                        f"worker during {result.workload}/{result.strategy}")
+        result.error_kind = fault
+        return
+    if fault == CHAOS_HANG:
+        # The worker wedges instead of running the task body (so no
+        # abandoned thread ever races the worker-shared pipeline state).
+        # The deadline guard trips and the attempt fails cleanly; without
+        # a configured deadline the hang simply costs its full duration.
+        deadline = min(config.task_deadline_s or chaos.hang_s, chaos.hang_s)
+        call_with_deadline(lambda: time.sleep(chaos.hang_s), deadline)
+        result.error = (f"TaskHungError: task still running after "
+                        f"{deadline:g}s; killed by the sweep deadline")
+        result.error_kind = fault
+        return
+
+    cache = _worker_cache(config)
+    injector = None
+    if cache is not None and fault in (CHAOS_CACHE_IO, CHAOS_CORRUPT_ARTIFACT):
+        injector = ChaosCacheInjector(
+            chaos, result.workload, result.strategy,
+            transient_ops=chaos.cache_ops if fault == CHAOS_CACHE_IO else 0,
+            corrupt_puts=(chaos.cache_ops
+                          if fault == CHAOS_CORRUPT_ARTIFACT else 0),
+        )
+        cache.fault_injector = injector
+    try:
+        if config.task_deadline_s is not None:
+            finished, _ = call_with_deadline(
+                lambda: _run_task_body(result, task, config),
+                config.task_deadline_s)
+            if not finished:
+                # The body thread was abandoned mid-flight; report on a
+                # fresh result object so nothing it still mutates leaks
+                # into what we ship back.
+                hung = TaskResult(workload=result.workload,
+                                  strategy=result.strategy, seed=result.seed,
+                                  attempt=result.attempt)
+                hung.error = (f"TaskHungError: task still running after "
+                              f"{config.task_deadline_s:g}s; killed by the "
+                              f"sweep deadline")
+                hung.error_kind = CHAOS_HANG
+                result.__dict__.update(hung.__dict__)
+        else:
+            _run_task_body(result, task, config)
+    finally:
+        if injector is not None:
+            cache.fault_injector = None
+    if fault == CHAOS_OVERSIZED_RESULT and result.ok:
+        time.sleep(chaos.stall_s)
+        result.ballast = b"\x00" * chaos.ballast_bytes
 
 
 def _record_sweep_counters(registry, result: TaskResult) -> None:
@@ -321,11 +521,99 @@ def _run_task_body(result: TaskResult, task: EvalTask,
         result.error = f"{type(exc).__name__}: {exc}"
 
 
-def _run_task_tuple(payload: Tuple[EvalTask, SchedulerConfig]) -> TaskResult:
-    return run_task(*payload)
+def _run_task_tuple(
+    payload: Tuple[EvalTask, SchedulerConfig, int, bool]
+) -> TaskResult:
+    task, config, attempt, allow_hard_crash = payload
+    return run_task(task, config, attempt=attempt,
+                    allow_hard_crash=allow_hard_crash)
 
 
 # -- sweep side ---------------------------------------------------------------
+
+
+@dataclass
+class SweepHealthReport:
+    """Typed account of every recovery decision one sweep made.
+
+    All zeros on a healthy run.  ``wasted_wall_s`` is the wall-clock spent
+    on attempts whose results were thrown away (failed attempts) plus the
+    scheduled backoff waits — the price of surviving the faults, which the
+    chaos bench phase reports as overhead against a fault-free run.
+    """
+
+    #: attempts re-run because the previous attempt failed
+    retries: int = 0
+    #: tasks resubmitted because the pool broke while they were in flight
+    requeues: int = 0
+    #: times the worker pool broke (a worker died) and was respawned
+    pool_breaks: int = 0
+    #: attempts killed by the per-task deadline
+    hangs: int = 0
+    #: cells convicted as poison (failed every attempt) and quarantined
+    poisoned: List[str] = field(default_factory=list)
+    #: chaos fault classes actually injected, by class name
+    injected: Dict[str, int] = field(default_factory=dict)
+    #: cache entries healed (checksum mismatch / undecodable → evicted)
+    cache_healed: int = 0
+    #: transient cache I/O errors absorbed as misses / skipped writes
+    cache_io_errors: int = 0
+    #: total backoff wait the retry policy scheduled
+    backoff_wait_s: float = 0.0
+    #: wall-clock burned on failed attempts + backoff waits
+    wasted_wall_s: float = 0.0
+    #: IPC ballast stripped from oversized results
+    ballast_bytes: int = 0
+    #: the sweep hit ``pool_break_limit`` and degraded to serial execution
+    serial_fallback: bool = False
+
+    @property
+    def healthy(self) -> bool:
+        return (not self.retries and not self.requeues
+                and not self.pool_breaks and not self.poisoned
+                and not self.serial_fallback)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "retries": self.retries,
+            "requeues": self.requeues,
+            "pool_breaks": self.pool_breaks,
+            "hangs": self.hangs,
+            "poisoned": list(self.poisoned),
+            "injected": dict(sorted(self.injected.items())),
+            "cache_healed": self.cache_healed,
+            "cache_io_errors": self.cache_io_errors,
+            "backoff_wait_s": round(self.backoff_wait_s, 6),
+            "wasted_wall_s": round(self.wasted_wall_s, 6),
+            "ballast_bytes": self.ballast_bytes,
+            "serial_fallback": self.serial_fallback,
+            "healthy": self.healthy,
+        }
+
+    def describe(self) -> str:
+        if self.healthy and not self.injected:
+            return "sweep health: clean (no faults, no recoveries)"
+        parts = [
+            f"{self.retries} retried", f"{self.requeues} requeued",
+            f"{self.pool_breaks} pool break(s)", f"{self.hangs} hang(s)",
+            f"{len(self.poisoned)} poisoned",
+            f"{self.cache_healed} cache heal(s)",
+            f"{self.cache_io_errors} I/O error(s) absorbed",
+            f"{self.wasted_wall_s:.2f}s wasted",
+        ]
+        if self.injected:
+            injected = ", ".join(f"{k}×{v}"
+                                 for k, v in sorted(self.injected.items()))
+            parts.append(f"injected [{injected}]")
+        if self.serial_fallback:
+            parts.append("DEGRADED to serial")
+        text = "sweep health: " + ", ".join(parts)
+        for cell in self.poisoned:
+            text += f"\n  poisoned: {cell}"
+        return text
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
 
 
 @dataclass
@@ -342,6 +630,12 @@ class SweepResult:
     #: merged per-task metric deltas (all workers); the ``sweep.*`` plane
     #: of this snapshot is identical for serial and parallel runs
     metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+    #: every recovery decision this sweep made (all zeros when healthy)
+    health: SweepHealthReport = field(default_factory=SweepHealthReport)
+    #: sweep-level degradation rung (serial fallback lands here, next to
+    #: the per-build rungs of :class:`DegradationReport`)
+    degradation: DegradationReport = field(
+        default_factory=lambda: DegradationReport(workload="<sweep>"))
 
     @property
     def ok(self) -> bool:
@@ -381,6 +675,8 @@ class SweepResult:
             lines.append(f"FAILED {task.workload}/{task.strategy}: {task.error}")
         if len(self.quarantine):
             lines.append(self.quarantine.describe())
+        if not self.health.healthy or self.health.injected:
+            lines.append(self.health.describe())
         return "\n".join(lines)
 
 
@@ -419,41 +715,327 @@ class SweepScheduler:
 
         Never raises for per-task failures (see :attr:`TaskResult.error`);
         raises :class:`KeyError` for strategies the scheduler does not
-        know, before any work starts.
+        know, before any work starts.  With a :class:`RetryPolicy` armed
+        the sweep additionally survives worker deaths (pool respawn +
+        requeue), hung tasks (deadline trip + retry), and poison tasks
+        (quarantine); the price of every recovery is accounted in
+        :attr:`SweepResult.health`.
         """
         tasks = self.build_tasks(workloads, strategies)
         workers = self.config.resolved_workers() if parallel else 1
         workers = min(workers, max(len(tasks), 1))
-        start = time.perf_counter()
-        with get_tracer().span("sweep", cat="sched", tasks=len(tasks),
-                               workers=workers):
-            if workers <= 1:
-                results = [run_task(task, self.config) for task in tasks]
-            else:
-                payloads = [(task, self.config) for task in tasks]
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    results = list(pool.map(_run_task_tuple, payloads))
-        sweep = SweepResult(tasks=results,
-                            wall_s=time.perf_counter() - start,
-                            workers=workers)
-        # Worker-process observability folds into the parent here.  In
-        # inline mode (workers <= 1) the tasks already recorded into this
-        # process's registry and tracer, so only the sweep-local snapshot
-        # is built — merging the shipped deltas again would double-count;
-        # either way the parent registry ends up with the same totals.
-        inline = workers <= 1
+        sweep = SweepResult(workers=workers)
         registry = get_registry()
         tracer = get_tracer()
-        for task in results:
+        health_before = registry.snapshot()
+        start = time.perf_counter()
+        with tracer.span("sweep", cat="sched", tasks=len(tasks),
+                         workers=workers):
+            state = _SweepRun(tasks, self.config, sweep, inline=workers <= 1)
+            if workers <= 1:
+                state.run_serial(range(len(tasks)))
+            else:
+                state.run_pool(workers)
+            results = state.finish()
+        sweep.tasks = results
+        sweep.wall_s = time.perf_counter() - start
+        # Worker-process observability folds into the parent here.  Tasks
+        # that ran inline — the whole sweep when workers <= 1, or the
+        # cells a pool-mode sweep finished after degrading to serial —
+        # already recorded into this process's registry and tracer, so
+        # for them only the sweep-local snapshot is built; merging their
+        # shipped deltas again would double-count.  Either way the parent
+        # registry ends up with the same totals.
+        for index, task in enumerate(results):
+            ran_inline = index in state.inline_indices
             sweep.cache_hits += task.cache_hits
             sweep.cache_misses += task.cache_misses
             if task.metrics is not None:
                 sweep.metrics.merge(task.metrics)
-                if not inline:
+                if not ran_inline:
                     registry.merge_snapshot(task.metrics)
-            if not inline and task.spans:
+            if not ran_inline and task.spans:
                 tracer.absorb(task.spans)
             if task.quarantined:
                 sweep.quarantine.quarantine(task.workload, task.strategy,
                                             task.quarantine_reason)
+        # Injection and self-healing counters for the health report come
+        # from the parent registry delta across the whole sweep — failed
+        # attempts included (their deltas were absorbed on receipt).
+        delta = registry.snapshot().diff(health_before)
+        for name, value in delta.counters.items():
+            if name.startswith("chaos.injected."):
+                fault = name[len("chaos.injected."):]
+                sweep.health.injected[fault] = (
+                    sweep.health.injected.get(fault, 0) + value)
+            elif name.startswith("cache.heal."):
+                sweep.health.cache_healed += value
+            elif name.startswith("cache.io_error."):
+                sweep.health.cache_io_errors += value
         return sweep
+
+
+class _SweepRun:
+    """One sweep execution: retry/requeue state shared by both modes.
+
+    Tracks, per matrix cell: the next attempt number (bumped by failures
+    *and* by pool-break requeues — chaos faults fire per attempt, so a
+    requeued innocent is not re-injured), the count of genuine failed
+    attempts (only these feed the poison conviction), and the final
+    result.  The same receive logic serves the pool loop, the inline
+    loop, and the serial-fallback rung, so recovery semantics cannot
+    drift between modes.
+    """
+
+    def __init__(self, tasks: List[EvalTask], config: SchedulerConfig,
+                 sweep: SweepResult, inline: bool) -> None:
+        self.tasks = tasks
+        self.config = config
+        self.sweep = sweep
+        self.health = sweep.health
+        self.inline = inline
+        self.registry = get_registry()
+        self.tracer = get_tracer()
+        n = len(tasks)
+        self.final: List[Optional[TaskResult]] = [None] * n
+        #: next attempt number per cell (0-based)
+        self.attempts = [0] * n
+        #: failed-attempt count per cell (pool-break requeues excluded)
+        self.failures = [0] * n
+        #: cells whose attempts ran in this process (their observability
+        #: is already in the parent registry/tracer — never re-merge it)
+        self.inline_indices: set = set()
+
+    @property
+    def max_attempts(self) -> int:
+        retry = self.config.retry
+        return retry.max_attempts if retry is not None else 1
+
+    def receive(self, index: int, result: TaskResult) -> float:
+        """Fold one attempt's result in; returns the backoff delay before
+        the next attempt (0 when the cell is finished)."""
+        task = self.tasks[index]
+        if result.ballast:
+            self.health.ballast_bytes += len(result.ballast)
+            result.ballast = b""
+        # Failed attempts are retried, so only the final result reaches
+        # ``sweep.tasks`` — but their operational observability must not
+        # vanish with them: absorb metrics + spans into the parent now.
+        # (Attempts that ran inline recorded into the parent directly.)
+        if (not self.inline and index not in self.inline_indices
+                and not result.ok):
+            if result.metrics is not None:
+                self.registry.merge_snapshot(result.metrics)
+            if result.spans:
+                self.tracer.absorb(result.spans)
+        if result.ok:
+            self.final[index] = result
+            return 0.0
+        if result.error_kind == CHAOS_HANG or (
+                result.error or "").startswith("TaskHungError"):
+            self.health.hangs += 1
+        self.failures[index] += 1
+        self.health.wasted_wall_s += result.wall_s
+        retry = self.config.retry
+        if retry is None or self.failures[index] >= retry.max_attempts:
+            if retry is not None:
+                # Poison conviction: the cell failed every attempt it was
+                # given.  Quarantine it (PR-2 rung) so the sweep continues
+                # without it; the failed result is still reported.
+                result.quarantined = True
+                result.quarantine_reason = (
+                    f"poison task: failed {self.failures[index]} attempt(s); "
+                    f"last error: {result.error}")
+                self.registry.counter("sched.tasks.poisoned")
+                self.registry.counter("sweep.tasks.quarantined")
+                self.tracer.instant(
+                    "sched.poison", cat="sched", workload=result.workload,
+                    strategy=result.strategy, failures=self.failures[index])
+                self.health.poisoned.append(
+                    f"{result.workload}/{result.strategy}")
+            self.final[index] = result
+            return 0.0
+        self.health.retries += 1
+        self.registry.counter("sched.tasks.retried")
+        self.tracer.instant("sched.retry", cat="sched",
+                            workload=result.workload,
+                            strategy=result.strategy,
+                            attempt=result.attempt,
+                            error=(result.error or "")[:120])
+        self.attempts[index] = result.attempt + 1
+        delay = retry.backoff_s(task.seed, task.workload.name,
+                                task.strategy_name, result.attempt)
+        self.health.backoff_wait_s += delay
+        self.health.wasted_wall_s += delay
+        return delay
+
+    def requeue(self, index: int) -> None:
+        """Resubmit a task that was in flight when the pool broke.
+
+        We cannot tell the crashed task from its innocent pool-mates, so
+        every in-flight task is requeued; the attempt number is bumped
+        (so a recoverable chaos crash does not re-fire) but the failure
+        count is not — an innocent task is never marched toward poison
+        conviction by someone else's crash.
+        """
+        self.health.requeues += 1
+        self.registry.counter("sched.tasks.requeued")
+        self.attempts[index] += 1
+
+    def record_crash_injection(self, index: int) -> None:
+        """Parent-side bookkeeping for a hard worker crash.
+
+        The worker dies via ``os._exit`` before it can record anything,
+        but the chaos schedule is a pure function the parent can evaluate
+        too — so the injection is accounted here, at submit time.
+        """
+        task = self.tasks[index]
+        self.registry.counter(f"chaos.injected.{CHAOS_WORKER_CRASH}")
+        self.tracer.instant("chaos.inject", cat="chaos",
+                            fault=CHAOS_WORKER_CRASH,
+                            workload=task.workload.name,
+                            strategy=task.strategy_name,
+                            attempt=self.attempts[index])
+
+    def pending(self) -> List[int]:
+        return [i for i, r in enumerate(self.final) if r is None]
+
+    def finish(self) -> List[TaskResult]:
+        missing = [i for i, r in enumerate(self.final) if r is None]
+        if missing:  # pragma: no cover - loop invariant
+            raise RuntimeError(f"sweep lost track of tasks {missing}")
+        return [r for r in self.final if r is not None]
+
+    # -- inline / serial-fallback mode ------------------------------------
+
+    def run_serial(self, indices: Iterable[int]) -> None:
+        """Run cells inline (no pool): the single-core degraded mode, the
+        determinism reference, and the serial-fallback rung after repeated
+        pool breakage.  Chaos worker crashes degrade to error results here
+        (``allow_hard_crash=False``), so a persistent crasher finally gets
+        attributed to its cell and convicted."""
+        for index in indices:
+            self.inline_indices.add(index)
+            while self.final[index] is None:
+                result = run_task(self.tasks[index], self.config,
+                                  attempt=self.attempts[index],
+                                  allow_hard_crash=False)
+                delay = self.receive(index, result)
+                if delay > 0:
+                    time.sleep(delay)
+
+    # -- pool mode ---------------------------------------------------------
+
+    def run_pool(self, workers: int) -> None:
+        """The fault-tolerant pool loop.
+
+        A heap of (ready-time, submit-seq, cell) holds backoff-delayed
+        resubmissions without blocking the pool; ``wait(FIRST_COMPLETED)``
+        with a deadline-bounded timeout multiplexes completions against
+        the next ready time.  A worker death breaks the whole
+        :class:`ProcessPoolExecutor` (every in-flight future raises
+        :class:`BrokenProcessPool`); the loop harvests the futures that
+        finished cleanly, requeues the rest, and respawns the pool — up to
+        ``pool_break_limit`` times, after which the sweep degrades to
+        serial inline execution and notes it on the sweep-level
+        degradation report.
+        """
+        config = self.config
+        ready: List[Tuple[float, int, int]] = [
+            (0.0, i, i) for i in range(len(self.tasks))]
+        heapq.heapify(ready)
+        seq = len(self.tasks)
+        breaks = 0
+        pool = ProcessPoolExecutor(max_workers=workers)
+        in_flight: Dict[Any, int] = {}
+        try:
+            while self.pending():
+                now = time.monotonic()
+                broken = False
+                while ready and ready[0][0] <= now and not broken:
+                    _, _, index = heapq.heappop(ready)
+                    if self.final[index] is not None:
+                        continue
+                    attempt = self.attempts[index]
+                    task = self.tasks[index]
+                    try:
+                        future = pool.submit(
+                            _run_task_tuple, (task, config, attempt, True))
+                    except BrokenProcessPool:
+                        # The pool died between loop turns; put the task
+                        # back untouched (it never ran) and go heal.
+                        broken = True
+                        seq += 1
+                        heapq.heappush(ready, (now, seq, index))
+                        break
+                    in_flight[future] = index
+                    if (config.chaos is not None
+                            and config.chaos.fault_for(
+                                task.workload.name, task.strategy_name,
+                                attempt) == CHAOS_WORKER_CRASH):
+                        self.record_crash_injection(index)
+                if not broken:
+                    if not in_flight:
+                        if ready:
+                            time.sleep(max(0.0,
+                                           ready[0][0] - time.monotonic()))
+                            continue
+                        break  # pragma: no cover - pending() guards this
+                    timeout = (max(0.0, ready[0][0] - time.monotonic())
+                               if ready else None)
+                    done, _ = wait(list(in_flight), timeout=timeout,
+                                   return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index = in_flight.pop(future)
+                        if future.exception() is not None:
+                            # BrokenProcessPool (or an unpicklable result
+                            # — same treatment): this future's task was
+                            # in flight when a worker died.
+                            broken = True
+                            self.requeue(index)
+                            seq += 1
+                            heapq.heappush(ready,
+                                           (time.monotonic(), seq, index))
+                            continue
+                        delay = self.receive(index, future.result())
+                        if self.final[index] is None:
+                            seq += 1
+                            heapq.heappush(
+                                ready,
+                                (time.monotonic() + delay, seq, index))
+                if broken:
+                    breaks += 1
+                    self.health.pool_breaks += 1
+                    self.registry.counter("sched.pool.broken")
+                    self.tracer.instant("sched.pool.break", cat="sched",
+                                        breaks=breaks, workers=workers)
+                    # Every other in-flight future is broken too; harvest
+                    # the ones that finished before the pool died and
+                    # requeue the rest.
+                    for future, index in list(in_flight.items()):
+                        if future.done() and future.exception() is None:
+                            delay = self.receive(index, future.result())
+                            if self.final[index] is None:
+                                seq += 1
+                                heapq.heappush(
+                                    ready,
+                                    (time.monotonic() + delay, seq, index))
+                        else:
+                            self.requeue(index)
+                            seq += 1
+                            heapq.heappush(ready,
+                                           (time.monotonic(), seq, index))
+                    in_flight.clear()
+                    pool.shutdown(wait=False)
+                    if breaks >= config.pool_break_limit:
+                        self.health.serial_fallback = True
+                        self.sweep.degradation.note(
+                            f"worker pool broke {breaks}× (limit "
+                            f"{config.pool_break_limit}); degrading the "
+                            f"sweep to serial inline execution")
+                        self.registry.counter("sched.pool.serial_fallback")
+                        self.run_serial(self.pending())
+                        return
+                    pool = ProcessPoolExecutor(max_workers=workers)
+        finally:
+            pool.shutdown(wait=False)

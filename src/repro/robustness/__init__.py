@@ -15,7 +15,12 @@ when it happens anyway:
   :class:`repro.eval.pipeline.WorkloadPipeline` retry, salvage, and fall
   back to the default layout instead of raising;
 * the salvage parser itself lives next to the format in
-  :mod:`repro.profiling.tracefile` and is re-exported here.
+  :mod:`repro.profiling.tracefile` and is re-exported here;
+* :mod:`repro.robustness.chaos` — the layer-above counterpart of
+  ``faults``: a seed-driven :class:`ChaosPolicy` that injects worker
+  crashes, hangs, transient cache I/O errors, artifact corruption, and
+  oversized results into the *parallel sweep*, which the scheduler and
+  artifact cache must survive without changing any surviving result.
 """
 
 from ..profiling.tracefile import (
@@ -23,6 +28,18 @@ from ..profiling.tracefile import (
     SalvageReport,
     TraceDecodeError,
     parse_trace_lenient,
+)
+from .chaos import (
+    ALL_CHAOS_CLASSES,
+    CHAOS_CACHE_IO,
+    CHAOS_CORRUPT_ARTIFACT,
+    CHAOS_CRASH_EXIT,
+    CHAOS_HANG,
+    CHAOS_OVERSIZED_RESULT,
+    CHAOS_WORKER_CRASH,
+    ChaosCacheInjector,
+    ChaosPolicy,
+    SimulatedWorkerCrash,
 )
 from .degradation import (
     DegradationPolicy,
@@ -43,6 +60,10 @@ from .faults import (
 
 __all__ = [
     "SalvagedTrace", "SalvageReport", "TraceDecodeError", "parse_trace_lenient",
+    "ALL_CHAOS_CLASSES", "CHAOS_CACHE_IO", "CHAOS_CORRUPT_ARTIFACT",
+    "CHAOS_CRASH_EXIT", "CHAOS_HANG", "CHAOS_OVERSIZED_RESULT",
+    "CHAOS_WORKER_CRASH", "ChaosCacheInjector", "ChaosPolicy",
+    "SimulatedWorkerCrash",
     "DegradationPolicy", "DegradationReport", "ProfilingAttempt",
     "ALL_FAULT_KINDS", "FAULT_BIT_FLIP", "FAULT_DROP_FLUSH",
     "FAULT_KILL_AT_RECORD", "FAULT_PARTIAL_HEADER", "FAULT_TRUNCATE",

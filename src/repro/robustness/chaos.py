@@ -1,0 +1,205 @@
+"""Deterministic, seed-driven fault injection for the *parallel pipeline*.
+
+PR 1's :class:`~repro.robustness.faults.FaultInjector` damages trace bytes
+inside one profiling run; this module attacks the layer above it — the
+sweep scheduler and the content-addressed artifact cache — with the
+failure modes a fleet-scale evaluation actually meets:
+
+``worker_crash``
+    The worker process dies mid-task (``os._exit`` in pool mode, which
+    breaks the whole :class:`~concurrent.futures.ProcessPoolExecutor`; a
+    raised :class:`SimulatedWorkerCrash` in inline mode).
+``hang``
+    The task wedges: the worker sleeps instead of running the task body,
+    so the scheduler's hung-task deadline (reusing the
+    :mod:`repro.validation.watchdog` pattern) must trip and retry.
+``cache_io``
+    Transient :class:`OSError` on artifact-cache reads and writes (NFS
+    blips, ``EMFILE``, a disk briefly going away).  The cache must treat
+    reads as misses and skip writes, never raise.
+``corrupt_artifact``
+    A stored artifact pickle is damaged on disk right after the ``put``
+    (bit flip or truncation — a torn write the atomic rename did not
+    cover, or storage rot).  The checksum sidecar must detect it on read,
+    evict the entry, and let the caller recompute.
+``oversized_result``
+    The task's result ships with a large ballast payload and a stall —
+    a worker returning far more data than expected (IPC pressure).
+
+Everything is a pure function of the policy seed and the (workload,
+strategy, attempt) coordinates, so a chaos schedule is exactly
+reproducible: ``repro chaos --seed N`` fails the same cells the same way,
+forever.  The headline invariant the scheduler + cache must uphold under
+any schedule: **surviving canonical sweep results are byte-identical to a
+fault-free serial run** — faults may cost time or quarantine cells, never
+silently change results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple
+
+from ..util.murmur3 import murmur3_64
+
+CHAOS_WORKER_CRASH = "worker_crash"
+CHAOS_HANG = "hang"
+CHAOS_CACHE_IO = "cache_io"
+CHAOS_CORRUPT_ARTIFACT = "corrupt_artifact"
+CHAOS_OVERSIZED_RESULT = "oversized_result"
+
+ALL_CHAOS_CLASSES = (
+    CHAOS_WORKER_CRASH,
+    CHAOS_HANG,
+    CHAOS_CACHE_IO,
+    CHAOS_CORRUPT_ARTIFACT,
+    CHAOS_OVERSIZED_RESULT,
+)
+
+#: exit status a chaos-crashed pool worker dies with (shows up in logs as
+#: the reason the pool broke; anything non-zero works)
+CHAOS_CRASH_EXIT = 87
+
+
+class SimulatedWorkerCrash(RuntimeError):
+    """Inline-mode stand-in for a worker process dying mid-task."""
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """What goes wrong, where, and how often — all derived from ``seed``.
+
+    A cell (workload, strategy) is *targeted* when a murmur3 hash of its
+    coordinates under ``seed`` falls below ``rate``; a targeted cell gets
+    exactly one fault class (hash-picked among ``classes``), so ``rate``
+    is the per-cell fault probability regardless of how many classes are
+    enabled.  Faults fire on attempts ``0 .. faulty_attempts-1`` only —
+    the default (1) means every injected failure is recoverable by a
+    single retry — unless ``persistent`` is set, in which case the cell
+    fails on *every* attempt and must end in poison-task quarantine (the
+    CI ``injected-unrecoverable`` mode).
+
+    Frozen and picklable by design: the policy travels unchanged into
+    scheduler worker processes.
+    """
+
+    seed: int = 0
+    #: per-cell fault probability in [0, 1]
+    rate: float = 0.0
+    classes: Tuple[str, ...] = ALL_CHAOS_CLASSES
+    #: attempts (0-based) on which an injected fault fires; 1 = first try
+    #: only, so one retry always recovers
+    faulty_attempts: int = 1
+    #: unrecoverable mode: the fault fires on every attempt
+    persistent: bool = False
+    #: how long an injected hang sleeps (the scheduler's task deadline
+    #: should be below this for the watchdog trip to be exercised)
+    hang_s: float = 3.0
+    #: stall injected before returning an oversized result
+    stall_s: float = 0.05
+    #: ballast bytes attached to an oversized result
+    ballast_bytes: int = 1 << 16
+    #: how many cache operations one cache fault poisons: transient
+    #: OSErrors for ``cache_io``, damaged puts for ``corrupt_artifact``
+    cache_ops: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        unknown = [c for c in self.classes if c not in ALL_CHAOS_CLASSES]
+        if unknown:
+            raise ValueError(f"unknown chaos class(es) {unknown}; "
+                             f"choose from {ALL_CHAOS_CLASSES}")
+        if not self.classes:
+            raise ValueError("at least one chaos class is required")
+
+    # -- the deterministic schedule ---------------------------------------
+
+    def _unit(self, *parts: object) -> float:
+        """A reproducible uniform draw in [0, 1) for these coordinates."""
+        material = "\x1f".join(str(p) for p in parts).encode("utf-8")
+        return (murmur3_64(material, seed=self.seed & 0xFFFFFFFF)
+                % (1 << 24)) / float(1 << 24)
+
+    def targeted(self, workload: str, strategy: str) -> bool:
+        """Whether this cell is on the fault schedule at all."""
+        return self.rate > 0.0 and self._unit(workload, strategy) < self.rate
+
+    def fault_for(self, workload: str, strategy: str,
+                  attempt: int) -> Optional[str]:
+        """The fault class injected into this attempt (None = run clean).
+
+        Pure in its inputs: the same (policy, workload, strategy, attempt)
+        always answers the same, regardless of worker, ordering, or host.
+        """
+        if not self.targeted(workload, strategy):
+            return None
+        if not self.persistent and attempt >= self.faulty_attempts:
+            return None
+        pick = int(self._unit(workload, strategy, "class")
+                   * len(self.classes))
+        return self.classes[min(pick, len(self.classes) - 1)]
+
+    def describe(self) -> str:
+        mode = "persistent" if self.persistent else (
+            f"first {self.faulty_attempts} attempt(s)")
+        return (f"chaos seed={self.seed} rate={self.rate:.0%} "
+                f"[{', '.join(self.classes)}] ({mode})")
+
+
+class ChaosCacheInjector:
+    """Per-task cache damage executor, armed on an :class:`ArtifactCache`.
+
+    Implements the cache's fault-injector protocol (see
+    :class:`repro.cache.store.ArtifactCache`): :meth:`before_io` may raise
+    a transient :class:`OSError` for the first ``transient_ops``
+    operations, and :meth:`after_put` damages the freshly written payload
+    of the first ``corrupt_puts`` puts (deterministic bit flip or
+    truncation, hash-picked).  Budgets are per-instance, i.e. per task
+    attempt; the scheduler arms a fresh injector for each chaotic task
+    and disarms it afterwards.
+    """
+
+    def __init__(self, policy: ChaosPolicy, workload: str, strategy: str,
+                 transient_ops: int = 0, corrupt_puts: int = 0) -> None:
+        self.policy = policy
+        self.workload = workload
+        self.strategy = strategy
+        self.transient_ops = transient_ops
+        self.corrupt_puts = corrupt_puts
+        #: log of the damage actually done (for reports and tests)
+        self.injected = []
+
+    def before_io(self, op: str, kind: str, key: str) -> None:
+        if self.transient_ops <= 0:
+            return
+        self.transient_ops -= 1
+        self.injected.append(f"transient OSError on {op} {kind}/{key[:12]}")
+        raise OSError(f"chaos: injected transient I/O error on {op} "
+                      f"({self.workload}/{self.strategy})")
+
+    def after_put(self, kind: str, key: str, path: Path) -> None:
+        if self.corrupt_puts <= 0:
+            return
+        self.corrupt_puts -= 1
+        try:
+            blob = bytearray(path.read_bytes())
+        except OSError:
+            return
+        if not blob:
+            return
+        draw = self.policy._unit(self.workload, self.strategy, kind, key)
+        pos = int(self.policy._unit(key, "pos") * len(blob))
+        pos = min(pos, len(blob) - 1)
+        if draw < 0.5:
+            blob[pos] ^= 1 << int(self.policy._unit(key, "bit") * 8) % 8
+            detail = f"bit flip at byte {pos}"
+        else:
+            del blob[max(pos, 1):]
+            detail = f"truncated to {len(blob)} bytes"
+        try:
+            path.write_bytes(bytes(blob))
+        except OSError:
+            return
+        self.injected.append(f"corrupted {kind}/{key[:12]}: {detail}")

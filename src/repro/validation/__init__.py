@@ -49,6 +49,7 @@ from .quarantine import QuarantineEntry, QuarantineRegistry
 from .watchdog import (
     WatchdogBudget,
     WatchdogReport,
+    call_with_deadline,
     run_with_watchdog,
 )
 
@@ -60,5 +61,6 @@ __all__ = [
     "LayoutMutationPlan", "LayoutMutator", "restore_layout", "snapshot_layout",
     "VerificationOutcome", "VerificationPolicy", "verify_strategy",
     "QuarantineEntry", "QuarantineRegistry",
-    "WatchdogBudget", "WatchdogReport", "run_with_watchdog",
+    "WatchdogBudget", "WatchdogReport", "call_with_deadline",
+    "run_with_watchdog",
 ]

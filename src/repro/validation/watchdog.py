@@ -23,7 +23,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field, replace
-from typing import Any, Optional
+from typing import Any, Optional, Tuple
 
 from ..image.binary import NativeImageBinary
 from ..runtime.executor import ExecutionConfig, RunMetrics, run_binary
@@ -82,6 +82,33 @@ class WatchdogReport:
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.describe()
+
+
+def call_with_deadline(fn, deadline_s: float) -> Tuple[bool, str]:
+    """Run ``fn()`` on a daemon thread, abandoning it past ``deadline_s``.
+
+    The generic form of the deadline half of :func:`run_with_watchdog`,
+    reused by the sweep scheduler's hung-task guard: returns ``(True,
+    error)`` when the call finished (``error`` is the formatted exception
+    if it raised, else ``""``), or ``(False, detail)`` when the deadline
+    tripped and the still-running call was abandoned — the same way a
+    real watchdog would SIGKILL a wedged subject.
+    """
+    box: dict = {}
+
+    def target() -> None:
+        try:
+            fn()
+        except Exception as exc:  # noqa: BLE001 - report, never wedge
+            box["error"] = f"{type(exc).__name__}: {exc}"
+
+    worker = threading.Thread(target=target, daemon=True,
+                              name="repro-deadline-call")
+    worker.start()
+    worker.join(deadline_s)
+    if worker.is_alive():
+        return False, (f"still executing after {deadline_s:g}s; abandoned")
+    return True, box.get("error", "")
 
 
 def run_with_watchdog(

@@ -253,3 +253,118 @@ class TestPipelineCaching:
         pipeline = WorkloadPipeline(Workload(name="plain", source=PROGRAM))
         base, opt = pipeline.run_strategy(STRATEGY_CU, seed=3)
         assert base and opt
+
+
+class _FlakyIO:
+    """Minimal fault injector: raise OSError on the first N operations."""
+
+    def __init__(self, failures):
+        self.failures = failures
+
+    def before_io(self, op, kind, key):
+        if self.failures > 0:
+            self.failures -= 1
+            raise OSError(f"injected: {op} {kind}")
+
+    def after_put(self, kind, key, path):
+        pass
+
+
+class TestSelfHealing:
+    KEY = "45" * 32
+
+    def _paths(self, tmp_path):
+        return (tmp_path / KIND_METRICS / self.KEY[:2] / f"{self.KEY}.pkl",
+                tmp_path / KIND_METRICS / self.KEY[:2] / f"{self.KEY}.json")
+
+    def test_checksum_sidecar_written_on_put(self, tmp_path):
+        import json as _json
+        import zlib as _zlib
+        cache = ArtifactCache(tmp_path)
+        cache.put(KIND_METRICS, self.KEY, [1, 2, 3])
+        pkl, meta = self._paths(tmp_path)
+        recorded = _json.loads(meta.read_text())["crc32"]
+        assert recorded == _zlib.crc32(pkl.read_bytes())
+
+    def test_bit_flip_is_detected_evicted_recomputed(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put(KIND_METRICS, self.KEY, [1, 2, 3])
+        pkl, _ = self._paths(tmp_path)
+        blob = bytearray(pkl.read_bytes())
+        blob[len(blob) // 2] ^= 0x40
+        pkl.write_bytes(bytes(blob))
+        # memo-free instance: the read must go to disk and verify the CRC
+        fresh = ArtifactCache(tmp_path, memo_entries=0)
+        assert fresh.get(KIND_METRICS, self.KEY) is None
+        assert fresh.stats.healed == 1
+        assert not fresh.contains(KIND_METRICS, self.KEY)
+        assert fresh.put(KIND_METRICS, self.KEY, [1, 2, 3])
+        assert fresh.get(KIND_METRICS, self.KEY) == [1, 2, 3]
+
+    def test_undecodable_payload_with_valid_crc_heals(self, tmp_path):
+        import json as _json
+        import zlib as _zlib
+        cache = ArtifactCache(tmp_path)
+        cache.put(KIND_METRICS, self.KEY, [1, 2, 3])
+        pkl, meta = self._paths(tmp_path)
+        # valid checksum over bytes that are not a pickle: the unpickle
+        # guard (not the CRC) must catch it, same detect-evict-recompute
+        garbage = b"\x80\x05 this was never a pickle"
+        pkl.write_bytes(garbage)
+        doc = _json.loads(meta.read_text())
+        doc["crc32"] = _zlib.crc32(garbage)
+        meta.write_text(_json.dumps(doc))
+        fresh = ArtifactCache(tmp_path, memo_entries=0)
+        assert fresh.get(KIND_METRICS, self.KEY) is None
+        assert fresh.stats.healed == 1
+        assert not fresh.contains(KIND_METRICS, self.KEY)
+
+    def test_memo_serves_before_disk_damage_is_seen(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put(KIND_METRICS, self.KEY, [1, 2, 3])
+        assert cache.get(KIND_METRICS, self.KEY) == [1, 2, 3]  # memoized
+        pkl, _ = self._paths(tmp_path)
+        pkl.write_bytes(b"rot")
+        # same instance: immutable-entry contract lets the memo serve
+        assert cache.get(KIND_METRICS, self.KEY) == [1, 2, 3]
+        # a new process (new instance) heals from disk
+        assert ArtifactCache(tmp_path, memo_entries=0).get(
+            KIND_METRICS, self.KEY) is None
+
+    def test_orphaned_tmp_files_swept_on_open(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put(KIND_METRICS, self.KEY, [1, 2, 3])
+        shard = (tmp_path / KIND_METRICS / self.KEY[:2])
+        orphan = shard / ".tmp-killed-writer"
+        orphan.write_bytes(b"half a payload")
+        reopened = ArtifactCache(tmp_path)
+        assert not orphan.exists()
+        # the real entry survived the sweep
+        assert reopened.get(KIND_METRICS, self.KEY) == [1, 2, 3]
+
+    def test_transient_read_error_is_a_miss_not_a_raise(self, tmp_path):
+        cache = ArtifactCache(tmp_path, memo_entries=0)
+        cache.put(KIND_METRICS, self.KEY, [1, 2, 3])
+        cache.fault_injector = _FlakyIO(failures=1)
+        assert cache.get(KIND_METRICS, self.KEY) is None
+        assert cache.stats.io_errors == 1
+        # the entry was left in place for the next (healthy) read
+        assert cache.get(KIND_METRICS, self.KEY) == [1, 2, 3]
+
+    def test_transient_write_error_skips_the_put(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.fault_injector = _FlakyIO(failures=1)
+        assert not cache.put(KIND_METRICS, self.KEY, [1, 2, 3])
+        assert cache.stats.io_errors == 1
+        assert not cache.contains(KIND_METRICS, self.KEY)
+        assert cache.put(KIND_METRICS, self.KEY, [1, 2, 3])
+
+    def test_describe_reports_healing(self, tmp_path):
+        cache = ArtifactCache(tmp_path, memo_entries=0)
+        cache.put(KIND_METRICS, self.KEY, [1, 2, 3])
+        pkl, _ = self._paths(tmp_path)
+        pkl.write_bytes(b"rot")
+        cache.get(KIND_METRICS, self.KEY)
+        text = cache.describe()
+        assert "1 healed" in text
+        assert cache.stats.as_dict()["healed"] == 1

@@ -35,6 +35,20 @@ class TestParser:
         assert args.workers == BenchConfig().max_workers
         assert args.output == BenchConfig().output
 
+    def test_chaos_defaults_track_policy_dataclasses(self):
+        from repro.eval.scheduler import RetryPolicy, SchedulerConfig
+        from repro.robustness.chaos import ChaosPolicy
+
+        args = build_parser().parse_args(["chaos"])
+        assert args.seed == ChaosPolicy().seed
+        assert args.max_attempts == RetryPolicy().max_attempts
+        assert args.workers == SchedulerConfig().max_workers
+        assert args.fault_classes is None  # None = all classes
+
+    def test_chaos_rejects_bad_rate(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--rate", "1.5"])
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
@@ -95,3 +109,34 @@ class TestCommands:
         assert main(["overhead", "--only", "Sieve"]) == 0
         out = capsys.readouterr().out
         assert "Sieve" in out and "micronaut" in out
+
+    def test_chaos_recoverable_sweep(self, capsys):
+        assert main([
+            "chaos", "--only", "Sieve", "--strategy", "cu",
+            "--seed", "3", "--rate", "1.0",
+            "--fault-classes", "oversized_result",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "identity: OK" in out
+        assert "oversized_result" in out
+
+    def test_chaos_json_report(self, capsys):
+        import json as _json
+        assert main([
+            "chaos", "--only", "Sieve", "--strategy", "cu",
+            "--seed", "3", "--rate", "1.0",
+            "--fault-classes", "cache_io", "--json",
+        ]) == 0
+        report = _json.loads(capsys.readouterr().out)
+        assert report["ok"] and report["identity"]["ok"]
+        assert report["health"]["injected"] == {"cache_io": 1}
+
+    def test_chaos_persistent_exits_nonzero(self, capsys):
+        assert main([
+            "chaos", "--only", "Sieve", "--strategy", "cu",
+            "--seed", "3", "--rate", "1.0", "--persistent",
+            "--max-attempts", "2",
+            "--fault-classes", "worker_crash", "--workers", "1",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "quarantined: Sieve/cu" in out
