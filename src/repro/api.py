@@ -266,6 +266,64 @@ class NativeImageToolchain:
             self.profile(seed=seed)
         return self._pipeline.build_optimized(self._profiles, spec, seed=seed)
 
+    # -- continuous PGO ----------------------------------------------------------
+
+    def pgo_loop(
+        self,
+        strategy: str = "cu+heap path",
+        thresholds: Optional[object] = None,
+        canary: Optional[object] = None,
+        seed: int = 0,
+    ):
+        """A :class:`repro.pgo.PgoLoop` bound to this workload's pipeline.
+
+        The loop owns a versioned :class:`~repro.pgo.ProfileStore`; feed
+        it weighted traffic mixes via ``bootstrap``/``observe`` and it
+        detects profile drift, rebuilds through the cached pipeline, and
+        only deploys candidates that pass the canary gate (structural +
+        differential oracle + fault-regression check).  Convicted
+        candidates land in :attr:`quarantine`.  Raises :class:`KeyError`
+        for unknown strategy names.
+        """
+        from .pgo import PgoLoop
+        spec = STRATEGIES.get(strategy)
+        if spec is None:
+            raise KeyError(
+                f"unknown strategy {strategy!r}; choose from {sorted(STRATEGIES)}"
+            )
+        return PgoLoop(self._pipeline, spec, thresholds=thresholds,
+                       canary=canary, seed=seed)
+
+    def pgo_scenario(
+        self,
+        strategy: str = "cu+heap path",
+        epochs: int = 3,
+        seed: int = 7,
+        drift_epoch: int = 1,
+        inject_bad_epoch: Optional[int] = None,
+        chaos: Optional[object] = None,
+    ):
+        """Drive a seeded multi-epoch drift scenario (``repro pgo``).
+
+        Synthesizes traffic variants from this workload's real trace,
+        shifts the mix at ``drift_epoch`` (the loop must auto-refresh),
+        and optionally damages the candidate at ``inject_bad_epoch`` (the
+        canary gate must quarantine it and roll back).  Returns the
+        :class:`repro.pgo.ScenarioOutcome`; ``outcome.ok`` is the
+        no-unguarded-regression invariant.
+        """
+        from .pgo import DriftScenario, run_scenario
+        spec = STRATEGIES.get(strategy)
+        if spec is None:
+            raise KeyError(
+                f"unknown strategy {strategy!r}; choose from {sorted(STRATEGIES)}"
+            )
+        scenario = DriftScenario(epochs=epochs, seed=seed,
+                                 drift_epoch=drift_epoch,
+                                 inject_bad_epoch=inject_bad_epoch)
+        return run_scenario(self._pipeline, spec, scenario=scenario,
+                            chaos=chaos)
+
     # -- verification -----------------------------------------------------------
 
     def verify(

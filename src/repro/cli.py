@@ -23,6 +23,12 @@ Commands mirror the paper's artifact scripts:
   oversized results) and verify that every surviving result is
   byte-identical to a fault-free serial reference; ``--persistent`` makes
   the schedule unrecoverable so poison cells end in quarantine (exit 1);
+* ``pgo``      — drive the continuous-PGO loop through a seeded multi-epoch
+  drift scenario: synthetic traffic shifts away from the deployed profile,
+  the loop detects drift (rank distance + replayed faults), rebuilds
+  through the cached pipeline, and only deploys candidates that pass the
+  canary gate; ``--inject-bad`` damages a candidate so the gate must
+  quarantine it and roll back (exit 1 names the quarantined layout);
 * ``stats``    — run a (workload × strategy) sweep and print the merged
   metrics-registry summary (counters, gauges, histograms);
 * ``trace``    — run one strategy end-to-end and export the span trace as
@@ -302,6 +308,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         chaos=not args.no_chaos,
         chaos_rate=args.chaos_rate,
         chaos_seed=args.chaos_seed,
+        pgo=not args.no_pgo,
+        pgo_epochs=args.pgo_epochs,
+        pgo_seed=args.pgo_seed,
     )
     if args.only:
         kwargs["workloads"] = tuple(args.only)
@@ -334,13 +343,53 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _chaos_pgo_exercise(workloads, strategies, args) -> Dict[str, object]:
+    """The ``stale_profile`` leg of ``repro chaos``: drift-detector recovery.
+
+    Stale-profile faults do not fire in the sweep scheduler (nothing there
+    consumes live profiles); they attack the continuous-PGO loop, which
+    must miss at most the poisoned epoch and refresh on the next fresh
+    one.  Runs the seeded drift scenario on the first matrix cell with a
+    stale-serving chaos policy armed and reports what the loop did.
+    """
+    from .pgo import DriftScenario, run_scenario
+    from .robustness.chaos import CHAOS_STALE_PROFILE, ChaosPolicy
+
+    policy = ChaosPolicy(seed=args.seed, rate=args.rate,
+                         classes=(CHAOS_STALE_PROFILE,),
+                         persistent=args.persistent, hang_s=args.hang)
+    pipeline = WorkloadPipeline(workloads[0])
+    scenario = DriftScenario(seed=args.base_seed or 7)
+    outcome = run_scenario(pipeline, strategies[0], scenario=scenario,
+                           chaos=policy)
+    # recovery is only demandable when the loop actually saw fresh
+    # post-shift traffic: a total stale blackout leaves nothing to
+    # detect, and safely retaining the deployed layout is the correct
+    # degraded behavior (the retain-stale rung)
+    fresh_after_shift = any(
+        not epoch.stale_served and epoch.epoch >= scenario.drift_epoch
+        for epoch in outcome.epochs
+    )
+    return {
+        "policy": policy.describe(),
+        "outcome": outcome,
+        "fresh_after_shift": fresh_after_shift,
+        "ok": outcome.ok and (outcome.refreshes >= 1
+                              or not fresh_after_shift),
+    }
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     import tempfile
 
     from .eval.bench import BenchConfig, resolve_matrix
     from .eval.chaosrun import run_chaos
     from .eval.scheduler import RetryPolicy, SchedulerConfig
-    from .robustness.chaos import ALL_CHAOS_CLASSES, ChaosPolicy
+    from .robustness.chaos import (
+        ALL_CHAOS_CLASSES,
+        CHAOS_STALE_PROFILE,
+        ChaosPolicy,
+    )
 
     try:
         workloads, strategies = resolve_matrix(BenchConfig(
@@ -350,31 +399,104 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     except KeyError as exc:
         raise SystemExit(str(exc))
     classes = tuple(args.fault_classes or ALL_CHAOS_CLASSES)
-    try:
-        policy = ChaosPolicy(seed=args.seed, rate=args.rate, classes=classes,
-                             persistent=args.persistent, hang_s=args.hang)
-        retry = RetryPolicy(max_attempts=args.max_attempts)
-    except ValueError as exc:
-        raise SystemExit(str(exc))
-    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as scratch:
-        cache_dir = args.cache_dir or str(Path(scratch) / "cache")
-        config = SchedulerConfig(
-            cache_dir=cache_dir,
-            max_workers=args.workers,
-            iterations=args.iterations,
-            base_seed=args.base_seed,
-            task_deadline_s=args.deadline,
-        )
+    # stale_profile targets the PGO loop, not the sweep scheduler:
+    # partition the requested classes into the two exercises
+    sweep_classes = tuple(c for c in classes if c != CHAOS_STALE_PROFILE)
+    outcome = None
+    if sweep_classes:
+        try:
+            policy = ChaosPolicy(seed=args.seed, rate=args.rate,
+                                 classes=sweep_classes,
+                                 persistent=args.persistent, hang_s=args.hang)
+            retry = RetryPolicy(max_attempts=args.max_attempts)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as scratch:
+            cache_dir = args.cache_dir or str(Path(scratch) / "cache")
+            config = SchedulerConfig(
+                cache_dir=cache_dir,
+                max_workers=args.workers,
+                iterations=args.iterations,
+                base_seed=args.base_seed,
+                task_deadline_s=args.deadline,
+            )
+            if not args.json:
+                print(f"chaos sweep: {len(workloads)} workload(s) x "
+                      f"{len(strategies)} strateg(ies), {policy.describe()}")
+            outcome = run_chaos(workloads, strategies, policy=policy,
+                                config=config, retry=retry)
+    pgo = None
+    if CHAOS_STALE_PROFILE in classes:
         if not args.json:
-            print(f"chaos sweep: {len(workloads)} workload(s) x "
-                  f"{len(strategies)} strateg(ies), {policy.describe()}")
-        outcome = run_chaos(workloads, strategies, policy=policy,
-                            config=config, retry=retry)
+            print(f"chaos pgo: stale-profile injection against the "
+                  f"continuous-PGO loop on {workloads[0].name} / "
+                  f"{strategies[0].name}")
+        pgo = _chaos_pgo_exercise(workloads, strategies, args)
+    if args.json:
+        payload: Dict[str, object] = {}
+        if outcome is not None:
+            payload = dict(outcome.as_dict())
+        if pgo is not None:
+            payload["pgo"] = {
+                "policy": pgo["policy"],
+                "ok": pgo["ok"],
+                **pgo["outcome"].as_dict(),
+            }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        if outcome is not None:
+            print(outcome.describe())
+        if pgo is not None:
+            print(pgo["outcome"].describe())
+            served = pgo["outcome"].stale_served
+            if pgo["ok"] and not pgo["fresh_after_shift"] and served:
+                verdict = ("total stale blackout: loop safely retained the "
+                           "deployed layout (retain-stale rung)")
+            elif pgo["ok"]:
+                verdict = ("loop recovered (refresh on a fresh epoch, no "
+                           "unguarded regression)")
+            else:
+                verdict = "LOOP DID NOT RECOVER"
+            print(f"stale profiles served on {served} epoch(s); {verdict}")
+    ok = (outcome is None or outcome.ok) and (pgo is None or pgo["ok"])
+    return 0 if ok else 1
+
+
+def cmd_pgo(args: argparse.Namespace) -> int:
+    from .cache import ArtifactCache
+    from .pgo import (
+        CanaryPolicy,
+        DriftScenario,
+        DriftThresholds,
+        run_scenario,
+    )
+
+    workload = _find_workload(args.workload)
+    spec = STRATEGIES.get(args.strategy)
+    if spec is None:
+        raise SystemExit(
+            f"unknown strategy {args.strategy!r}; choose from "
+            f"{sorted(STRATEGIES)}"
+        )
+    cache = ArtifactCache(Path(args.cache_dir)) if args.cache_dir else None
+    pipeline = WorkloadPipeline(workload, cache=cache)
+    scenario = DriftScenario(
+        epochs=args.epochs,
+        seed=args.seed,
+        drift_epoch=args.drift_epoch,
+        inject_bad_epoch=args.inject_bad,
+    )
+    thresholds = DriftThresholds(max_rank_distance=args.max_drift)
+    canary = CanaryPolicy(max_regression=args.max_regression)
+    outcome = run_scenario(pipeline, spec, scenario=scenario,
+                           thresholds=thresholds, canary=canary)
     if args.json:
         print(json.dumps(outcome.as_dict(), indent=2, sort_keys=True))
     else:
         print(outcome.describe())
-    return 0 if outcome.ok else 1
+    # exit nonzero when the gate had to intervene (a candidate was
+    # quarantined) or — worse — an unguarded regression shipped
+    return 1 if (outcome.unguarded_regressions or outcome.quarantined) else 0
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -611,6 +733,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--chaos-seed", type=int,
                          default=_field_default(_BenchConfig, "chaos_seed"),
                          help="chaos schedule seed (default: %(default)s)")
+    p_bench.add_argument("--no-pgo", action="store_true",
+                         help="skip the pgo phase (continuous-PGO drift "
+                         "scenario + canary gate)")
+    p_bench.add_argument("--pgo-epochs", type=int,
+                         default=_field_default(_BenchConfig, "pgo_epochs"),
+                         help="traffic epochs of the pgo drift scenario "
+                         "(default: %(default)s)")
+    p_bench.add_argument("--pgo-seed", type=int,
+                         default=_field_default(_BenchConfig, "pgo_seed"),
+                         help="pgo scenario seed (default: %(default)s)")
     p_bench.add_argument("--check", action="store_true",
                          help="exit non-zero unless warm hit rate is 100%% "
                          "and all phases agree (CI mode)")
@@ -626,7 +758,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     from .eval.scheduler import RetryPolicy as _RetryPolicy
     from .eval.scheduler import SchedulerConfig as _SchedulerConfig
-    from .robustness.chaos import ALL_CHAOS_CLASSES as _CHAOS_CLASSES
+    from .robustness.chaos import CHAOS_CLASS_UNIVERSE as _CHAOS_CLASSES
     from .robustness.chaos import ChaosPolicy as _ChaosPolicy
 
     p_chaos = sub.add_parser(
@@ -648,7 +780,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--fault-classes", nargs="*",
                          choices=list(_CHAOS_CLASSES), metavar="CLASS",
                          help="fault classes to inject; choose from "
-                         f"{', '.join(_CHAOS_CLASSES)} (default: all)")
+                         f"{', '.join(_CHAOS_CLASSES)} (default: all sweep "
+                         "classes; stale_profile additionally exercises the "
+                         "continuous-PGO loop's drift-detector recovery)")
     p_chaos.add_argument("--persistent", action="store_true",
                          help="unrecoverable mode: targeted cells fail every "
                          "attempt and must end in poison-task quarantine "
@@ -683,6 +817,57 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--json", action="store_true",
                          help="print the machine-readable health report")
     p_chaos.set_defaults(func=cmd_chaos)
+
+    from .pgo import CanaryPolicy as _CanaryPolicy
+    from .pgo import DriftScenario as _DriftScenario
+    from .pgo import DriftThresholds as _DriftThresholds
+
+    p_pgo = sub.add_parser(
+        "pgo",
+        help="drive the continuous-PGO loop through a seeded drift "
+        "scenario: detect profile staleness, canary-gate the re-layout, "
+        "quarantine and roll back bad candidates",
+    )
+    p_pgo.add_argument("--workload", default="Queens")
+    p_pgo.add_argument("--strategy", default="cu+heap path",
+                       help="ordering strategy the loop deploys "
+                       "(default: %(default)s)")
+    p_pgo.add_argument("--epochs", type=int,
+                       default=_field_default(_DriftScenario, "epochs"),
+                       help="traffic epochs to observe (default: %(default)s)")
+    p_pgo.add_argument("--seed", type=int,
+                       default=_field_default(_DriftScenario, "seed"),
+                       help="scenario seed; drives traffic synthesis, the "
+                       "mix schedule and all builds (default: %(default)s)")
+    p_pgo.add_argument("--drift-epoch", type=int,
+                       default=_field_default(_DriftScenario, "drift_epoch"),
+                       help="epoch at which live traffic genuinely shifts "
+                       "(default: %(default)s)")
+    p_pgo.add_argument("--inject-bad", type=int, metavar="EPOCH",
+                       default=_field_default(_DriftScenario,
+                                              "inject_bad_epoch"),
+                       help="damage the re-layout candidate built at this "
+                       "epoch; the canary gate must quarantine it and roll "
+                       "back (exit 1 names the quarantined layout; "
+                       "default: no injection)")
+    p_pgo.add_argument("--max-drift", type=float,
+                       default=_field_default(_DriftThresholds,
+                                              "max_rank_distance"),
+                       help="rank-distance threshold above which the "
+                       "deployed profile counts as drifted "
+                       "(default: %(default)s)")
+    p_pgo.add_argument("--max-regression", type=float,
+                       default=_field_default(_CanaryPolicy,
+                                              "max_regression"),
+                       help="allowed fractional fault regression of a "
+                       "candidate vs the deployed layout "
+                       "(default: %(default)s)")
+    p_pgo.add_argument("--cache-dir",
+                       help="artifact-cache directory shared with other "
+                       "commands (default: uncached)")
+    p_pgo.add_argument("--json", action="store_true",
+                       help="print the machine-readable scenario outcome")
+    p_pgo.set_defaults(func=cmd_pgo)
 
     p_stats = sub.add_parser(
         "stats",

@@ -31,6 +31,16 @@ cold phase) — asserted under :data:`MAX_ATTRIBUTION_OVERHEAD` by
 gate: when ``--baseline`` fails, the gate names the symbols most
 responsible for the current layout's faults instead of just the numbers.
 
+A sixth, optional phase (``pgo``, on by default) drives the continuous-PGO
+loop (:mod:`repro.pgo`) through a seeded drift scenario against the warm
+cache: synthetic traffic shifts away from the deployed profile (the loop
+must auto-refresh and strictly cut replayed first-touch faults), and the
+last epoch's re-layout candidate is deliberately damaged (the canary gate
+must quarantine it and roll back).  ``--check`` asserts all three: at
+least one genuine refresh with a strict fault reduction, the injected-bad
+candidate rolled back into quarantine, and zero unguarded regressions at
+any epoch.
+
 A fifth, optional phase (``chaos``, on by default) reruns the identical
 matrix through the scheduler with a recoverable
 :class:`~repro.robustness.chaos.ChaosPolicy` armed against a fresh cache
@@ -101,6 +111,12 @@ class BenchConfig:
     #: chaos schedule seed (fixed so the bench replays the same faults;
     #: chosen so both the ``--quick`` and the full matrix get injections)
     chaos_seed: int = 11
+    #: run the pgo phase (continuous-PGO drift scenario + canary gate)
+    pgo: bool = True
+    #: traffic epochs of the pgo drift scenario
+    pgo_epochs: int = 3
+    #: pgo scenario seed (traffic synthesis, mix schedule, builds)
+    pgo_seed: int = 7
 
     @classmethod
     def quick(cls, **overrides: Any) -> "BenchConfig":
@@ -268,6 +284,56 @@ def _attribution_phase(workloads: Sequence[Workload],
     }
 
 
+def _pgo_phase(workloads: Sequence[Workload],
+               strategies: Sequence[StrategySpec],
+               config: BenchConfig,
+               cache_dir: str) -> Dict[str, Any]:
+    """The continuous-PGO drift scenario against the warm cache.
+
+    One workload (``Queens`` when the matrix has it — its traced hot set
+    is small enough that drift visibly moves fault counts) drives a
+    :func:`repro.pgo.run_scenario` with the last epoch's candidate
+    deliberately damaged: the payload records every refresh's stale-vs-
+    candidate expected faults and what the canary gate quarantined, the
+    quantities ``--check`` gates on.
+    """
+    from ..pgo import ACTION_REFRESH, DriftScenario, run_scenario
+
+    workload = next((w for w in workloads if w.name == "Queens"),
+                    workloads[0])
+    spec = next((s for s in strategies if s.name == "cu+heap path"),
+                strategies[0])
+    scenario = DriftScenario(epochs=config.pgo_epochs, seed=config.pgo_seed,
+                             inject_bad_epoch=max(config.pgo_epochs - 1, 1))
+    start = time.perf_counter()
+    pipeline = WorkloadPipeline(workload,
+                                cache=ArtifactCache(Path(cache_dir)))
+    outcome = run_scenario(pipeline, spec, scenario=scenario)
+    refresh_detail = [
+        {
+            "epoch": epoch.epoch,
+            "stale_faults": epoch.deployed_faults_before,
+            "candidate_faults": epoch.candidate_faults,
+        }
+        for epoch in outcome.epochs if epoch.action == ACTION_REFRESH
+    ]
+    return {
+        "workload": workload.name,
+        "strategy": spec.name,
+        "seed": config.pgo_seed,
+        "epochs": len(outcome.epochs),
+        "inject_bad_epoch": scenario.inject_bad_epoch,
+        "wall_s": round(time.perf_counter() - start, 4),
+        "refreshes": outcome.refreshes,
+        "rollbacks": outcome.rollbacks,
+        "retained": outcome.retained,
+        "refresh_detail": refresh_detail,
+        "quarantined": list(outcome.quarantined),
+        "unguarded_regressions": outcome.unguarded_regressions,
+        "ok": outcome.ok,
+    }
+
+
 def run_bench(config: BenchConfig,
               log=lambda message: None) -> Dict[str, Any]:
     """Run all phases and return the ``BENCH_pipeline.json`` payload."""
@@ -354,6 +420,17 @@ def run_bench(config: BenchConfig,
                 f"identity {'OK' if outcome.identity_ok else 'FAILED'}, "
                 f"{len(outcome.surviving)}/{len(outcome.sweep.tasks)} "
                 f"survived")
+
+        if config.pgo:
+            log(f"phase pgo: {config.pgo_epochs}-epoch drift scenario, "
+                f"seed {config.pgo_seed}, warm cache, injected-bad final "
+                f"candidate")
+            pgo = _pgo_phase(workloads, strategies, config, cache_dir)
+            payload["pgo"] = pgo
+            log(f"  {pgo['wall_s']:.2f}s on {pgo['workload']}/"
+                f"{pgo['strategy']}: {pgo['refreshes']} refresh(es), "
+                f"{pgo['rollbacks']} rollback(s), "
+                f"{pgo['unguarded_regressions']} unguarded regression(s)")
 
     if serial is not None and cold.wall_s:
         payload["speedup_parallel"] = round(serial.wall_s / cold.wall_s, 2)
@@ -486,6 +563,39 @@ def check_payload(payload: Dict[str, Any]) -> List[str]:
                 f"chaos phase left {len(chaos['failed'])} cell(s) "
                 "unrecovered under a recoverable fault schedule"
             )
+    pgo = payload.get("pgo")
+    if pgo:
+        cell = f"{pgo.get('workload', '?')}/{pgo.get('strategy', '?')}"
+        if not pgo.get("ok"):
+            failures.append(
+                f"pgo phase shipped {pgo.get('unguarded_regressions')} "
+                f"unguarded regression(s) on {cell}: the deployed layout "
+                "regressed past the canary gate threshold"
+            )
+        if not pgo.get("refreshes"):
+            failures.append(
+                f"pgo phase never refreshed on {cell}: the genuine traffic "
+                "shift went undetected"
+            )
+        for detail in pgo.get("refresh_detail", []):
+            if not detail["candidate_faults"] < detail["stale_faults"]:
+                failures.append(
+                    f"pgo refresh at epoch {detail['epoch']} did not "
+                    f"strictly reduce expected faults "
+                    f"({detail['stale_faults']} -> "
+                    f"{detail['candidate_faults']})"
+                )
+        if pgo.get("inject_bad_epoch") is not None:
+            if not pgo.get("rollbacks"):
+                failures.append(
+                    f"pgo phase deployed the injected-bad candidate on "
+                    f"{cell} instead of rolling back"
+                )
+            if not pgo.get("quarantined"):
+                failures.append(
+                    "pgo phase rolled back without quarantining the "
+                    "convicted candidate layout"
+                )
     return failures
 
 
@@ -531,6 +641,19 @@ def format_summary(payload: Dict[str, Any]) -> str:
             f"injected, {chaos['surviving']}/{chaos['cells']} survived, "
             f"identity {'OK' if chaos['identity']['ok'] else 'FAILED'}, "
             f"{chaos.get('overhead_vs_cold', 0.0):.2f}x of cold"
+        )
+    pgo = payload.get("pgo")
+    if pgo:
+        cuts = ", ".join(
+            f"{d['stale_faults']:.1f}->{d['candidate_faults']:.1f}"
+            for d in pgo.get("refresh_detail", [])
+        ) or "none"
+        lines.append(
+            f"  pgo ({pgo['workload']}/{pgo['strategy']}, "
+            f"seed {pgo['seed']}): {pgo['refreshes']} refresh(es) "
+            f"(fault cut {cuts}), {pgo['rollbacks']} rollback(s), "
+            f"{len(pgo.get('quarantined', []))} quarantined, "
+            f"{pgo['unguarded_regressions']} unguarded regression(s)"
         )
     lines.append(f"  deterministic: {payload['deterministic']}")
     return "\n".join(lines)

@@ -17,8 +17,11 @@ from __future__ import annotations
 import csv
 import hashlib
 from dataclasses import dataclass, field
+from fractions import Fraction
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .errors import OrderingError
 
 
 @dataclass
@@ -155,6 +158,247 @@ class ProfileBundle:
                 f"{signature}={self.calls.counts[signature]}\n".encode("utf-8")
             )
         return hasher.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Weighted multi-trace merge
+# ---------------------------------------------------------------------------
+#
+# Production PGO folds profiles from heterogeneous traffic mixes into one
+# ordering (the GraalVM loop merges N iprof files before the rebuild).  The
+# primitives below aggregate N profiles under positive weights with *exact*
+# rational arithmetic, so three algebraic guarantees hold by construction
+# (and are property-tested in tests/test_pgo.py):
+#
+# * input-order invariance — merging a permutation of the same weighted
+#   inputs yields the identical profile (Fraction sums are exact, ties
+#   break deterministically);
+# * weight-scale invariance — scaling every weight by the same positive
+#   factor changes nothing (scores are normalized by total weight);
+# * N=1 identity — merging a single profile reproduces it exactly.
+#
+# An entry's merged position is its weighted mean *normalized first-use
+# rank*, where a profile that never saw the entry votes rank 1.0 ("after
+# everything I did see"): entries that most of the traffic touches early
+# land early, rarely-touched entries sink to the tail.  Degenerate inputs
+# (empty set, all-zero weights, duplicated traces) raise a typed
+# :class:`OrderingError` instead of silently producing a garbage ordering
+# that an optimized build would then bake into a layout.
+
+
+def _check_merge_inputs(items: Sequence[object], weights: Sequence[float],
+                        kind: str, digests: Sequence[str]) -> List[Fraction]:
+    """Validate merge inputs; return the weights as exact fractions.
+
+    Raises :class:`OrderingError` (``kind=kind``) on an empty input set, a
+    length mismatch, negative or all-zero weights, and duplicated inputs
+    (two traces with identical content would silently double-vote).
+    """
+    if not items:
+        raise OrderingError(
+            f"cannot merge an empty {kind} set: at least one profile is "
+            "required", kind=kind,
+        )
+    if len(weights) != len(items):
+        raise OrderingError(
+            f"{len(items)} {kind} input(s) but {len(weights)} weight(s)",
+            kind=kind,
+        )
+    fractions = []
+    for index, weight in enumerate(weights):
+        if weight < 0:
+            raise OrderingError(
+                f"negative weight {weight!r} for {kind} input {index}",
+                kind=kind,
+            )
+        fractions.append(Fraction(weight))
+    if not any(fractions):
+        raise OrderingError(
+            f"all-zero weights: the merged {kind} would be degenerate "
+            "(no input can contribute)", kind=kind,
+        )
+    seen: Dict[str, int] = {}
+    for index, digest in enumerate(digests):
+        if digest in seen:
+            raise OrderingError(
+                f"duplicate {kind} inputs at positions {seen[digest]} and "
+                f"{index}: identical traces would double-vote; deduplicate "
+                "(or reweight) before merging",
+                kind=kind, missing=(seen[digest], index),
+            )
+        seen[digest] = index
+    return fractions
+
+
+def _merge_ranked(sequences: Sequence[Sequence], weights: Sequence[Fraction],
+                  sort_key) -> List:
+    """Order the union of ``sequences`` by weighted mean normalized rank.
+
+    An entry absent from a sequence is charged that sequence's weight at
+    normalized rank 1.0; ties break towards the entry more traffic
+    actually saw, then by ``sort_key`` for full determinism.
+    """
+    total = sum(weights)
+    rank_maps = [
+        ({entry: position for position, entry in enumerate(sequence)},
+         len(sequence) + 1, weight)
+        for sequence, weight in zip(sequences, weights)
+    ]
+    union = set()
+    for ranks, _, _ in rank_maps:
+        union.update(ranks)
+    scores: Dict[object, Tuple[Fraction, Fraction]] = {}
+    for entry in union:
+        score = Fraction(0)
+        seen_weight = Fraction(0)
+        for ranks, denominator, weight in rank_maps:
+            position = ranks.get(entry)
+            if position is None:
+                score += weight  # absent = normalized rank 1.0
+            else:
+                score += weight * Fraction(position + 1, denominator)
+                seen_weight += weight
+        scores[entry] = (score / total, seen_weight)
+    return sorted(union,
+                  key=lambda entry: (scores[entry][0], -scores[entry][1],
+                                     sort_key(entry)))
+
+
+def merge_code_profiles(profiles: Sequence[CodeOrderProfile],
+                        weights: Sequence[float],
+                        dedup: bool = True) -> CodeOrderProfile:
+    """Weighted merge of N same-kind code orderings into one.
+
+    Raises :class:`OrderingError` on degenerate inputs (see
+    :func:`_check_merge_inputs`) and on mixed kinds (a ``cu`` ordering
+    cannot merge with a ``method`` ordering).  ``dedup=False`` skips the
+    duplicate-input check — for callers like :func:`merge_bundles` that
+    already deduplicate at a coarser granularity, where two *distinct*
+    bundles may legitimately share one identical component.
+    """
+    digests = ([f"{p.kind}:" + "\x1f".join(p.signatures) for p in profiles]
+               if dedup else ())
+    fractions = _check_merge_inputs(profiles, weights, "code-order", digests)
+    kinds = {profile.kind for profile in profiles}
+    if len(kinds) > 1:
+        raise OrderingError(
+            f"cannot merge code orderings of mixed kinds {sorted(kinds)}",
+            kind="code-order",
+        )
+    merged = _merge_ranked([p.signatures for p in profiles], fractions,
+                           sort_key=lambda signature: signature)
+    return CodeOrderProfile(kind=profiles[0].kind, signatures=merged)
+
+
+def merge_heap_profiles(profiles: Sequence[HeapOrderProfile],
+                        weights: Sequence[float],
+                        dedup: bool = True) -> HeapOrderProfile:
+    """Weighted merge of N same-strategy heap orderings into one."""
+    digests = ([
+        f"{p.strategy}:" + "\x1f".join(f"{i:x}" for i in p.ids)
+        for p in profiles
+    ] if dedup else ())
+    fractions = _check_merge_inputs(profiles, weights, "heap-order", digests)
+    strategies = {profile.strategy for profile in profiles}
+    if len(strategies) > 1:
+        raise OrderingError(
+            "cannot merge heap orderings of mixed strategies "
+            f"{sorted(strategies)}", kind="heap-order",
+        )
+    merged = _merge_ranked([p.ids for p in profiles], fractions,
+                           sort_key=lambda object_id: object_id)
+    return HeapOrderProfile(strategy=profiles[0].strategy, ids=merged)
+
+
+def merge_call_counts(profiles: Sequence[CallCountProfile],
+                      weights: Sequence[float],
+                      dedup: bool = True) -> CallCountProfile:
+    """Weighted mean of N call-count profiles (rounded half-up).
+
+    The mean (not the sum) keeps the result weight-scale-invariant and
+    reduces to the input for N=1; with heterogeneous traffic mixes it is
+    the expected per-start call count, which is what PGO inlining wants.
+    """
+    digests = ([
+        "\x1f".join(f"{s}={p.counts[s]}" for s in sorted(p.counts))
+        for p in profiles
+    ] if dedup else ())
+    fractions = _check_merge_inputs(profiles, weights, "call-count", digests)
+    total = sum(fractions)
+    merged: Dict[str, int] = {}
+    signatures = set()
+    for profile in profiles:
+        signatures.update(profile.counts)
+    for signature in sorted(signatures):
+        mean = sum(
+            weight * profile.counts.get(signature, 0)
+            for profile, weight in zip(profiles, fractions)
+        ) / total
+        count = int(mean) + (1 if mean - int(mean) >= Fraction(1, 2) else 0)
+        if count > 0:
+            merged[signature] = count
+    return CallCountProfile(counts=merged)
+
+
+def merge_bundles(bundles: Sequence[ProfileBundle],
+                  weights: Sequence[float]) -> ProfileBundle:
+    """Weighted merge of N profile bundles into one first-use bundle.
+
+    Each code kind / heap strategy is merged across the bundles that carry
+    it (with their weights); kinds carried only by zero-weight bundles are
+    dropped.  Salvage accounting (:class:`ProfileCompleteness`) is summed
+    across annotated inputs so the merged bundle still says how much raw
+    trace data it stands on.  Raises :class:`OrderingError` on an empty
+    bundle set, mismatched weights, all-zero weights, or duplicate bundles
+    (identical content digest).
+    """
+    fractions = _check_merge_inputs(
+        bundles, weights, "profile-bundle",
+        [bundle.digest() for bundle in bundles],
+    )
+    merged = ProfileBundle()
+    code_kinds = sorted({kind for bundle in bundles for kind in bundle.code})
+    for kind in code_kinds:
+        carriers = [(bundle.code[kind], weight)
+                    for bundle, weight in zip(bundles, fractions)
+                    if kind in bundle.code]
+        if not any(weight for _, weight in carriers):
+            continue
+        merged.code[kind] = merge_code_profiles(
+            [profile for profile, _ in carriers],
+            [weight for _, weight in carriers],
+            dedup=False,
+        )
+    heap_kinds = sorted({kind for bundle in bundles for kind in bundle.heap})
+    for strategy in heap_kinds:
+        carriers = [(bundle.heap[strategy], weight)
+                    for bundle, weight in zip(bundles, fractions)
+                    if strategy in bundle.heap]
+        if not any(weight for _, weight in carriers):
+            continue
+        merged.heap[strategy] = merge_heap_profiles(
+            [profile for profile, _ in carriers],
+            [weight for _, weight in carriers],
+            dedup=False,
+        )
+    merged.calls = merge_call_counts([bundle.calls for bundle in bundles],
+                                     weights, dedup=False)
+    annotated = [bundle.completeness for bundle in bundles
+                 if bundle.completeness is not None]
+    if annotated:
+        combined = ProfileCompleteness()
+        for completeness in annotated:
+            combined.traces += completeness.traces
+            combined.traces_damaged += completeness.traces_damaged
+            combined.traces_unreadable += completeness.traces_unreadable
+            combined.records_recovered += completeness.records_recovered
+            combined.records_unverified += completeness.records_unverified
+            combined.records_undecodable += completeness.records_undecodable
+            combined.corrupt_chunks += completeness.corrupt_chunks
+            combined.bytes_dropped += completeness.bytes_dropped
+            combined.notes.extend(completeness.notes)
+        merged.completeness = combined
+    return merged
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,146 @@
+"""Salvage-aware trace ingestion and weighted profile merge with provenance.
+
+The profile service's front door: raw per-thread trace files from N
+traffic slices come in (possibly damaged — fleets lose flush chunks), the
+PR-1 lenient salvage pass recovers what it can, sources that yield no
+usable records are *rejected* rather than silently diluting the merge,
+and the survivors are folded by :func:`repro.ordering.profiles.merge_bundles`
+into one first-use ordering profile whose :class:`ProfileProvenance`
+records exactly which sources voted at which weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ordering.errors import OrderingError
+from ..ordering.profiles import ProfileBundle, merge_bundles
+from ..postproc.framework import build_profiles
+from .lifecycle import ProfileProvenance, TraceSource
+
+
+@dataclass(frozen=True)
+class WeightedTrace:
+    """Raw trace files from one traffic slice, pre-post-processing."""
+
+    label: str
+    weight: float
+    trace_files: Tuple[bytes, ...] = ()
+
+
+@dataclass(frozen=True)
+class WeightedProfile:
+    """One post-processed traffic slice ready to vote in a merge."""
+
+    label: str
+    weight: float
+    bundle: ProfileBundle
+    #: usable records behind the bundle (0 = synthetic / unknown)
+    records: int = 0
+    salvaged: bool = False
+
+
+def ingest_traces(
+    manifest: object,
+    traces: Sequence[WeightedTrace],
+    min_records: int = 1,
+) -> Tuple[List[WeightedProfile], List[str]]:
+    """Post-process raw traces leniently; reject sources with no usable data.
+
+    Inputs: the instrumented build's manifest and N weighted raw-trace
+    sources.  Each source runs through the PR-1 salvage path
+    (``build_profiles(..., lenient=True)``); a source whose salvage yields
+    fewer than ``min_records`` usable records is dropped with a note
+    instead of contributing a degenerate vote.  Returns ``(kept sources,
+    rejection notes)`` — the caller decides whether an empty ``kept`` is
+    fatal (the merge itself will raise a typed :class:`OrderingError`).
+    """
+    kept: List[WeightedProfile] = []
+    notes: List[str] = []
+    for trace in traces:
+        bundle = build_profiles(manifest, list(trace.trace_files),
+                                lenient=True)
+        completeness = bundle.completeness
+        usable = completeness.usable_records if completeness else 0
+        if usable < min_records:
+            detail = completeness.summary() if completeness else "no traces"
+            notes.append(
+                f"rejected trace source {trace.label!r}: {usable} usable "
+                f"record(s) below the {min_records} floor ({detail})"
+            )
+            continue
+        kept.append(WeightedProfile(
+            label=trace.label,
+            weight=trace.weight,
+            bundle=bundle,
+            records=usable,
+            salvaged=not (completeness is None or completeness.complete),
+        ))
+    return kept, notes
+
+
+def coalesce_mix(mix: Sequence[WeightedProfile]) -> List[WeightedProfile]:
+    """Fold duplicate-content sources into one reweighted vote.
+
+    The merge primitives treat identical inputs as an error (silent
+    double-voting); a traffic *mix* legitimately produces identical
+    bundles — two endpoints exercising the same paths — so the mix layer
+    coalesces them by content digest, summing weights, before merging.
+    """
+    by_digest: Dict[str, WeightedProfile] = {}
+    order: List[str] = []
+    for source in mix:
+        digest = source.bundle.digest()
+        if digest in by_digest:
+            merged = by_digest[digest]
+            by_digest[digest] = replace(
+                merged,
+                weight=merged.weight + source.weight,
+                label=f"{merged.label}+{source.label}",
+                records=merged.records + source.records,
+                salvaged=merged.salvaged or source.salvaged,
+            )
+        else:
+            by_digest[digest] = source
+            order.append(digest)
+    return [by_digest[digest] for digest in order]
+
+
+def merge_mix(
+    mix: Sequence[WeightedProfile],
+    workload: str,
+    epoch: int,
+    notes: Sequence[str] = (),
+) -> Tuple[ProfileBundle, ProfileProvenance]:
+    """Merge a traffic mix into one profile + its provenance record.
+
+    Raises the merge layer's typed :class:`OrderingError` on degenerate
+    mixes (empty after rejection, all-zero weights); duplicate-content
+    sources are coalesced first (see :func:`coalesce_mix`), so only truly
+    broken inputs raise.
+    """
+    mix = coalesce_mix(mix)
+    if not mix:
+        raise OrderingError(
+            f"no usable trace sources survived ingestion for {workload!r}; "
+            "cannot produce a merged profile", kind="profile-bundle",
+        )
+    bundle = merge_bundles([source.bundle for source in mix],
+                           [source.weight for source in mix])
+    provenance = ProfileProvenance(
+        workload=workload,
+        epoch=epoch,
+        sources=tuple(
+            TraceSource(
+                label=source.label,
+                weight=source.weight,
+                records=source.records,
+                salvaged=source.salvaged,
+                digest=source.bundle.digest(),
+            )
+            for source in mix
+        ),
+        notes=tuple(notes),
+    )
+    return bundle, provenance

@@ -32,10 +32,12 @@ from ..profiling.tracefile import (
 from .chaos import (
     ALL_CHAOS_CLASSES,
     CHAOS_CACHE_IO,
+    CHAOS_CLASS_UNIVERSE,
     CHAOS_CORRUPT_ARTIFACT,
     CHAOS_CRASH_EXIT,
     CHAOS_HANG,
     CHAOS_OVERSIZED_RESULT,
+    CHAOS_STALE_PROFILE,
     CHAOS_WORKER_CRASH,
     ChaosCacheInjector,
     ChaosPolicy,
@@ -60,10 +62,10 @@ from .faults import (
 
 __all__ = [
     "SalvagedTrace", "SalvageReport", "TraceDecodeError", "parse_trace_lenient",
-    "ALL_CHAOS_CLASSES", "CHAOS_CACHE_IO", "CHAOS_CORRUPT_ARTIFACT",
-    "CHAOS_CRASH_EXIT", "CHAOS_HANG", "CHAOS_OVERSIZED_RESULT",
-    "CHAOS_WORKER_CRASH", "ChaosCacheInjector", "ChaosPolicy",
-    "SimulatedWorkerCrash",
+    "ALL_CHAOS_CLASSES", "CHAOS_CACHE_IO", "CHAOS_CLASS_UNIVERSE",
+    "CHAOS_CORRUPT_ARTIFACT", "CHAOS_CRASH_EXIT", "CHAOS_HANG",
+    "CHAOS_OVERSIZED_RESULT", "CHAOS_STALE_PROFILE", "CHAOS_WORKER_CRASH",
+    "ChaosCacheInjector", "ChaosPolicy", "SimulatedWorkerCrash",
     "DegradationPolicy", "DegradationReport", "ProfilingAttempt",
     "ALL_FAULT_KINDS", "FAULT_BIT_FLIP", "FAULT_DROP_FLUSH",
     "FAULT_KILL_AT_RECORD", "FAULT_PARTIAL_HEADER", "FAULT_TRUNCATE",

@@ -25,6 +25,13 @@ failure modes a fleet-scale evaluation actually meets:
 ``oversized_result``
     The task's result ships with a large ballast payload and a stall —
     a worker returning far more data than expected (IPC pressure).
+``stale_profile``
+    The profile service serves an old-epoch profile as if it were live
+    traffic (a lagging collection pipeline).  Consumed by the
+    continuous-PGO loop (:mod:`repro.pgo.loop`), not the sweep scheduler:
+    the drift detector sees no movement, misses the refresh, and must
+    recover on the next epoch's fresh data — exercised by
+    ``repro chaos --fault-classes stale_profile``.
 
 Everything is a pure function of the policy seed and the (workload,
 strategy, attempt) coordinates, so a chaos schedule is exactly
@@ -48,7 +55,10 @@ CHAOS_HANG = "hang"
 CHAOS_CACHE_IO = "cache_io"
 CHAOS_CORRUPT_ARTIFACT = "corrupt_artifact"
 CHAOS_OVERSIZED_RESULT = "oversized_result"
+CHAOS_STALE_PROFILE = "stale_profile"
 
+#: the sweep-layer classes `repro chaos` sweeps by default (stale_profile
+#: attacks the PGO loop, not the scheduler, so it is not among them)
 ALL_CHAOS_CLASSES = (
     CHAOS_WORKER_CRASH,
     CHAOS_HANG,
@@ -56,6 +66,9 @@ ALL_CHAOS_CLASSES = (
     CHAOS_CORRUPT_ARTIFACT,
     CHAOS_OVERSIZED_RESULT,
 )
+
+#: every class a ChaosPolicy accepts (sweep classes + PGO-loop classes)
+CHAOS_CLASS_UNIVERSE = ALL_CHAOS_CLASSES + (CHAOS_STALE_PROFILE,)
 
 #: exit status a chaos-crashed pool worker dies with (shows up in logs as
 #: the reason the pool broke; anything non-zero works)
@@ -107,10 +120,10 @@ class ChaosPolicy:
     def __post_init__(self) -> None:
         if not 0.0 <= self.rate <= 1.0:
             raise ValueError(f"rate must be in [0, 1], got {self.rate}")
-        unknown = [c for c in self.classes if c not in ALL_CHAOS_CLASSES]
+        unknown = [c for c in self.classes if c not in CHAOS_CLASS_UNIVERSE]
         if unknown:
             raise ValueError(f"unknown chaos class(es) {unknown}; "
-                             f"choose from {ALL_CHAOS_CLASSES}")
+                             f"choose from {CHAOS_CLASS_UNIVERSE}")
         if not self.classes:
             raise ValueError("at least one chaos class is required")
 

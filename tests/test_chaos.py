@@ -125,6 +125,26 @@ class TestChaosPolicy:
         text = ChaosPolicy(seed=4, rate=0.25).describe()
         assert "seed=4" in text and "25%" in text
 
+    def test_stale_profile_in_universe_but_not_in_sweep_default(self):
+        from repro.robustness.chaos import (
+            CHAOS_CLASS_UNIVERSE,
+            CHAOS_STALE_PROFILE,
+        )
+
+        # the sweep default stays unchanged: stale_profile targets the
+        # PGO loop, not the scheduler, and must be requested explicitly
+        assert CHAOS_STALE_PROFILE not in ALL_CHAOS_CLASSES
+        assert CHAOS_STALE_PROFILE in CHAOS_CLASS_UNIVERSE
+        assert set(ALL_CHAOS_CLASSES) < set(CHAOS_CLASS_UNIVERSE)
+
+    def test_stale_profile_policy_validates_and_schedules(self):
+        from repro.robustness.chaos import CHAOS_STALE_PROFILE
+
+        policy = ChaosPolicy(seed=2, rate=1.0,
+                             classes=(CHAOS_STALE_PROFILE,))
+        assert policy.fault_for("Queens", "pgo:cu:epoch1",
+                                0) == CHAOS_STALE_PROFILE
+
 
 class TestRetryPolicy:
     def test_validation(self):
