@@ -218,6 +218,23 @@ class NativeImageToolchain:
             )
         return explain_strategy(self._pipeline, spec, seed=seed)
 
+    def optimize(self, sections=("code", "heap"), seed: int = 0):
+        """Run the search-based layout optimizer (``repro optimize``).
+
+        Builds the co-access graph and cost model from this workload's
+        profiles, searches CU / heap-group orders with the three
+        optimizers (greedy chain merging, recursive bisection, seeded
+        annealing), builds the winning ``cu-opt`` / ``heap-opt`` layouts
+        through the cached pipeline, verifies them against the structural
+        + differential oracle, and scores everything with the common
+        simulated-fault oracle.  Tune budget/seed/window by constructing
+        the pipeline with an :class:`repro.ordering.OptimizeConfig`.
+        Returns the :class:`repro.ordering.OptimizationReport`;
+        ``report.ok`` is the never-worse-than-seed invariant.
+        """
+        from .ordering.optimize import optimize_workload
+        return optimize_workload(self._pipeline, sections=sections, seed=seed)
+
     # -- build & run ---------------------------------------------------------
 
     def build(self, seed: int = 0) -> NativeImageBinary:
@@ -374,11 +391,13 @@ def compare_all_strategies(
     workload: Workload, seed: int = 0,
     cache: Union[ArtifactCache, Path, str, None] = None,
 ) -> Dict[str, ComparisonReport]:
-    """Run every paper strategy on one workload.
+    """Run every registered strategy on one workload.
 
-    One profiling run is shared across all six strategies; pass ``cache``
-    to also share builds and measurements with previous invocations.
-    Returns ``{strategy name: ComparisonReport}`` in strategy-table order.
+    Covers the six paper strategies plus the search-based ``cu-opt`` /
+    ``heap-opt`` optimizers.  One profiling run is shared across all of
+    them; pass ``cache`` to also share builds and measurements with
+    previous invocations.  Returns ``{strategy name: ComparisonReport}``
+    in strategy-table order.
     """
     toolchain = NativeImageToolchain(workload, cache=cache)
     toolchain.profile(seed=seed)

@@ -36,7 +36,16 @@ Commands mirror the paper's artifact scripts:
 * ``why``      — the layout regression explainer: attribute every startup
   fault to the CUs/heap objects on the faulted page, diff baseline vs an
   optimized layout, and print the ranked blame (``--json`` for the
-  machine-readable report, ``--csv`` for the full per-unit table);
+  machine-readable report, ``--csv`` for the full per-unit table;
+  ``--baseline-strategy`` diffs two optimized layouts instead — e.g.
+  where ``cu-opt`` beats ``cu``, per CU);
+* ``optimize`` — the search-based layout optimizer: build the page
+  co-access graph from trace data, search CU / heap-group orders with
+  greedy chain merging, recursive bisection, and seeded annealing against
+  the exact simulated-fault oracle, build the winning ``cu-opt`` /
+  ``heap-opt`` layouts, verify them (structural + differential), and
+  report optimizer-vs-seed fault counts (exit 1 if any section is worse
+  than its seed strategy or fails verification);
 * ``list``     — available workloads.
 
 Option defaults that mirror a config dataclass are read from that
@@ -311,6 +320,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         pgo=not args.no_pgo,
         pgo_epochs=args.pgo_epochs,
         pgo_seed=args.pgo_seed,
+        optimize=not args.no_optimize,
+        optimize_budget=args.optimize_budget,
+        optimize_seed=args.optimize_seed,
     )
     if args.only:
         kwargs["workloads"] = tuple(args.only)
@@ -555,7 +567,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_why(args: argparse.Namespace) -> int:
-    from .eval.explain import explain_strategy
+    from .eval.explain import explain_strategies, explain_strategy
 
     workload = _find_workload(args.workload)
     spec = STRATEGIES.get(args.strategy)
@@ -564,7 +576,16 @@ def cmd_why(args: argparse.Namespace) -> int:
             f"unknown strategy {args.strategy!r}; choose from {sorted(STRATEGIES)}"
         )
     pipeline = WorkloadPipeline(workload)
-    why = explain_strategy(pipeline, spec, seed=args.seed)
+    if args.baseline_strategy:
+        base_spec = STRATEGIES.get(args.baseline_strategy)
+        if base_spec is None:
+            raise SystemExit(
+                f"unknown strategy {args.baseline_strategy!r}; choose from "
+                f"{sorted(STRATEGIES)}"
+            )
+        why = explain_strategies(pipeline, base_spec, spec, seed=args.seed)
+    else:
+        why = explain_strategy(pipeline, spec, seed=args.seed)
     if args.json:
         print(why.to_json())
     else:
@@ -573,6 +594,47 @@ def cmd_why(args: argparse.Namespace) -> int:
         path = why.to_csv(args.csv)
         print(f"wrote {path} ({len(why.ranked)} unit rows)", file=sys.stderr)
     return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    from .cache import ArtifactCache
+    from .eval.pipeline import OPTIMIZER_STRATEGY_SPECS
+    from .ordering.optimize import ALL_OPTIMIZERS, OptimizeConfig, optimize_workload
+
+    by_name = {spec.name: spec for spec in OPTIMIZER_STRATEGY_SPECS}
+    section_of = {"cu-opt": "code", "heap-opt": "heap"}
+    names = args.strategy or sorted(by_name)
+    for name in names:
+        if name not in by_name:
+            raise SystemExit(
+                f"unknown optimizer strategy {name!r}; choose from "
+                f"{sorted(by_name)}"
+            )
+    sections = tuple(s for s in ("code", "heap")
+                     if s in {section_of[name] for name in names})
+    optimizers = tuple(args.optimizer) if args.optimizer else ALL_OPTIMIZERS
+    config = OptimizeConfig(budget=args.budget, seed=args.search_seed,
+                            window=args.window, optimizers=optimizers)
+    cache = ArtifactCache(Path(args.cache_dir)) if args.cache_dir else None
+    reports = []
+    for workload_name in args.workloads:
+        workload = _find_workload(workload_name)
+        pipeline = WorkloadPipeline(workload, cache=cache,
+                                    optimize_config=config)
+        reports.append(optimize_workload(pipeline, sections=sections,
+                                         seed=args.seed))
+    if args.json:
+        print(json.dumps([report.as_dict() for report in reports],
+                         indent=2, sort_keys=True))
+    else:
+        for report in reports:
+            print(report.describe())
+            print()
+        improved = sum(report.improved_sections for report in reports)
+        print(f"{len(reports)} workload(s): {improved} section(s) strictly "
+              f"improved, all never-worse: "
+              f"{'yes' if all(r.ok for r in reports) else 'NO'}")
+    return 0 if all(report.ok for report in reports) else 1
 
 
 def cmd_emit(args: argparse.Namespace) -> int:
@@ -743,6 +805,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--pgo-seed", type=int,
                          default=_field_default(_BenchConfig, "pgo_seed"),
                          help="pgo scenario seed (default: %(default)s)")
+    p_bench.add_argument("--no-optimize", action="store_true",
+                         help="skip the optimize phase (search-based layout "
+                         "optimizer vs seed strategies)")
+    p_bench.add_argument("--optimize-budget", type=int,
+                         default=_field_default(_BenchConfig,
+                                                "optimize_budget"),
+                         help="annealing cost evaluations per section in the "
+                         "optimize phase (default: %(default)s)")
+    p_bench.add_argument("--optimize-seed", type=int,
+                         default=_field_default(_BenchConfig,
+                                                "optimize_seed"),
+                         help="search RNG seed of the optimize phase "
+                         "(default: %(default)s)")
     p_bench.add_argument("--check", action="store_true",
                          help="exit non-zero unless warm hit rate is 100%% "
                          "and all phases agree (CI mode)")
@@ -925,7 +1000,53 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the full machine-readable report")
     p_why.add_argument("--csv",
                        help="also export the per-unit delta table as CSV")
+    p_why.add_argument("--baseline-strategy", metavar="STRATEGY",
+                       help="diff against this strategy's optimized layout "
+                       "instead of the regular baseline image (e.g. "
+                       "--baseline-strategy cu --strategy cu-opt explains "
+                       "per-CU where the search beat first-use order)")
     p_why.set_defaults(func=cmd_why)
+
+    from .ordering.optimize import ALL_OPTIMIZERS as _ALL_OPTIMIZERS
+    from .ordering.optimize import OptimizeConfig as _OptimizeConfig
+
+    p_opt = sub.add_parser(
+        "optimize",
+        help="search-based layout optimizer: beat first-use ordering, "
+        "verify the winners, report optimizer-vs-seed fault counts",
+    )
+    p_opt.add_argument("workloads", nargs="+",
+                       help="workload names (AWFY or microservice)")
+    p_opt.add_argument("--strategy", action="append",
+                       help="an optimizer strategy to run: cu-opt and/or "
+                       "heap-opt (repeatable; default: both)")
+    p_opt.add_argument("--budget", type=int,
+                       default=_field_default(_OptimizeConfig, "budget"),
+                       help="annealing cost evaluations per section "
+                       "(default: %(default)s)")
+    p_opt.add_argument("--seed", type=int, default=0,
+                       help="pipeline seed for profiling and builds "
+                       "(default: %(default)s)")
+    p_opt.add_argument("--search-seed", type=int,
+                       default=_field_default(_OptimizeConfig, "seed"),
+                       help="search RNG seed; same seed => byte-identical "
+                       "layout (default: %(default)s)")
+    p_opt.add_argument("--window", type=int,
+                       default=_field_default(_OptimizeConfig, "window"),
+                       help="co-access window: first-touch pairs closer than "
+                       "this many ranks gain edge weight "
+                       "(default: %(default)s)")
+    p_opt.add_argument("--optimizer", action="append",
+                       choices=list(_ALL_OPTIMIZERS),
+                       help="restrict the candidate families (repeatable; "
+                       "default: all three; the seed strategy's own order "
+                       "always stays a candidate)")
+    p_opt.add_argument("--cache-dir",
+                       help="artifact-cache directory shared with other "
+                       "commands (default: uncached)")
+    p_opt.add_argument("--json", action="store_true",
+                       help="print the machine-readable reports")
+    p_opt.set_defaults(func=cmd_optimize)
 
     p_emit = sub.add_parser("emit", help="write a built image as a SNIB file")
     p_emit.add_argument("workload")

@@ -41,6 +41,17 @@ least one genuine refresh with a strict fault reduction, the injected-bad
 candidate rolled back into quarantine, and zero unguarded regressions at
 any epoch.
 
+A seventh, optional phase (``optimize``, on by default) runs the
+search-based layout optimizer (:mod:`repro.ordering.optimize`) on every
+workload of the matrix against the warm cache: the three optimizers
+(greedy chain merging, recursive bisection, seeded annealing) search CU /
+heap-group orders, the winning ``cu-opt`` / ``heap-opt`` layouts are
+built through the cached pipeline and verified (structural +
+differential), and the payload records optimizer-vs-seed simulated
+first-touch fault counts per section.  ``--check`` asserts the
+never-worse invariant — no optimizer layout loses to its seed strategy —
+and that every built candidate passed verification.
+
 A fifth, optional phase (``chaos``, on by default) reruns the identical
 matrix through the scheduler with a recoverable
 :class:`~repro.robustness.chaos.ChaosPolicy` armed against a fresh cache
@@ -88,8 +99,9 @@ QUICK_STRATEGIES: Tuple[str, ...] = ("cu", "heap path")
 class BenchConfig:
     """What to benchmark and how.
 
-    Empty ``workloads``/``strategies`` mean the full paper matrix
-    (14 AWFY + 3 microservices × all six strategies).
+    Empty ``workloads``/``strategies`` mean the full registered matrix
+    (14 AWFY + 3 microservices × all eight strategies: six paper + the
+    ``cu-opt``/``heap-opt`` optimizers).
     """
 
     workloads: Tuple[str, ...] = ()
@@ -117,6 +129,14 @@ class BenchConfig:
     pgo_epochs: int = 3
     #: pgo scenario seed (traffic synthesis, mix schedule, builds)
     pgo_seed: int = 7
+    #: run the optimize phase (search-based layout optimizer vs seeds)
+    optimize: bool = True
+    #: annealing cost evaluations per section in the optimize phase
+    #: (smaller than the :class:`~repro.ordering.OptimizeConfig` default:
+    #: the bench runs every matrix workload)
+    optimize_budget: int = 200
+    #: search RNG seed of the optimize phase
+    optimize_seed: int = 13
 
     @classmethod
     def quick(cls, **overrides: Any) -> "BenchConfig":
@@ -334,6 +354,53 @@ def _pgo_phase(workloads: Sequence[Workload],
     }
 
 
+def _optimize_phase(workloads: Sequence[Workload],
+                    config: BenchConfig,
+                    cache_dir: str) -> Dict[str, Any]:
+    """The search-based layout optimizer on every workload, warm cache.
+
+    Seed-strategy and optimizer builds are warm-cache hits from the
+    cold/warm phases (same per-task seeds); the new work is the search
+    itself plus verification of the winning layouts.  Fault counts come
+    from :func:`repro.ordering.optimize.simulated_faults` on the built
+    binaries — one oracle for seeds and optimizers, so the recorded
+    never-worse verdicts are apples-to-apples.
+    """
+    from ..ordering.optimize import OptimizeConfig, optimize_workload
+
+    search = OptimizeConfig(budget=config.optimize_budget,
+                            seed=config.optimize_seed)
+    entries: Dict[str, Any] = {}
+    improved = 0
+    sections_total = 0
+    start = time.perf_counter()
+    for workload in workloads:
+        pipeline = WorkloadPipeline(
+            workload, cache=ArtifactCache(Path(cache_dir)),
+            optimize_config=search,
+        )
+        report = optimize_workload(
+            pipeline, seed=task_seed(config.base_seed, workload.name)
+        )
+        entries[workload.name] = {
+            "ok": report.ok,
+            "sections": [section.as_dict() for section in report.sections],
+        }
+        for section in report.sections:
+            if not section.skipped:
+                sections_total += 1
+                improved += bool(section.improved)
+    return {
+        "budget": config.optimize_budget,
+        "search_seed": config.optimize_seed,
+        "wall_s": round(time.perf_counter() - start, 4),
+        "workloads": entries,
+        "sections": sections_total,
+        "improved_sections": improved,
+        "ok": all(entry["ok"] for entry in entries.values()),
+    }
+
+
 def run_bench(config: BenchConfig,
               log=lambda message: None) -> Dict[str, Any]:
     """Run all phases and return the ``BENCH_pipeline.json`` payload."""
@@ -420,6 +487,17 @@ def run_bench(config: BenchConfig,
                 f"identity {'OK' if outcome.identity_ok else 'FAILED'}, "
                 f"{len(outcome.surviving)}/{len(outcome.sweep.tasks)} "
                 f"survived")
+
+        if config.optimize:
+            log(f"phase optimize: search-based layout optimizer on "
+                f"{len(workloads)} workload(s), budget "
+                f"{config.optimize_budget}, warm cache")
+            optimize = _optimize_phase(workloads, config, cache_dir)
+            payload["optimize"] = optimize
+            log(f"  {optimize['wall_s']:.2f}s: "
+                f"{optimize['improved_sections']}/{optimize['sections']} "
+                f"section(s) strictly improved, never-worse "
+                f"{'OK' if optimize['ok'] else 'VIOLATED'}")
 
         if config.pgo:
             log(f"phase pgo: {config.pgo_epochs}-epoch drift scenario, "
@@ -563,6 +641,39 @@ def check_payload(payload: Dict[str, Any]) -> List[str]:
                 f"chaos phase left {len(chaos['failed'])} cell(s) "
                 "unrecovered under a recoverable fault schedule"
             )
+    optimize = payload.get("optimize")
+    if optimize:
+        for name, entry in sorted(optimize.get("workloads", {}).items()):
+            for section in entry.get("sections", []):
+                if section.get("skipped"):
+                    continue
+                cell = f"{name}/{section.get('strategy', '?')}"
+                if not section.get("never_worse"):
+                    failures.append(
+                        f"optimize phase: {cell} lost to its seed strategy "
+                        f"{section.get('seed_strategy', '?')} "
+                        f"({section.get('seed_faults')} -> "
+                        f"{section.get('optimized_faults')} faults)"
+                    )
+                if not section.get("verified"):
+                    failures.append(
+                        f"optimize phase: {cell} failed structural layout "
+                        "verification"
+                    )
+                if not section.get("differential_ok"):
+                    failures.append(
+                        f"optimize phase: {cell} diverged under differential "
+                        "execution"
+                    )
+                if section.get("predicted_faults") != section.get(
+                        "optimized_faults"):
+                    failures.append(
+                        f"optimize phase: {cell} search predicted "
+                        f"{section.get('predicted_faults')} faults but the "
+                        f"built binary replayed "
+                        f"{section.get('optimized_faults')} (cost model "
+                        "drifted from the executor)"
+                    )
     pgo = payload.get("pgo")
     if pgo:
         cell = f"{pgo.get('workload', '?')}/{pgo.get('strategy', '?')}"
@@ -641,6 +752,16 @@ def format_summary(payload: Dict[str, Any]) -> str:
             f"injected, {chaos['surviving']}/{chaos['cells']} survived, "
             f"identity {'OK' if chaos['identity']['ok'] else 'FAILED'}, "
             f"{chaos.get('overhead_vs_cold', 0.0):.2f}x of cold"
+        )
+    optimize = payload.get("optimize")
+    if optimize:
+        lines.append(
+            f"  optimize (budget {optimize['budget']}, seed "
+            f"{optimize['search_seed']}): "
+            f"{optimize['improved_sections']}/{optimize['sections']} "
+            f"section(s) strictly beat their seed strategy, never-worse "
+            f"{'OK' if optimize['ok'] else 'VIOLATED'}, "
+            f"{optimize['wall_s']:.2f}s"
         )
     pgo = payload.get("pgo")
     if pgo:

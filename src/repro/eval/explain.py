@@ -326,3 +326,39 @@ def explain_strategy(
         baseline_report, current_report,
         workload=name, strategy=strategy.name,
     )
+
+
+def explain_strategies(
+    pipeline: WorkloadPipeline,
+    baseline_spec: StrategySpec,
+    current_spec: StrategySpec,
+    seed: int = 0,
+) -> WhyReport:
+    """``repro why --baseline-strategy``: one optimized layout vs another.
+
+    Same machinery as :func:`explain_strategy`, but both sides are
+    profile-guided builds — the canonical use is explaining *where* a
+    search-based layout (``cu-opt`` / ``heap-opt``) beats its paper seed
+    strategy, per CU and heap unit: which units moved, which pages
+    stopped faulting, and which co-tenancies the search created.  One
+    shared profiling run feeds both builds, so the diff isolates the
+    ordering decision itself.
+    """
+    name = pipeline.workload.name
+    outcome = pipeline.profile(seed=seed)
+    baseline_binary = pipeline.build_optimized(
+        outcome.profiles, baseline_spec, seed=seed
+    )
+    current_binary = pipeline.build_optimized(
+        outcome.profiles, current_spec, seed=seed
+    )
+    baseline_report = attributed_run(
+        pipeline, baseline_binary, label=f"{name}/{baseline_spec.name}"
+    )
+    current_report = attributed_run(
+        pipeline, current_binary, label=f"{name}/{current_spec.name}"
+    )
+    return explain_reports(
+        baseline_report, current_report,
+        workload=name, strategy=current_spec.name,
+    )

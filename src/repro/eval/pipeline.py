@@ -49,6 +49,12 @@ from ..image.builder import BuildConfig, NativeImageBuilder
 from ..minijava.bytecode import Program
 from ..minijava.frontend import compile_source
 from ..obs import phase
+from ..ordering.optimize import (
+    CU_OPT_ORDERING,
+    HEAP_OPT_ORDERING,
+    OptimizeConfig,
+    synthesize_optimizer_profiles,
+)
 from ..ordering.profiles import ProfileBundle, ProfileCompleteness
 from ..postproc.framework import build_profiles
 from ..profiling.tracebuf import TraceSession
@@ -107,11 +113,11 @@ class Workload:
 
 @dataclass(frozen=True)
 class StrategySpec:
-    """One of the paper's ordering strategies (or their combination)."""
+    """An ordering strategy: the paper's six, or a search-based optimizer."""
 
     name: str
-    code_ordering: Optional[str] = None  # "cu" | "method"
-    heap_ordering: Optional[str] = None  # an ID-strategy name
+    code_ordering: Optional[str] = None  # "cu" | "method" | "cu-opt"
+    heap_ordering: Optional[str] = None  # an ID-strategy name | "heap-opt"
 
     @property
     def is_code(self) -> bool:
@@ -131,7 +137,7 @@ STRATEGY_HEAP_PATH = StrategySpec("heap path", heap_ordering="heap_path")
 STRATEGY_COMBINED = StrategySpec(
     "cu+heap path", code_ordering="cu", heap_ordering="heap_path"
 )
-ALL_STRATEGY_SPECS = (
+PAPER_STRATEGY_SPECS = (
     STRATEGY_CU,
     STRATEGY_METHOD,
     STRATEGY_INCREMENTAL,
@@ -139,6 +145,16 @@ ALL_STRATEGY_SPECS = (
     STRATEGY_HEAP_PATH,
     STRATEGY_COMBINED,
 )
+
+#: Search-based strategies (repro.ordering.optimize): the pipeline derives
+#: their profiles by optimizing against the paging-simulator cost oracle
+#: (see :meth:`WorkloadPipeline.optimize_profiles`).
+STRATEGY_CU_OPT = StrategySpec("cu-opt", code_ordering=CU_OPT_ORDERING)
+STRATEGY_HEAP_OPT = StrategySpec("heap-opt", heap_ordering=HEAP_OPT_ORDERING)
+OPTIMIZER_STRATEGY_SPECS = (STRATEGY_CU_OPT, STRATEGY_HEAP_OPT)
+
+#: Everything the scheduler/bench/api can run: paper + optimizer strategies.
+ALL_STRATEGY_SPECS = PAPER_STRATEGY_SPECS + OPTIMIZER_STRATEGY_SPECS
 
 
 @dataclass
@@ -191,6 +207,7 @@ class WorkloadPipeline:
         fault_hook: Optional[object] = None,
         verification: Optional[VerificationPolicy] = None,
         cache: Optional[ArtifactCache] = None,
+        optimize_config: Optional[OptimizeConfig] = None,
     ) -> None:
         self.workload = workload
         self.build_config = build_config or BuildConfig()
@@ -204,6 +221,9 @@ class WorkloadPipeline:
         self.fault_hook = fault_hook
         self.verification = verification
         self.cache = cache
+        #: drives the search-based strategies (cu-opt / heap-opt); part of
+        #: every augmented bundle's content, so cache keys stay honest
+        self.optimize_config = optimize_config or OptimizeConfig()
         self.quarantine = QuarantineRegistry()
         self.last_degradation_report: Optional[DegradationReport] = None
         self.last_verification_report: Optional[LayoutVerificationReport] = None
@@ -301,6 +321,7 @@ class WorkloadPipeline:
         self.last_verification_report = None
         if self._quarantine_applies(strategy):
             return self._build_quarantined(profiles, strategy, seed)
+        profiles = self.optimize_profiles(profiles, strategy, seed=seed)
         key = self._optimized_key(profiles, strategy, seed)
         if key is not None:
             binary = self.cache.get(KIND_IMAGE, key)
@@ -330,6 +351,47 @@ class WorkloadPipeline:
                 "quarantine": entry,
             }, note=note)
         return binary
+
+    def optimize_profiles(
+        self,
+        profiles: ProfileBundle,
+        strategy: Optional[StrategySpec],
+        seed: int = 0,
+    ) -> ProfileBundle:
+        """Derive search-based orderings when ``strategy`` needs them.
+
+        For the optimizer strategies (``cu-opt``/``heap-opt``) this runs
+        the layout search of :mod:`repro.ordering.optimize` against a
+        cached *reference* build (default layout, PGO inlining — the
+        source of unit sizes) and returns a new bundle carrying the
+        derived profile; for every other strategy — or when the bundle
+        already carries the profile — the input bundle returns unchanged.
+        Pure and deterministic given (profiles, strategy,
+        ``self.optimize_config``, seed), so the augmented bundle's digest
+        is stable and both :meth:`build_optimized` and the warm fast path
+        :meth:`cached_strategy_runs` derive identical cache keys.  When
+        the seed profiles a section's search needs are missing, no profile
+        is added and the degradation ladder falls back as usual.
+        """
+        if strategy is None:
+            return profiles
+        kinds = []
+        if (strategy.code_ordering == CU_OPT_ORDERING
+                and CU_OPT_ORDERING not in profiles.code):
+            kinds.append("code")
+        if (strategy.heap_ordering == HEAP_OPT_ORDERING
+                and HEAP_OPT_ORDERING not in profiles.heap):
+            kinds.append("heap")
+        if not kinds:
+            return profiles
+        # Reference build: default layout + PGO inlining, so unit sizes
+        # match what the final build will place.  strategy=None never
+        # recurses back into this method.
+        reference = self.build_optimized(profiles, None, seed=seed)
+        with phase("optimize", workload=self.workload.name,
+                   strategy=strategy.name):
+            return synthesize_optimizer_profiles(
+                reference, profiles, kinds, self.optimize_config)
 
     def _optimized_key(self, profiles: ProfileBundle,
                        strategy: Optional[StrategySpec],
@@ -789,7 +851,11 @@ class WorkloadPipeline:
         outcome = self.profile(seed=seed)  # a warm profile() is itself a hit
         if self._quarantine_applies(strategy):
             return None
-        opt_key = self._optimized_key(outcome.profiles, strategy, seed)
+        # Optimizer strategies key on the *augmented* bundle; on a warm
+        # cache the reference build inside is itself a hit.
+        profiles = self.optimize_profiles(outcome.profiles, strategy,
+                                          seed=seed)
+        opt_key = self._optimized_key(profiles, strategy, seed)
         if opt_key is None or not self.cache.contains(KIND_REPORT, opt_key):
             return None
         opt_runs = self._cached_measurements(opt_key, iterations, seed)

@@ -1,11 +1,18 @@
-"""Ordering strategies: object identities, code order, heap order."""
+"""Ordering strategies: object identities, code order, heap order, search."""
 
+from .coaccess import (
+    CoAccessGraph,
+    DEFAULT_WINDOW,
+    build_coaccess_graph,
+    layout_objective,
+)
 from .code_order import default_order, order_compilation_units
 from .errors import OrderingError
 from .heap_order import MatchReport, match_and_order, order_heap_objects
 from .ids import (
     ALL_STRATEGIES,
     HEAP_PATH,
+    ID_STRATEGY_ALIASES,
     INCREMENTAL_ID,
     STRUCTURAL_HASH,
     StructuralHasher,
@@ -14,6 +21,19 @@ from .ids import (
     assign_incremental_ids,
     assign_structural_hashes,
     heap_path_hash,
+    resolve_id_strategy,
+)
+from .optimize import (
+    ALL_OPTIMIZERS,
+    CU_OPT_ORDERING,
+    HEAP_OPT_ORDERING,
+    OptimizationReport,
+    OptimizeConfig,
+    SearchResult,
+    optimize_workload,
+    search_order,
+    simulated_faults,
+    synthesize_optimizer_profiles,
 )
 from .profiles import (
     CallCountProfile,
@@ -25,11 +45,18 @@ from .profiles import (
 )
 
 __all__ = [
+    "CoAccessGraph", "DEFAULT_WINDOW", "build_coaccess_graph",
+    "layout_objective",
     "default_order", "order_compilation_units", "OrderingError",
     "MatchReport", "match_and_order", "order_heap_objects",
-    "ALL_STRATEGIES", "HEAP_PATH", "INCREMENTAL_ID", "STRUCTURAL_HASH",
-    "StructuralHasher", "assign_all_ids", "assign_heap_path_hashes",
-    "assign_incremental_ids", "assign_structural_hashes", "heap_path_hash",
+    "ALL_STRATEGIES", "HEAP_PATH", "ID_STRATEGY_ALIASES", "INCREMENTAL_ID",
+    "STRUCTURAL_HASH", "StructuralHasher", "assign_all_ids",
+    "assign_heap_path_hashes", "assign_incremental_ids",
+    "assign_structural_hashes", "heap_path_hash", "resolve_id_strategy",
+    "ALL_OPTIMIZERS", "CU_OPT_ORDERING", "HEAP_OPT_ORDERING",
+    "OptimizationReport", "OptimizeConfig", "SearchResult",
+    "optimize_workload", "search_order", "simulated_faults",
+    "synthesize_optimizer_profiles",
     "CallCountProfile", "CodeOrderProfile", "HeapOrderProfile",
     "ProfileBundle", "load_bundle", "save_bundle",
 ]

@@ -25,6 +25,9 @@ from .profiles import CodeOrderProfile
 
 CU_ORDERING = "cu"
 METHOD_ORDERING = "method"
+#: Search-derived CU placement order (repro.ordering.optimize): signatures
+#: are CU roots like ``cu``, so it ranks through the same root matcher.
+CU_OPT_ORDERING = "cu-opt"
 
 
 def default_order(cus: List[CompilationUnit]) -> List[CompilationUnit]:
@@ -47,7 +50,7 @@ def order_compilation_units(
     """
     if profile is None:
         return default_order(cus)
-    if profile.kind == CU_ORDERING:
+    if profile.kind in (CU_ORDERING, CU_OPT_ORDERING):
         ranks = _rank_by_root(cus, profile)
         known = {cu.name for cu in cus}
     elif profile.kind == METHOD_ORDERING:
@@ -106,7 +109,7 @@ def ordering_stats(
 ) -> Tuple[int, int]:
     """(matched, total) CU counts for a profile — diagnostic for reports."""
     ordered = order_compilation_units(cus, profile)
-    if profile.kind == CU_ORDERING:
+    if profile.kind in (CU_ORDERING, CU_OPT_ORDERING):
         ranks = _rank_by_root(cus, profile)
     else:
         ranks = _rank_by_members(cus, profile)

@@ -24,23 +24,39 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .errors import OrderingError
 
 
+#: Code-order profile kinds: the paper's two first-use orderings plus the
+#: search-derived placement order of :mod:`repro.ordering.optimize`.
+CODE_ORDER_KINDS = ("cu", "method", "cu-opt")
+
+
 @dataclass
 class CodeOrderProfile:
-    """First-execution order of CU roots (``cu``) or methods (``method``)."""
+    """First-execution order of CU roots (``cu``) or methods (``method``).
 
-    kind: str  # "cu" or "method"
+    The ``cu-opt`` kind carries a *search-derived* CU placement order
+    (every signature is a CU root, like ``cu``, but the order came from the
+    layout optimizer rather than first execution).
+    """
+
+    kind: str  # one of CODE_ORDER_KINDS
     signatures: List[str] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        if self.kind not in ("cu", "method"):
+        if self.kind not in CODE_ORDER_KINDS:
             raise ValueError(f"unknown code-order kind {self.kind!r}")
 
 
 @dataclass
 class HeapOrderProfile:
-    """First-access order of image-heap objects, as strategy-specific IDs."""
+    """First-access order of image-heap objects, as strategy-specific IDs.
 
-    strategy: str  # "incremental_id", "structural_hash", or "heap_path"
+    ``strategy`` is an ID-strategy name ("incremental_id",
+    "structural_hash", "heap_path") or the optimizer strategy "heap-opt",
+    whose IDs are heap-path IDs in search-derived placement-group order
+    (resolved through :func:`repro.ordering.ids.resolve_id_strategy`).
+    """
+
+    strategy: str
     ids: List[int] = field(default_factory=list)
 
 
@@ -346,11 +362,30 @@ def merge_bundles(bundles: Sequence[ProfileBundle],
 
     Each code kind / heap strategy is merged across the bundles that carry
     it (with their weights); kinds carried only by zero-weight bundles are
-    dropped.  Salvage accounting (:class:`ProfileCompleteness`) is summed
-    across annotated inputs so the merged bundle still says how much raw
-    trace data it stands on.  Raises :class:`OrderingError` on an empty
-    bundle set, mismatched weights, all-zero weights, or duplicate bundles
-    (identical content digest).
+    dropped.  Only profile *content* merges here: per-source provenance
+    (which traces contributed, at what weights, from which epoch) is not a
+    bundle field — since PR 7 it travels separately as
+    :class:`repro.pgo.lifecycle.ProfileProvenance`, stored as
+    ``provenance.json`` next to the CSV bundle in the profile store.  The
+    one accounting that does live on the bundle is salvage completeness
+    (:class:`ProfileCompleteness`), summed across annotated inputs.
+    Raises :class:`OrderingError` on an empty bundle set, mismatched
+    weights, all-zero weights, or duplicate bundles (identical content
+    digest).
+
+    Weight-scale invariance — scaling every weight by the same positive
+    factor changes nothing (exercised as a doctest by the test suite):
+
+    >>> left = ProfileBundle(code={"cu": CodeOrderProfile("cu", ["a", "b"])})
+    >>> right = ProfileBundle(code={"cu": CodeOrderProfile("cu", ["b", "c"])})
+    >>> merged = merge_bundles([left, right], [1, 3])
+    >>> scaled = merge_bundles([left, right], [10, 30])
+    >>> merged.code["cu"].signatures
+    ['b', 'c', 'a']
+    >>> scaled.code["cu"].signatures == merged.code["cu"].signatures
+    True
+    >>> scaled.digest() == merged.digest()
+    True
     """
     fractions = _check_merge_inputs(
         bundles, weights, "profile-bundle",

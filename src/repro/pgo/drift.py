@@ -79,7 +79,9 @@ def replay_faults(
 
 def _touch_code(cache: PageCache, binary: NativeImageBinary,
                 kind: str, signatures: Sequence[str]) -> None:
-    if kind == "cu":
+    # "cu-opt" profiles list CU roots in search-derived placement order;
+    # their replay semantics are whole-CU touches, exactly like "cu".
+    if kind in ("cu", "cu-opt"):
         for signature in signatures:
             placed = binary.placed_cu_for_root(signature)
             if placed is not None:
@@ -98,9 +100,12 @@ def _touch_code(cache: PageCache, binary: NativeImageBinary,
 
 def _touch_heap(cache: PageCache, binary: NativeImageBinary,
                 strategy: str, ids: Sequence[int]) -> None:
+    from ..ordering.ids import resolve_id_strategy
+
+    id_strategy = resolve_id_strategy(strategy)  # "heap-opt" -> "heap_path"
     by_id: Dict[int, List] = {}
     for obj in binary.heap.ordered:
-        object_id = obj.ids.get(strategy)
+        object_id = obj.ids.get(id_strategy)
         if object_id is not None:
             by_id.setdefault(object_id, []).append(obj)
     for object_id in ids:

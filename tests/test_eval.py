@@ -19,7 +19,7 @@ from repro.eval.figures import (
     run_fig6,
 )
 from repro.eval.pipeline import (
-    ALL_STRATEGY_SPECS,
+    PAPER_STRATEGY_SPECS,
     STRATEGY_COMBINED,
     STRATEGY_CU,
     STRATEGY_HEAP_PATH,
@@ -40,7 +40,7 @@ def bounce_result():
 
 class TestEvaluateWorkload:
     def test_all_strategies_present(self, bounce_result):
-        assert set(bounce_result.strategies) == {s.name for s in ALL_STRATEGY_SPECS}
+        assert set(bounce_result.strategies) == {s.name for s in PAPER_STRATEGY_SPECS}
 
     def test_factors_positive_and_finite(self, bounce_result):
         for result in bounce_result.strategies.values():

@@ -1,0 +1,258 @@
+"""Tests for the search-based layout optimizer (co-access graph + search).
+
+The property suite pins the guarantees docs/optimizer.md promises:
+
+* the co-access builder is permutation-invariant over its input traces;
+* the chain-merge objective is superadditive under concatenation (merging
+  two chains never loses locality credit), so greedy merging is monotone;
+* same search seed => identical order => byte-identical built layout;
+* end to end on Queens, the optimizer never loses to its seed strategy on
+  simulated first-touch faults, and the search's predicted cost equals
+  the faults replayed on the actually-built binary.
+"""
+
+import doctest
+import random as stdlib_random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.ordering.profiles as profiles_module
+from repro.eval.pipeline import (
+    STRATEGY_CU,
+    STRATEGY_CU_OPT,
+    STRATEGY_HEAP_OPT,
+    WorkloadPipeline,
+)
+from repro.ordering.coaccess import (
+    CoAccessGraph,
+    build_coaccess_graph,
+    first_touch_ranks,
+    layout_objective,
+)
+from repro.ordering.optimize import (
+    OptimizeConfig,
+    chain_merge_order,
+    code_problem,
+    heap_problem,
+    optimize_workload,
+    search_order,
+    simulated_faults,
+    synthesize_optimizer_profiles,
+)
+from repro.workloads import awfy_workload
+
+import pytest
+
+UNIT_NAMES = [f"u{i}" for i in range(8)]
+
+# a trace is a touch sequence over a small unit alphabet plus a weight
+trace_st = st.tuples(
+    st.lists(st.sampled_from(UNIT_NAMES), min_size=0, max_size=10),
+    st.integers(min_value=0, max_value=4),
+)
+
+
+# ---------------------------------------------------------------------------
+# co-access graph properties
+# ---------------------------------------------------------------------------
+
+
+@given(traces=st.lists(trace_st, max_size=8), seed=st.integers(0, 2**16))
+def test_coaccess_builder_permutation_invariant(traces, seed):
+    """The graph depends only on the multiset of traces, not their order."""
+    graph = build_coaccess_graph(traces)
+    shuffled = list(traces)
+    stdlib_random.Random(seed).shuffle(shuffled)
+    regraph = build_coaccess_graph(shuffled)
+    assert graph.weights == regraph.weights
+    assert graph.nodes == regraph.nodes
+
+
+@given(traces=st.lists(trace_st, max_size=8))
+def test_coaccess_weights_symmetric_and_positive(traces):
+    graph = build_coaccess_graph(traces)
+    for (u, v), weight in graph.weights.items():
+        assert u < v  # canonical sorted-pair key, no self edges
+        assert weight > 0
+        assert graph.weight(u, v) == graph.weight(v, u) == weight
+
+
+def test_coaccess_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        build_coaccess_graph([], window=0)
+    with pytest.raises(ValueError):
+        build_coaccess_graph([(["a", "b"], -1.0)])
+
+
+def test_first_touch_ranks_collapses_repeats():
+    assert first_touch_ranks(["a", "b", "a", "c", "b"]) == {
+        "a": 0, "b": 1, "c": 2,
+    }
+
+
+@given(traces=st.lists(trace_st, min_size=1, max_size=6),
+       split=st.integers(1, 7))
+def test_objective_superadditive_under_concatenation(traces, split):
+    """objective(A ++ B) >= objective(A) + objective(B) for disjoint A, B.
+
+    Concatenation preserves every intra-chain gap and can only add
+    non-negative cross terms — the monotonicity that makes greedy chain
+    merging sound (each accepted merge has positive junction gain, and no
+    merge can destroy credit already earned).
+    """
+    graph = build_coaccess_graph(traces)
+    left = UNIT_NAMES[:split]
+    right = UNIT_NAMES[split:]
+    combined = layout_objective(graph, left + right)
+    assert combined >= layout_objective(graph, left) + layout_objective(
+        graph, right)
+
+
+@given(traces=st.lists(trace_st, min_size=1, max_size=6))
+def test_chain_merge_never_loses_to_first_touch_order(traces):
+    """Greedy merging only accepts positive-gain junctions, so the merged
+    order's locality objective is >= the first-touch singleton order's."""
+    graph = build_coaccess_graph(traces)
+    hot = [name for name in UNIT_NAMES if name in graph.nodes]
+    if not hot:
+        return
+    merged = chain_merge_order(graph, hot, graph.window)
+    assert sorted(merged) == sorted(hot)  # a permutation, nothing dropped
+    assert layout_objective(graph, merged) >= layout_objective(graph, hot)
+
+
+# ---------------------------------------------------------------------------
+# end-to-end on a real workload (Queens)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def queens_reference():
+    """Shared reference build + profiles for the search-level tests."""
+    pipeline = WorkloadPipeline(awfy_workload("Queens"))
+    outcome = pipeline.profile(seed=0)
+    reference = pipeline.build_optimized(outcome.profiles, None, seed=0)
+    return pipeline, reference, outcome.profiles
+
+
+def test_search_is_seed_deterministic(queens_reference):
+    """Same OptimizeConfig => identical order and costs, call after call."""
+    _pipeline, reference, bundle = queens_reference
+    config = OptimizeConfig(budget=150)
+    problem = code_problem(reference, bundle, config)
+    first = search_order(problem, config)
+    second = search_order(problem, config)
+    assert first.order == second.order
+    assert first.costs == second.costs
+    assert first.best_name == second.best_name
+
+
+def test_search_seed_changes_anneal_trajectory(queens_reference):
+    """Different seeds may explore differently but never beat the gate:
+    every result still contains the seed order as a candidate."""
+    _pipeline, reference, bundle = queens_reference
+    for seed in (1, 2, 99):
+        config = OptimizeConfig(budget=100, seed=seed)
+        problem = code_problem(reference, bundle, config)
+        result = search_order(problem, config)
+        assert result.best_cost <= result.seed_cost
+        assert sorted(result.order) == sorted(problem.seed_order)
+
+
+def test_synthesize_is_idempotent_and_pure(queens_reference):
+    _pipeline, reference, bundle = queens_reference
+    config = OptimizeConfig(budget=100)
+    augmented = synthesize_optimizer_profiles(
+        reference, bundle, ("code", "heap"), config)
+    assert "cu-opt" not in bundle.code  # input bundle untouched
+    assert "cu-opt" in augmented.code
+    assert "heap-opt" in augmented.heap
+    again = synthesize_optimizer_profiles(
+        reference, augmented, ("code", "heap"), config)
+    assert again.digest() == augmented.digest()
+
+
+def test_problem_costs_match_built_binaries(queens_reference):
+    """The virtual cost model's seed cost == simulated faults of the seed
+    strategy's *built* binary, for both sections (model exactness)."""
+    pipeline, reference, bundle = queens_reference
+    config = OptimizeConfig(budget=100)
+    from repro.image.sections import HEAP_SECTION, TEXT_SECTION
+
+    code = code_problem(reference, bundle, config)
+    cu_binary = pipeline.build_optimized(bundle, STRATEGY_CU, seed=0)
+    assert code.model.faults(code.seed_order) == simulated_faults(
+        cu_binary, bundle)[TEXT_SECTION]
+    heap = heap_problem(reference, bundle, config)
+    from repro.eval.pipeline import STRATEGY_HEAP_PATH
+
+    heap_binary = pipeline.build_optimized(bundle, STRATEGY_HEAP_PATH, seed=0)
+    assert heap.model.faults(heap.seed_order) == simulated_faults(
+        heap_binary, bundle)[HEAP_SECTION]
+
+
+def test_optimize_workload_never_worse_and_exact():
+    """The PR-8 acceptance gate on one workload: never-worse, verified,
+    differential-clean, and predicted == replayed for every section."""
+    pipeline = WorkloadPipeline(
+        awfy_workload("Queens"), optimize_config=OptimizeConfig(budget=150)
+    )
+    report = optimize_workload(pipeline)
+    assert report.ok
+    assert len(report.sections) == 2
+    for section in report.sections:
+        assert not section.skipped
+        assert section.optimized_faults <= section.seed_faults
+        assert section.predicted_faults == section.optimized_faults
+        assert section.verified
+        assert section.differential_ok
+    # Queens' cold CU tails make the code search a strict win
+    assert report.sections[0].improved
+
+
+def test_same_seed_builds_byte_identical_layout():
+    """Determinism guarantee: same search seed => same layout digest."""
+    digests = []
+    for _ in range(2):
+        pipeline = WorkloadPipeline(
+            awfy_workload("Queens"),
+            optimize_config=OptimizeConfig(budget=120, seed=42),
+        )
+        outcome = pipeline.profile(seed=0)
+        binary = pipeline.build_optimized(
+            outcome.profiles, STRATEGY_CU_OPT, seed=0)
+        digests.append(binary.layout_digest())
+    assert digests[0] == digests[1]
+
+
+def test_optimizer_strategies_flow_through_warm_cache(tmp_path):
+    """cu-opt / heap-opt keep the warm 100%-hit-rate invariant: the
+    augmented bundle is recomputed identically, so the second sweep of the
+    same cell is served entirely from the cache."""
+    from repro.cache import ArtifactCache
+
+    for spec in (STRATEGY_CU_OPT, STRATEGY_HEAP_OPT):
+        pipeline = WorkloadPipeline(
+            awfy_workload("Queens"), cache=ArtifactCache(tmp_path / spec.name)
+        )
+        pipeline.run_strategy(spec, seed=3)
+        warm = WorkloadPipeline(
+            awfy_workload("Queens"), cache=ArtifactCache(tmp_path / spec.name)
+        )
+        cached = warm.cached_strategy_runs(spec, seed=3)
+        assert cached is not None
+        assert warm.cache.stats.misses == 0
+        baseline_runs, optimized_runs = cached
+        assert baseline_runs and optimized_runs
+
+
+# ---------------------------------------------------------------------------
+# satellite: the profiles.py doctest (pytest does not auto-collect doctests)
+# ---------------------------------------------------------------------------
+
+
+def test_profiles_doctests():
+    results = doctest.testmod(profiles_module)
+    assert results.attempted > 0
+    assert results.failed == 0
