@@ -189,6 +189,39 @@ class NativeImageToolchain:
         """
         return get_tracer().export(path)
 
+    def export_events(self, path: Union[Path, str]) -> Path:
+        """Write the correlated JSONL event log (causal-id event stream).
+
+        One JSON object per line: degradation notes, chaos injections,
+        PGO epoch markers, phase completions — each carrying the
+        run/phase/task ids that were in scope when it was emitted.
+        """
+        from .obs import get_event_log
+        return get_event_log().export(path)
+
+    def history(self, path: Union[Path, str, None] = None):
+        """The bench history store (``BENCH_history.jsonl`` by default).
+
+        Returns a :class:`repro.obs.BenchHistory` for listing, pruning,
+        compacting, or trend-gating against the longitudinal record
+        ``repro bench`` appends to.
+        """
+        from .obs.history import DEFAULT_HISTORY, BenchHistory
+        return BenchHistory(path if path is not None else DEFAULT_HISTORY)
+
+    def report(self, path: Union[Path, str, None] = None,
+               html_path: Union[Path, str, None] = None) -> str:
+        """Render the bench history trajectory (``repro report``).
+
+        Returns the terminal summary; when ``html_path`` is given, also
+        writes the self-contained HTML dashboard there.
+        """
+        from .obs.report import render_html, render_summary
+        entries = self.history(path).entries()
+        if html_path is not None:
+            Path(html_path).write_text(render_html(entries))
+        return render_summary(entries)
+
     def attribute(self, binary: NativeImageBinary, label: str = ""):
         """One observer-enabled cold run of ``binary``, fully attributed.
 

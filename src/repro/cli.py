@@ -17,7 +17,14 @@ Commands mirror the paper's artifact scripts:
 * ``bench``    — benchmark the evaluation pipeline itself: serial reference
   vs parallel scheduler vs warm artifact cache vs a chaos-injected sweep,
   written to ``BENCH_pipeline.json``; ``--baseline`` arms the regression
-  gate against a committed payload;
+  gate against a committed payload, ``--trend`` gates against the bench
+  history trajectory (rolling median ± MAD + CUSUM drift detection), and
+  clean runs append to ``BENCH_history.jsonl`` (``--no-history`` opts out);
+* ``report``   — render the bench history as a terminal summary plus a
+  dependency-free self-contained HTML dashboard (inline SVG sparklines
+  per phase and matrix cell, PGO epoch timeline, regression annotations);
+* ``history``  — manage the bench history store: list entries, prune old
+  ones, compact to the current schema, or trend-gate a payload file;
 * ``chaos``    — run the sweep under deterministic fault injection
   (worker crashes, hangs, cache I/O errors, artifact corruption,
   oversized results) and verify that every surviving result is
@@ -301,10 +308,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from .eval.bench import (
         BenchConfig,
         check_payload,
+        check_trend,
         format_summary,
+        record_history,
         run_bench,
         write_payload,
     )
+    from .obs.history import BenchHistory
 
     kwargs = dict(
         iterations=args.iterations,
@@ -323,6 +333,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         optimize=not args.no_optimize,
         optimize_budget=args.optimize_budget,
         optimize_seed=args.optimize_seed,
+        history=args.history,
+        write_history=not args.no_history,
+        trend=args.trend,
+        trend_window=args.trend_window,
     )
     if args.only:
         kwargs["workloads"] = tuple(args.only)
@@ -350,6 +364,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
         failures.extend(check_regression(
             payload, baseline, wall_tolerance=args.max_regression,
         ))
+    if config.trend:
+        failures.extend(check_trend(
+            payload, BenchHistory(config.history),
+            window=config.trend_window,
+        ))
+    if args.openmetrics:
+        from .obs import get_registry, to_openmetrics, validate_openmetrics
+
+        text = to_openmetrics(get_registry().snapshot())
+        Path(args.openmetrics).write_text(text)
+        print(f"wrote {args.openmetrics} (OpenMetrics exposition)")
+        failures.extend(f"openmetrics: {problem}"
+                        for problem in validate_openmetrics(text))
+    # a regressed or broken run never pollutes the trajectory: only
+    # clean runs become history entries
+    if config.write_history and payload.get("ok") and not failures:
+        entry = record_history(payload, config.history)
+        print(f"history: appended run {entry['run_id']} to {config.history}")
     for failure in failures:
         print(f"CHECK FAILED: {failure}")
     return 1 if failures else 0
@@ -542,7 +574,17 @@ def cmd_stats(args: argparse.Namespace) -> int:
         print(sweep.summary())
         print()
         print(format_stats(snapshot))
-    return 0 if sweep.ok else 1
+    problems = []
+    if args.openmetrics:
+        from .obs import to_openmetrics, validate_openmetrics
+
+        text = to_openmetrics(snapshot)
+        Path(args.openmetrics).write_text(text)
+        problems = validate_openmetrics(text)
+        print(f"wrote {args.openmetrics} (OpenMetrics exposition)")
+        for problem in problems:
+            print(f"INVALID: {problem}")
+    return 0 if sweep.ok and not problems else 1
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -559,8 +601,17 @@ def cmd_trace(args: argparse.Namespace) -> int:
     tracer = get_tracer()
     path = tracer.export(args.output)
     problems = validate_trace(json.loads(Path(path).read_text()))
-    print(f"wrote {path} ({len(tracer.events)} trace events; load it in "
-          "chrome://tracing or https://ui.perfetto.dev)")
+    dropped = (f", {tracer.dropped} dropped at the "
+               f"{tracer.max_events}-event cap" if tracer.dropped else "")
+    print(f"wrote {path} ({len(tracer.events)} trace events{dropped}; "
+          "load it in chrome://tracing or https://ui.perfetto.dev)")
+    if args.events:
+        from .obs import get_event_log
+
+        log = get_event_log()
+        events_path = log.export(args.events)
+        print(f"wrote {events_path} ({len(log.events)} correlated "
+              "event-log entries)")
     for problem in problems:
         print(f"INVALID: {problem}")
     return 1 if problems else 0
@@ -635,6 +686,66 @@ def cmd_optimize(args: argparse.Namespace) -> int:
               f"improved, all never-worse: "
               f"{'yes' if all(r.ok for r in reports) else 'NO'}")
     return 0 if all(report.ok for report in reports) else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .obs.history import BenchHistory
+    from .obs.report import render_html, render_summary
+
+    history = BenchHistory(args.history)
+    entries = history.entries(matrix_hash=args.matrix)
+    if args.last:
+        entries = entries[-args.last:]
+    print(render_summary(entries))
+    if history.skipped:
+        print(f"(skipped {history.skipped} unreadable history line(s); "
+              "`repro history compact` drops them)")
+    if not args.no_html:
+        path = Path(args.output)
+        path.write_text(render_html(entries))
+        print(f"wrote {path} ({len(entries)} run(s), self-contained HTML)")
+    return 0
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    from .obs.history import BenchHistory
+
+    history = BenchHistory(args.history)
+    if args.action == "list":
+        print(history.describe())
+        if history.skipped:
+            print(f"(skipped {history.skipped} unreadable line(s))")
+        return 0
+    if args.action == "prune":
+        if args.keep is None and args.max_age_days is None:
+            raise SystemExit("prune needs --keep and/or --max-age-days")
+        max_age = (args.max_age_days * 86400.0
+                   if args.max_age_days is not None else None)
+        removed = history.prune(keep=args.keep, max_age_s=max_age)
+        print(f"pruned {removed} entr(ies) from {history.path}; "
+              f"{len(history)} remain")
+        return 0
+    if args.action == "compact":
+        kept, dropped = history.compact()
+        print(f"compacted {history.path}: {kept} entr(ies) at the current "
+              f"schema, {dropped} unreadable line(s) dropped")
+        return 0
+    # action == "gate": trend-gate a payload file against the store
+    from .eval.bench import check_trend
+
+    try:
+        payload = json.loads(Path(args.payload).read_text())
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read payload {args.payload!r}: {exc}")
+    failures = check_trend(payload, history, window=args.window)
+    comparable = len(history.entries())
+    if not failures:
+        print(f"trend gate passed against {history.path} "
+              f"({comparable} entr(ies) on file)")
+        return 0
+    for failure in failures:
+        print(f"TREND FAILED: {failure}")
+    return 1
 
 
 def cmd_emit(args: argparse.Namespace) -> int:
@@ -748,6 +859,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="target pick for --mutate")
     p_verify.set_defaults(func=cmd_verify)
 
+    from .eval.bench import DEFAULT_OUTPUT as _BENCH_OUTPUT
     from .eval.bench import BenchConfig as _BenchConfig
 
     p_bench = sub.add_parser(
@@ -829,7 +941,75 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--max-regression", type=float, default=_WALL_TOL,
                          help="allowed fractional wall-clock slowdown vs the "
                          "baseline (default: %(default)s)")
+    p_bench.add_argument("--history",
+                         default=_field_default(_BenchConfig, "history"),
+                         help="bench history store (JSONL) clean runs append "
+                         "to (default: %(default)s)")
+    p_bench.add_argument("--no-history", action="store_true",
+                         help="do not append this run to the history store")
+    p_bench.add_argument("--trend", action="store_true",
+                         help="gate against the history trend: rolling "
+                         "median ± MAD step detection plus CUSUM drift "
+                         "detection per phase/cell series (exit 1 names the "
+                         "regressed series and the top blamed symbols)")
+    p_bench.add_argument("--trend-window", type=int,
+                         default=_field_default(_BenchConfig, "trend_window"),
+                         help="history entries the trend gate compares "
+                         "against (default: %(default)s)")
+    p_bench.add_argument("--openmetrics", metavar="PATH",
+                         help="also export the run's merged metrics registry "
+                         "as OpenMetrics text exposition (validated; "
+                         "problems fail the command)")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_report = sub.add_parser(
+        "report",
+        help="render the bench history as a terminal summary + a "
+        "self-contained HTML dashboard (sparklines, PGO timeline, "
+        "regression annotations)",
+    )
+    p_report.add_argument("--history",
+                          default=_field_default(_BenchConfig, "history"),
+                          help="bench history store to render "
+                          "(default: %(default)s)")
+    p_report.add_argument("-o", "--output", default="BENCH_report.html",
+                          help="HTML dashboard path (default: %(default)s)")
+    p_report.add_argument("--no-html", action="store_true",
+                          help="terminal summary only, skip the HTML file")
+    p_report.add_argument("--matrix", metavar="HASH",
+                          help="restrict to entries with this matrix hash "
+                          "(default: all entries)")
+    p_report.add_argument("--last", type=int, default=0,
+                          help="render only the newest N entries "
+                          "(default: all)")
+    p_report.set_defaults(func=cmd_report)
+
+    p_history = sub.add_parser(
+        "history",
+        help="manage the bench history store: list, prune, compact, or "
+        "trend-gate a payload against it",
+    )
+    p_history.add_argument("action",
+                           choices=("list", "prune", "compact", "gate"),
+                           help="list entries / drop old entries / rewrite "
+                           "at the current schema / trend-gate a payload")
+    p_history.add_argument("--history",
+                           default=_field_default(_BenchConfig, "history"),
+                           help="bench history store (default: %(default)s)")
+    p_history.add_argument("--keep", type=int, default=None,
+                           help="prune: retain only the newest N entries")
+    p_history.add_argument("--max-age-days", type=float, default=None,
+                           help="prune: drop entries older than this many "
+                           "days")
+    p_history.add_argument("--payload", default=_BENCH_OUTPUT,
+                           help="gate: bench payload JSON to trend-gate "
+                           "(default: %(default)s)")
+    p_history.add_argument("--window", type=int,
+                           default=_field_default(_BenchConfig,
+                                                  "trend_window"),
+                           help="gate: history entries to compare against "
+                           "(default: %(default)s)")
+    p_history.set_defaults(func=cmd_history)
 
     from .eval.scheduler import RetryPolicy as _RetryPolicy
     from .eval.scheduler import SchedulerConfig as _SchedulerConfig
@@ -971,6 +1151,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--json", action="store_true",
                          help="print the snapshot as JSON (with the "
                          "deterministic sweep.* plane broken out)")
+    p_stats.add_argument("--openmetrics", metavar="PATH",
+                         help="also export the snapshot as OpenMetrics text "
+                         "exposition (validated; problems exit 1)")
     p_stats.set_defaults(func=cmd_stats)
 
     p_trace = sub.add_parser(
@@ -982,6 +1165,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--seed", type=int, default=1)
     p_trace.add_argument("-o", "--output", default="trace.json",
                          help="trace-event JSON path (default: %(default)s)")
+    p_trace.add_argument("--events", metavar="PATH",
+                         help="also export the correlated JSONL event log "
+                         "(degradation notes, chaos injections, PGO epoch "
+                         "markers with causal ids)")
     p_trace.set_defaults(func=cmd_trace)
 
     p_why = sub.add_parser(

@@ -74,6 +74,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..cache import ArtifactCache
 from ..cache.keys import TOOLCHAIN_VERSION
+from ..obs.history import DEFAULT_HISTORY, BenchHistory, make_entry, matrix_hash
+from ..util.stats import MAD_SIGMA, cusum_alarm, mad, median
 from ..workloads.awfy.suite import AWFY_NAMES, awfy_suite
 from ..workloads.microservices.suite import MICROSERVICE_NAMES, microservice_suite
 from .pipeline import ALL_STRATEGY_SPECS, StrategySpec, Workload, WorkloadPipeline
@@ -137,6 +139,14 @@ class BenchConfig:
     optimize_budget: int = 200
     #: search RNG seed of the optimize phase
     optimize_seed: int = 13
+    #: history store successful runs append to (``--no-history`` opts out)
+    history: str = DEFAULT_HISTORY
+    #: append a history entry after a successful run
+    write_history: bool = True
+    #: gate the run against the history trend (``--trend``)
+    trend: bool = False
+    #: history entries the trend gate compares against
+    trend_window: int = 10
 
     @classmethod
     def quick(cls, **overrides: Any) -> "BenchConfig":
@@ -596,6 +606,141 @@ def attribution_diagnosis(payload: Dict[str, Any]) -> List[str]:
             f"fault delta {entry.get('fault_delta', 0):+d})"
         )
     return lines
+
+
+#: history entries below which the trend gate abstains (no trajectory yet)
+TREND_MIN_ENTRIES = 3
+
+#: default window: the last N comparable history entries
+DEFAULT_TREND_WINDOW = 10
+
+#: step threshold in robust sigmas above the rolling median
+TREND_STEP_SIGMAS = 4.0
+
+#: sigma floor for wall-clock series, as a fraction of the median (CI
+#: runners are noisy; a MAD of zero must not make any jitter a failure)
+TREND_WALL_REL_FLOOR = 0.10
+
+#: sigma floor for fault-count series (faults are deterministic, so the
+#: MAD is usually zero; this tolerates sub-noise wobble only)
+TREND_FAULT_FLOOR = 1.0
+
+#: CUSUM slack and decision interval (in sigmas); drifts below ``k`` per
+#: entry never alarm, anything above accumulates toward ``h``
+TREND_CUSUM_K = 0.5
+TREND_CUSUM_H = 4.0
+
+
+def _trend_series_check(
+    name: str, unit: str, series: List[float], value: float,
+    sigma_floor: float, step_sigmas: float,
+) -> Optional[str]:
+    """Gate one scalar against its history series; a message = failure.
+
+    Two detectors run in order:
+
+    * **step** — the new value exceeds the rolling median by more than
+      ``step_sigmas`` robust sigmas (MAD-scaled, floored): a one-run
+      regression large enough to stand out of the noise band.
+    * **drift** — a one-sided CUSUM over the window *plus the new value*,
+      targeted at the rolling median: each entry contributes its excess
+      over ``median + k*sigma``, so a slow creep that never individually
+      clears the step band still accumulates to an alarm.  Only an alarm
+      at (or after) the window's last third is attributed to the current
+      trajectory; an old already-absorbed shift is not this run's fault.
+    """
+    center = median(series)
+    sigma = max(mad(series) * MAD_SIGMA, sigma_floor, 1e-12)
+    threshold = center + step_sigmas * sigma
+    if value > threshold:
+        return (
+            f"trend: {name} {value:.2f}{unit} is a step regression over "
+            f"the rolling median {center:.2f}{unit} of the last "
+            f"{len(series)} run(s) (limit {threshold:.2f}{unit} = "
+            f"median + {step_sigmas:g} robust sigmas)"
+        )
+    full = series + [value]
+    alarm = cusum_alarm(full, target=center, sigma=sigma,
+                        k=TREND_CUSUM_K, h=TREND_CUSUM_H)
+    if alarm is not None and alarm >= (2 * len(full)) // 3:
+        return (
+            f"trend: {name} is drifting upward — CUSUM over the last "
+            f"{len(full)} run(s) crossed {TREND_CUSUM_H:g} sigmas at "
+            f"run {alarm + 1}/{len(full)} (median {center:.2f}{unit}, "
+            f"sigma {sigma:.2f}{unit}, latest {value:.2f}{unit})"
+        )
+    return None
+
+
+def check_trend(payload: Dict[str, Any],
+                history: "BenchHistory | Sequence[Dict[str, Any]]",
+                window: int = DEFAULT_TREND_WINDOW) -> List[str]:
+    """Gate a bench payload against the history trend (empty = pass).
+
+    Unlike :func:`check_regression` (one frozen baseline), this compares
+    the new run against the *trajectory*: the last ``window`` history
+    entries whose matrix hash matches the payload's.  Per-phase wall
+    clocks and per-cell fault totals each pass through a step detector
+    (rolling median ± MAD band) and a CUSUM changepoint detector, so a
+    single large regression and a slow drift spread over several entries
+    both fail.  With fewer than :data:`TREND_MIN_ENTRIES` comparable
+    entries the gate abstains — an empty trajectory cannot regress.
+
+    As with the baseline gate, a failing result ends with the PR-5
+    attribution blame lines naming the top suspect symbols.
+    """
+    candidate = make_entry(payload)
+    target_hash = candidate["matrix"]["hash"]
+    if isinstance(history, BenchHistory):
+        entries = history.tail(window, matrix_hash=target_hash)
+    else:
+        entries = [e for e in history
+                   if e.get("matrix", {}).get("hash") == target_hash]
+        entries = entries[-window:] if window > 0 else entries
+    if len(entries) < TREND_MIN_ENTRIES:
+        return []
+    failures: List[str] = []
+    for name, phase in sorted(candidate["phases"].items()):
+        series = [float(e["phases"][name]["wall_s"]) for e in entries
+                  if name in e.get("phases", {})]
+        if len(series) < TREND_MIN_ENTRIES:
+            continue
+        floor = TREND_WALL_REL_FLOOR * max(median(series), 1e-9)
+        message = _trend_series_check(
+            f"phase {name} wall-clock", "s", series,
+            float(phase.get("wall_s", 0.0)), floor, TREND_STEP_SIGMAS)
+        if message:
+            failures.append(message)
+    for cell, faults in sorted(candidate["cell_faults"].items()):
+        series = [float(e["cell_faults"][cell]) for e in entries
+                  if cell in e.get("cell_faults", {})]
+        if len(series) < TREND_MIN_ENTRIES:
+            continue
+        message = _trend_series_check(
+            f"cell {cell} faults", "", series, float(faults),
+            TREND_FAULT_FLOOR, TREND_STEP_SIGMAS)
+        if message:
+            failures.append(message)
+    if failures:
+        failures.extend(attribution_diagnosis(payload))
+    return failures
+
+
+def record_history(payload: Dict[str, Any],
+                   path: "str | Path" = DEFAULT_HISTORY,
+                   timestamp: Optional[float] = None,
+                   run_id: Optional[str] = None) -> Dict[str, Any]:
+    """Append one history entry for a bench payload; returns the entry.
+
+    The entry snapshots the process-wide metrics registry at call time,
+    so the run's ``phase.*`` duration percentiles travel with it.
+    """
+    from ..obs import get_registry
+
+    entry = make_entry(payload, metrics_snapshot=get_registry().snapshot(),
+                       timestamp=timestamp, run_id=run_id)
+    BenchHistory(path).append(entry)
+    return entry
 
 
 def check_payload(payload: Dict[str, Any]) -> List[str]:

@@ -61,7 +61,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..cache import ArtifactCache, CacheStats
 from ..image.builder import BuildConfig
-from ..obs import MetricsSnapshot, get_registry, get_tracer
+from ..obs import MetricsSnapshot, get_event_log, get_registry, get_tracer
 from ..robustness.chaos import (
     CHAOS_CACHE_IO,
     CHAOS_CORRUPT_ARTIFACT,
@@ -227,6 +227,9 @@ class TaskResult:
     error: Optional[str] = None
     metrics: Optional[MetricsSnapshot] = None
     spans: List[Dict[str, Any]] = field(default_factory=list)
+    #: correlated event-log entries this task emitted (chaos injections,
+    #: degradation notes, phase events); absorbed into the parent log
+    events: List[Dict[str, Any]] = field(default_factory=list)
     #: which attempt produced this result (0 = first try); excluded from
     #: :meth:`canonical` — a surviving retry must be byte-identical to a
     #: first-try success
@@ -356,16 +359,20 @@ def run_task(task: EvalTask, config: SchedulerConfig, attempt: int = 0,
         os._exit(CHAOS_CRASH_EXIT)
     registry = get_registry()
     tracer = get_tracer()
+    event_log = get_event_log()
     registry.counter("sched.tasks.dispatched")
     metrics_before = registry.snapshot()
     span_mark = tracer.mark()
+    event_mark = event_log.mark()
+    task_id = f"{task.workload.name}/{task.strategy_name}"
     result = TaskResult(workload=task.workload.name,
                         strategy=task.strategy_name, seed=task.seed,
                         attempt=attempt)
     start = time.perf_counter()
-    with tracer.span("task", cat="sched", workload=task.workload.name,
-                     strategy=task.strategy_name, seed=task.seed,
-                     attempt=attempt):
+    with event_log.context(task=task_id), \
+            tracer.span("task", cat="sched", workload=task.workload.name,
+                        strategy=task.strategy_name, seed=task.seed,
+                        attempt=attempt):
         # A hard worker_crash never reaches this line (os._exit above);
         # a crash fault here is the inline simulated variant, so recording
         # it worker-side never double-counts the parent's submit-time entry.
@@ -374,6 +381,7 @@ def run_task(task: EvalTask, config: SchedulerConfig, attempt: int = 0,
             tracer.instant("chaos.inject", cat="chaos", fault=fault,
                            workload=task.workload.name,
                            strategy=task.strategy_name, attempt=attempt)
+            event_log.emit("chaos.inject", fault=fault, attempt=attempt)
         _run_task_attempt(result, task, config, fault)
     registry.counter(
         "sched.tasks.completed" if result.ok else "sched.tasks.failed"
@@ -382,6 +390,7 @@ def run_task(task: EvalTask, config: SchedulerConfig, attempt: int = 0,
     result.wall_s = time.perf_counter() - start
     result.metrics = registry.snapshot().diff(metrics_before)
     result.spans = tracer.events_since(span_mark)
+    result.events = event_log.events_since(event_mark)
     return result
 
 
@@ -756,6 +765,8 @@ class SweepScheduler:
                     registry.merge_snapshot(task.metrics)
             if not ran_inline and task.spans:
                 tracer.absorb(task.spans)
+            if not ran_inline and task.events:
+                get_event_log().absorb(task.events)
             if task.quarantined:
                 sweep.quarantine.quarantine(task.workload, task.strategy,
                                             task.quarantine_reason)
@@ -828,6 +839,8 @@ class _SweepRun:
                 self.registry.merge_snapshot(result.metrics)
             if result.spans:
                 self.tracer.absorb(result.spans)
+            if result.events:
+                get_event_log().absorb(result.events)
         if result.ok:
             self.final[index] = result
             return 0.0

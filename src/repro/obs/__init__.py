@@ -34,7 +34,15 @@ from .attrib import (
     attribute_run,
     binary_tenancies,
 )
-from .export import format_stats, stats_dict, validate_trace
+from .events import EventLog, events, get_event_log
+from .export import (
+    format_stats,
+    stats_dict,
+    to_openmetrics,
+    validate_openmetrics,
+    validate_trace,
+)
+from .history import BenchHistory, HISTORY_SCHEMA, make_entry, matrix_hash
 from .metrics import (
     DETERMINISTIC_PREFIX,
     HistogramSnapshot,
@@ -46,9 +54,12 @@ from .metrics import (
 from .spans import SpanTracer, get_tracer, phase, tracer
 
 __all__ = [
+    "BenchHistory",
     "DETERMINISTIC_PREFIX",
+    "EventLog",
     "FaultEvent",
     "FaultObserver",
+    "HISTORY_SCHEMA",
     "HistogramSnapshot",
     "MetricsRegistry",
     "MetricsSnapshot",
@@ -59,12 +70,18 @@ __all__ = [
     "attribute",
     "attribute_run",
     "binary_tenancies",
+    "events",
     "format_stats",
+    "get_event_log",
     "get_registry",
     "get_tracer",
+    "make_entry",
+    "matrix_hash",
     "metrics",
     "phase",
     "stats_dict",
+    "to_openmetrics",
     "tracer",
+    "validate_openmetrics",
     "validate_trace",
 ]

@@ -26,6 +26,13 @@ module is the sink those instruments write to.  Design constraints:
 * **Cheap.**  Recording a counter is a dict add under a lock; histograms
   bucket by binary exponent (``math.frexp``) so they need no
   configuration and merge exactly.
+
+* **Percentiles.**  Every histogram additionally feeds a deterministic
+  :class:`~repro.util.quantiles.QuantileSketch`, so p50/p95/p99 are
+  exact (below the sketch cap) or bounded to 1% relative error — and
+  because sketch merge is associative bucket-wise addition, the merged
+  percentiles are byte-identical whether the observations were recorded
+  serially or sharded across workers and folded back.
 """
 
 from __future__ import annotations
@@ -34,6 +41,8 @@ import math
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
+
+from ..util.quantiles import QuantileSketch
 
 #: counter-name prefix of the deterministic plane (canonical-result-derived)
 DETERMINISTIC_PREFIX = "sweep."
@@ -59,6 +68,8 @@ class HistogramSnapshot:
     max: Optional[float] = None
     #: binary-exponent bucket -> observation count
     buckets: Dict[int, int] = field(default_factory=dict)
+    #: deterministic quantile sketch (p50/p95/p99; merge-order-invariant)
+    sketch: QuantileSketch = field(default_factory=QuantileSketch)
 
     @property
     def mean(self) -> float:
@@ -71,6 +82,11 @@ class HistogramSnapshot:
         self.max = value if self.max is None else max(self.max, value)
         bucket = _bucket_of(value)
         self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+        self.sketch.observe(value)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Sketch-backed quantile (exact or within 1% relative error)."""
+        return self.sketch.quantile(q)
 
     def merge(self, other: "HistogramSnapshot") -> None:
         self.count += other.count
@@ -83,11 +99,31 @@ class HistogramSnapshot:
                 self.max = source if self.max is None else max(self.max, source)
         for bucket, n in other.buckets.items():
             self.buckets[bucket] = self.buckets.get(bucket, 0) + n
+        self.sketch.merge(other.sketch)
+
+    def diff(self, earlier: "HistogramSnapshot") -> "HistogramSnapshot":
+        """What accrued since ``earlier`` (same-histogram snapshots only).
+
+        Counters, buckets, and the quantile sketch are all monotone, so
+        the delta is plain subtraction; min/max report current values.
+        """
+        part = HistogramSnapshot(
+            count=self.count - earlier.count,
+            total=self.total - earlier.total,
+            min=self.min, max=self.max,
+            sketch=self.sketch.diff(earlier.sketch),
+        )
+        for bucket, n in self.buckets.items():
+            d = n - earlier.buckets.get(bucket, 0)
+            if d:
+                part.buckets[bucket] = d
+        return part
 
     def copy(self) -> "HistogramSnapshot":
         return HistogramSnapshot(count=self.count, total=self.total,
                                  min=self.min, max=self.max,
-                                 buckets=dict(self.buckets))
+                                 buckets=dict(self.buckets),
+                                 sketch=self.sketch.copy())
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -97,6 +133,7 @@ class HistogramSnapshot:
             "min": self.min,
             "max": self.max,
             "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+            **self.sketch.quantiles(),
         }
 
 
@@ -155,16 +192,7 @@ class MetricsSnapshot:
                 continue
             if hist.count == prior.count:
                 continue
-            part = HistogramSnapshot(
-                count=hist.count - prior.count,
-                total=hist.total - prior.total,
-                min=hist.min, max=hist.max,
-            )
-            for bucket, n in hist.buckets.items():
-                d = n - prior.buckets.get(bucket, 0)
-                if d:
-                    part.buckets[bucket] = d
-            delta.histograms[name] = part
+            delta.histograms[name] = hist.diff(prior)
         return delta
 
     def deterministic(self) -> Dict[str, int]:

@@ -48,8 +48,15 @@ class SpanTracer:
         with self._lock:
             if len(self._events) >= self.max_events:
                 self.dropped += 1
-                return
-            self._events.append(event)
+                dropped = True
+            else:
+                self._events.append(event)
+                dropped = False
+        if dropped:
+            # Outside the tracer lock: the registry has its own.  The
+            # counter makes silent span loss visible in ``repro stats``
+            # and merges across workers like any other metric.
+            metrics().counter("trace.dropped_events")
 
     @contextmanager
     def span(self, name: str, cat: str = "pipeline",
@@ -143,11 +150,19 @@ def phase(name: str, cat: str = "pipeline", **args: Any) -> Iterator[None]:
 
     Records ``phase.<name>`` (operational counter — *not* part of the
     deterministic plane; whether a phase actually ran depends on cache
-    state and scheduling) and observes ``phase.<name>.seconds``.
+    state and scheduling), observes ``phase.<name>.seconds``, and emits
+    a ``phase`` event into the correlated event log with the phase name
+    as a causal id for anything emitted inside the block.
     """
+    from .events import get_event_log
+
     registry = metrics()
+    log = get_event_log()
     start = time.perf_counter()
-    with get_tracer().span(name, cat=cat, **args):
-        yield
-    registry.counter(f"phase.{name}")
-    registry.observe(f"phase.{name}.seconds", time.perf_counter() - start)
+    with log.context(phase=name):
+        with get_tracer().span(name, cat=cat, **args):
+            yield
+        wall = time.perf_counter() - start
+        registry.counter(f"phase.{name}")
+        registry.observe(f"phase.{name}.seconds", wall)
+        log.emit("phase", name=name, wall_s=wall)

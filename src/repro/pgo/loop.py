@@ -39,7 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..eval.explain import attributed_run, explain_reports
 from ..eval.pipeline import StrategySpec, WorkloadPipeline
 from ..image.binary import MODE_OPTIMIZED, NativeImageBinary
-from ..obs import metrics
+from ..obs import get_event_log, metrics
 from ..ordering.profiles import ProfileBundle
 from ..robustness.chaos import CHAOS_STALE_PROFILE, ChaosPolicy
 from ..robustness.degradation import DegradationReport
@@ -520,4 +520,36 @@ class PgoLoop:
                 registry.counter("pgo.stale_epochs")
         if outcome.unguarded_regression:
             registry.counter("pgo.unguarded_regressions")
+        self._emit_epoch_events(outcome, epoch)
         self.history.append(outcome)
+
+    def _emit_epoch_events(self, outcome: EpochOutcome, epoch: int) -> None:
+        """Epoch markers for the correlated event log.
+
+        One ``pgo.epoch`` event per loop iteration plus point events for
+        the moments downstream readers care about (drift detection,
+        refresh publication, rollback, quarantine conviction) — together
+        the stream reconstructs the epoch timeline exactly, which
+        ``tests/test_pgo.py`` asserts.
+        """
+        log = get_event_log()
+        with log.context(workload=self.workload, strategy=self.spec.name):
+            if outcome.drift is not None and outcome.drift.drifted:
+                log.emit("pgo.drift", epoch=epoch,
+                         rank_distance=outcome.drift.rank_distance,
+                         fault_regression=outcome.drift.fault_regression)
+            if outcome.action in (ACTION_REFRESH, ACTION_BOOTSTRAP):
+                log.emit("pgo.refresh", epoch=epoch,
+                         version=outcome.deployed_version_after,
+                         faults=outcome.deployed_faults_after)
+            if outcome.action in (ACTION_ROLLBACK, ACTION_DEFAULT_LAYOUT):
+                log.emit("pgo.rollback", epoch=epoch,
+                         gate_failures=list(outcome.gate_failures),
+                         blamed=list(outcome.blamed))
+            if outcome.quarantined:
+                log.emit("pgo.quarantine", epoch=epoch,
+                         key=outcome.quarantined)
+            log.emit("pgo.epoch", epoch=epoch, action=outcome.action,
+                     version=outcome.deployed_version_after,
+                     stale_served=outcome.stale_served,
+                     unguarded_regression=outcome.unguarded_regression)

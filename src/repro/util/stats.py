@@ -88,6 +88,62 @@ def confidence_interval_95(values: Sequence[float]) -> ConfidenceInterval:
     return ConfidenceInterval(m, half)
 
 
+def median(values: Sequence[float]) -> float:
+    """Median of a non-empty sequence (mean of the middle two when even)."""
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(values: Sequence[float]) -> float:
+    """Median absolute deviation (robust spread; 0.0 for n < 2)."""
+    if len(values) < 2:
+        return 0.0
+    center = median(values)
+    return median([abs(v - center) for v in values])
+
+
+#: MAD -> sigma consistency constant for normal data (1 / Phi^-1(3/4))
+MAD_SIGMA = 1.4826
+
+
+def cusum_alarm(
+    series: Sequence[float],
+    target: float,
+    sigma: float,
+    k: float = 0.5,
+    h: float = 4.0,
+) -> "int | None":
+    """One-sided (upward) CUSUM changepoint detector.
+
+    Accumulates ``S_i = max(0, S_{i-1} + (x_i - target - k*sigma))`` and
+    alarms at the first index where ``S_i > h*sigma`` — the classic Page
+    test: a single large step trips it immediately, while a slow drift
+    accumulates over several points and trips it late but surely, which
+    per-point threshold checks (median ± MAD bands) structurally miss.
+
+    ``target`` is the in-control level (e.g. the rolling median of the
+    healthy history) and ``sigma`` the in-control spread (e.g. scaled
+    MAD); ``k`` is the slack in sigmas (drifts smaller than ``k*sigma``
+    per point never alarm) and ``h`` the decision interval.  Returns the
+    alarming index or ``None``.  ``sigma`` must be positive — callers
+    floor it (a deterministic series has MAD 0, and any change would be a
+    genuine step).
+    """
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    s = 0.0
+    for index, x in enumerate(series):
+        s = max(0.0, s + (x - target - k * sigma))
+        if s > h * sigma:
+            return index
+    return None
+
+
 def ratio_factor(baseline: float, optimized: float) -> float:
     """The paper's improvement factor ``M_baseline / M_optimized``.
 

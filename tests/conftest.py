@@ -34,9 +34,10 @@ def run():
 
 @pytest.fixture(autouse=True)
 def _reset_obs():
-    """Isolate each test from the process-wide metrics/trace state."""
-    from repro.obs import get_registry, get_tracer
+    """Isolate each test from the process-wide metrics/trace/event state."""
+    from repro.obs import get_event_log, get_registry, get_tracer
 
     get_registry().reset()
     get_tracer().reset()
+    get_event_log().reset()
     yield

@@ -367,3 +367,249 @@ class TestApiAccessors:
         assert snap.counters.get("phase.build") == 1
         path = toolchain.export_trace(tmp_path / "api-trace.json")
         assert validate_trace(json.loads(path.read_text())) == []
+
+
+class TestDroppedSpans:
+    def test_overflow_increments_global_drop_metric(self):
+        tracer = SpanTracer(max_events=1)
+        for i in range(4):
+            tracer.instant(f"e{i}")
+        assert tracer.dropped == 3
+        snap = get_registry().snapshot()
+        assert snap.counters["trace.dropped_events"] == 3
+        assert tracer.to_chrome()["otherData"]["dropped_events"] == 3
+
+    def test_no_drops_no_metric(self):
+        tracer = SpanTracer(max_events=10)
+        tracer.instant("fits")
+        assert "trace.dropped_events" not in get_registry().snapshot().counters
+
+
+class TestEventLog:
+    def test_emit_carries_scoped_ids_inner_wins(self):
+        from repro.obs import EventLog
+
+        log = EventLog()
+        with log.context(run="r1", phase="cold"):
+            with log.context(phase="warm", task="wl0/cu"):
+                event = log.emit("degradation", reason="x")
+        assert event["run"] == "r1"
+        assert event["phase"] == "warm"  # inner scope wins
+        assert event["task"] == "wl0/cu"
+        assert event["reason"] == "x"
+        assert log.current_ids() == {}  # scopes unwound
+
+    def test_explicit_fields_override_scope(self):
+        from repro.obs import EventLog
+
+        log = EventLog()
+        with log.context(phase="cold"):
+            event = log.emit("phase", phase="override")
+        assert event["phase"] == "override"
+
+    def test_seq_is_monotone_per_log(self):
+        from repro.obs import EventLog
+
+        log = EventLog()
+        for kind in ("a", "b", "c"):
+            log.emit(kind)
+        assert [e["seq"] for e in log.events] == [0, 1, 2]
+
+    def test_mark_and_events_since_are_detached(self):
+        from repro.obs import EventLog
+
+        log = EventLog()
+        log.emit("before")
+        mark = log.mark()
+        log.emit("after")
+        shipped = log.events_since(mark)
+        assert [e["kind"] for e in shipped] == ["after"]
+        shipped[0]["kind"] = "mutated"
+        assert log.events[1]["kind"] == "after"
+
+    def test_absorb_resequences_and_keeps_worker_seq(self):
+        from repro.obs import EventLog
+
+        parent, worker = EventLog(), EventLog()
+        parent.emit("parent")
+        with worker.context(task="wl0/cu"):
+            worker.emit("chaos.inject", fault="hang")
+        parent.absorb(worker.events)
+        absorbed = parent.events[-1]
+        assert absorbed["seq"] == 1  # parent's sequence space
+        assert absorbed["worker_seq"] == 0  # original order preserved
+        assert absorbed["task"] == "wl0/cu"
+
+    def test_cap_counts_drops(self):
+        from repro.obs import EventLog
+
+        log = EventLog(max_events=2)
+        for i in range(5):
+            log.emit("e")
+        assert len(log.events) == 2
+        assert log.dropped == 3
+        log.absorb([{"kind": "late", "seq": 0}])
+        assert log.dropped == 4
+
+    def test_of_kind_filters_in_order(self):
+        from repro.obs import EventLog
+
+        log = EventLog()
+        log.emit("a", n=1)
+        log.emit("b")
+        log.emit("a", n=2)
+        assert [e["n"] for e in log.of_kind("a")] == [1, 2]
+
+    def test_jsonl_export_roundtrip(self, tmp_path):
+        from repro.obs import EventLog
+
+        log = EventLog()
+        with log.context(run="r1"):
+            log.emit("phase", name="cold", wall_s=1.5)
+            log.emit("pgo.epoch", epoch=0, action="refresh")
+        path = log.export(tmp_path / "events.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert [e["kind"] for e in parsed] == ["phase", "pgo.epoch"]
+        assert all(e["run"] == "r1" for e in parsed)
+        assert EventLog().to_jsonl() == ""
+
+    def test_context_is_thread_local(self):
+        from repro.obs import EventLog
+
+        log = EventLog()
+        seen = {}
+
+        def other_thread():
+            seen["ids"] = log.current_ids()
+
+        with log.context(task="mine"):
+            t = threading.Thread(target=other_thread)
+            t.start()
+            t.join()
+        assert seen["ids"] == {}  # the scope never leaked across threads
+
+    def test_reset_clears_buffer_seq_and_drops(self):
+        from repro.obs import EventLog
+
+        log = EventLog(max_events=1)
+        log.emit("a")
+        log.emit("b")
+        log.reset()
+        assert log.events == [] and log.dropped == 0
+        assert log.emit("c")["seq"] == 0
+
+
+class TestPhaseEventWiring:
+    def test_phase_emits_correlated_event(self):
+        from repro.obs import get_event_log
+
+        with phase("evt-phase"):
+            pass
+        [event] = get_event_log().of_kind("phase")
+        assert event["name"] == "evt-phase"
+        assert event["wall_s"] >= 0.0
+
+    def test_degradation_note_lands_in_event_log(self):
+        from repro.obs import get_event_log
+        from repro.robustness.degradation import DegradationReport
+
+        DegradationReport(workload="w", strategy="s").note("profiling failed")
+        [event] = get_event_log().of_kind("degradation")
+        assert event["workload"] == "w"
+        assert event["reason"] == "profiling failed"
+
+
+class TestSchedulerEventFold:
+    def _chaos_sweep(self, tmp_path, workers):
+        from repro.eval.pipeline import STRATEGY_CU, Workload
+        from repro.eval.scheduler import (
+            RetryPolicy,
+            SchedulerConfig,
+            SweepScheduler,
+        )
+        from repro.robustness.chaos import CHAOS_CORRUPT_ARTIFACT, ChaosPolicy
+
+        workloads = [Workload(name=f"evt{i}",
+                              source=TestPipelineInstrumentation.PROGRAM)
+                     for i in range(2)]
+        config = SchedulerConfig(
+            cache_dir=str(tmp_path / "cache"), max_workers=workers,
+            retry=RetryPolicy(max_attempts=3, backoff_base_s=0.0, jitter=0.0),
+            chaos=ChaosPolicy(seed=0, rate=1.0,
+                              classes=(CHAOS_CORRUPT_ARTIFACT,)),
+        )
+        return SweepScheduler(config).run(
+            workloads, [STRATEGY_CU], parallel=workers > 1)
+
+    def test_inline_injections_carry_task_ids(self, tmp_path):
+        from repro.obs import get_event_log
+
+        sweep = self._chaos_sweep(tmp_path, workers=1)
+        assert sweep.ok
+        injections = get_event_log().of_kind("chaos.inject")
+        assert {e["task"] for e in injections} == {"evt0/cu", "evt1/cu"}
+
+    def test_parallel_worker_events_fold_into_parent(self, tmp_path):
+        from repro.obs import get_event_log
+
+        sweep = self._chaos_sweep(tmp_path, workers=2)
+        assert sweep.ok
+        injections = get_event_log().of_kind("chaos.inject")
+        assert {e["task"] for e in injections} == {"evt0/cu", "evt1/cu"}
+        # shipped events were re-sequenced into the parent's order
+        assert all("worker_seq" in e for e in injections)
+        seqs = [e["seq"] for e in get_event_log().events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+
+class TestOpenMetrics:
+    def _snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.hit.image", 3)
+        registry.gauge("sweep.workers", 2.0)
+        for value in (0.1, 0.2, 0.4):
+            registry.observe("phase.build.seconds", value)
+        return registry.snapshot()
+
+    def test_exposition_validates_and_names_are_sanitized(self):
+        from repro.obs import to_openmetrics, validate_openmetrics
+
+        text = to_openmetrics(self._snapshot())
+        assert validate_openmetrics(text) == []
+        assert "# TYPE repro_cache_hit_image counter" in text
+        assert "repro_cache_hit_image_total 3" in text
+        assert "repro_sweep_workers 2.0" in text
+        assert 'repro_phase_build_seconds{quantile="0.5"} 0.2' in text
+        assert "repro_phase_build_seconds_count 3" in text
+        assert text.endswith("# EOF\n")
+
+    def test_equal_snapshots_render_byte_identically(self):
+        from repro.obs import to_openmetrics
+
+        assert to_openmetrics(self._snapshot()) == \
+            to_openmetrics(self._snapshot())
+
+    def test_validator_rejects_malformed_expositions(self):
+        from repro.obs import validate_openmetrics
+
+        cases = {
+            "missing terminator": "repro_x_total 1\n",
+            "sample without TYPE": "repro_x_total 1\n# EOF",
+            "counter without _total":
+                "# TYPE repro_x counter\nrepro_x 1\n# EOF",
+            "bad value":
+                "# TYPE repro_x gauge\nrepro_x banana\n# EOF",
+            "empty line": "\n# EOF",
+            "eof not last": "# EOF\n# TYPE repro_x gauge\nrepro_x 1",
+        }
+        for label, text in cases.items():
+            assert validate_openmetrics(text), f"accepted: {label}"
+
+    def test_empty_snapshot_is_just_eof(self):
+        from repro.obs import to_openmetrics, validate_openmetrics
+
+        text = to_openmetrics(MetricsSnapshot())
+        assert text == "# EOF\n"
+        assert validate_openmetrics(text) == []

@@ -389,6 +389,36 @@ class TestScenario:
                               scenario=DriftScenario(epochs=2))
         assert first.as_dict() == second.as_dict()
 
+    def test_event_stream_reconstructs_epoch_timeline(self):
+        from repro.obs import get_event_log
+
+        scenario = DriftScenario(inject_bad_epoch=2,
+                                 mutation=MUTATE_SWAP_CU_OFFSETS)
+        outcome = run_scenario(_queens(), STRATEGY_COMBINED,
+                               scenario=scenario)
+        log = get_event_log()
+        # the pgo.epoch markers alone rebuild the exact epoch timeline
+        timeline = [(e["epoch"], e["action"], e["version"])
+                    for e in log.of_kind("pgo.epoch")]
+        lived = [outcome.bootstrap] + outcome.epochs
+        assert timeline == [(o.epoch, o.action, o.deployed_version_after)
+                            for o in lived]
+        # point events agree with the summary counts: bootstrap publishes
+        # a profile too, so it contributes one pgo.refresh marker
+        assert len(log.of_kind("pgo.refresh")) == outcome.refreshes + 1
+        assert len(log.of_kind("pgo.rollback")) == outcome.rollbacks
+        quarantines = log.of_kind("pgo.quarantine")
+        assert [e["key"] for e in quarantines] == \
+            [o.quarantined for o in lived if o.quarantined]
+        assert len(quarantines) == len(outcome.quarantined)
+        drift_epochs = {e["epoch"] for e in log.of_kind("pgo.drift")}
+        assert drift_epochs == {o.epoch for o in outcome.epochs
+                                if o.drift is not None and o.drift.drifted}
+        # every marker carries the causal workload/strategy ids
+        assert all(e["workload"] == "Queens"
+                   and e["strategy"] == STRATEGY_COMBINED.name
+                   for e in log.of_kind("pgo.epoch"))
+
 
 class TestLoopApi:
     def test_bootstrap_then_retain(self):

@@ -1,0 +1,146 @@
+"""Property tests for the mergeable deterministic quantile sketch.
+
+The three guarantees the observability layer leans on, held as
+hypothesis properties:
+
+* merge is associative (and commutative) at the *representation* level —
+  ``as_dict()`` byte-equality, not just equal quantiles;
+* serial-vs-parallel identity: one sketch observing the whole stream is
+  byte-identical to sharding the stream arbitrarily, sketching each
+  shard, and merging in any grouping — including across the
+  exact→bucket densification boundary;
+* rank-error bound: every reported quantile is within ``alpha`` relative
+  error of the true nearest-rank order statistic.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.quantiles import (
+    DEFAULT_ALPHA,
+    QuantileSketch,
+    merge_sketches,
+)
+
+# moderate magnitudes: the sketch accepts any finite float, but the
+# properties are about structure, not float-limit edge cases
+finite = st.floats(min_value=-1e9, max_value=1e9,
+                   allow_nan=False, allow_infinity=False, width=32)
+streams = st.lists(finite, max_size=60)
+
+#: a small cap so merges routinely cross the exact->bucket transition
+SMALL_CAP = 8
+
+
+def sketch_of(values, cap=SMALL_CAP):
+    s = QuantileSketch(cap=cap)
+    for v in values:
+        s.observe(v)
+    return s
+
+
+def rep(sketch):
+    """Canonical byte representation (what 'identical' means here)."""
+    return json.dumps(sketch.as_dict(), sort_keys=True)
+
+
+class TestMergeAlgebra:
+    @given(streams, streams, streams)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_associative(self, a, b, c):
+        left = sketch_of(a).merge(sketch_of(b)).merge(sketch_of(c))
+        right = sketch_of(a).merge(sketch_of(b).merge(sketch_of(c)))
+        assert rep(left) == rep(right)
+
+    @given(streams, streams)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_commutative(self, a, b):
+        assert rep(sketch_of(a).merge(sketch_of(b))) == \
+            rep(sketch_of(b).merge(sketch_of(a)))
+
+    @given(streams, st.integers(min_value=1, max_value=7),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=80, deadline=None)
+    def test_serial_vs_parallel_identity(self, values, shards, rng):
+        """Sharding the stream and merging shards in any order is
+        byte-identical to serial observation — the scheduler's
+        worker-fold guarantee."""
+        serial = sketch_of(values)
+        chunks = [values[i::shards] for i in range(shards)]
+        rng.shuffle(chunks)
+        parallel = merge_sketches(sketch_of(chunk) for chunk in chunks)
+        assert rep(parallel) == rep(serial)
+        assert parallel.quantiles() == serial.quantiles()
+
+    @given(streams, streams)
+    @settings(max_examples=60, deadline=None)
+    def test_diff_inverts_merge(self, prefix, suffix):
+        """later.diff(earlier) merged back onto earlier reproduces later
+        byte-identically (counts are monotone, densify is one-way)."""
+        earlier = sketch_of(prefix)
+        later = earlier.copy()
+        for v in suffix:
+            later.observe(v)
+        delta = later.diff(earlier)
+        assert delta.count == len(suffix)
+        rebuilt = earlier.copy().merge(delta)
+        assert rep(rebuilt) == rep(later)
+
+    def test_merge_rejects_mismatched_grids(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(alpha=0.01).merge(QuantileSketch(alpha=0.02))
+        with pytest.raises(ValueError):
+            QuantileSketch(cap=8).merge(QuantileSketch(cap=16))
+
+
+class TestRankErrorBound:
+    @given(st.lists(finite, min_size=1, max_size=80),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=120, deadline=None)
+    def test_quantile_within_alpha_of_true_order_statistic(self, values, q):
+        sketch = sketch_of(values)
+        reported = sketch.quantile(q)
+        ordered = sorted(values)
+        target = max(1, math.ceil(q * len(values)))
+        true = ordered[target - 1]
+        assert reported is not None
+        assert abs(reported - true) <= DEFAULT_ALPHA * abs(true) + 1e-12
+
+    @given(st.lists(finite, min_size=1, max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_exact_mode_is_exact(self, values):
+        sketch = sketch_of(values, cap=1000)  # never densifies
+        ordered = sorted(values)
+        for q in (0.0, 0.25, 0.5, 0.95, 0.99, 1.0):
+            target = max(1, math.ceil(q * len(values)))
+            assert sketch.quantile(q) == ordered[target - 1]
+
+
+class TestSerialization:
+    @given(streams)
+    @settings(max_examples=60, deadline=None)
+    def test_dict_roundtrip(self, values):
+        sketch = sketch_of(values)
+        clone = QuantileSketch.from_dict(
+            json.loads(json.dumps(sketch.as_dict())))
+        assert rep(clone) == rep(sketch)
+        assert clone.quantiles() == sketch.quantiles()
+
+    def test_observe_rejects_non_finite(self):
+        s = QuantileSketch()
+        with pytest.raises(ValueError):
+            s.observe(float("nan"))
+        with pytest.raises(ValueError):
+            s.observe(float("inf"))
+        with pytest.raises(ValueError):
+            s.observe(1.0, n=-1)
+
+    def test_reported_quantile_keys(self):
+        s = sketch_of([1.0, 2.0, 3.0])
+        assert set(s.quantiles()) == {"p50", "p95", "p99"}
